@@ -1,0 +1,73 @@
+"""Experiment C1 — the Fig. 7 ≡ Ball–Horwitz equivalence, measured.
+
+Beyond the correctness property (tests/property/test_bh_equivalence.py),
+this bench compares the *costs* of the two routes to the same slice:
+Agrawal leaves the graphs intact and walks two trees; Ball–Horwitz
+rebuilds control dependence from an augmented flowgraph.  The paper's
+pitch is that the former is cheaper when the PDG already exists; the
+bench quantifies both the shared-infrastructure and the from-scratch
+cases.
+"""
+
+import random
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.gen.generator import random_criterion
+from repro.pdg.builder import analyze_program, build_augmented_pdg
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.ball_horwitz import ball_horwitz_slice
+from repro.slicing.criterion import SlicingCriterion
+
+from benchmarks.conftest import sized_programs
+
+PROGRAMS = sized_programs("unstructured", [120], seed=77)
+
+
+def _setup():
+    size, program = PROGRAMS[0]
+    analysis = analyze_program(program)
+    line, var = random_criterion(random.Random(7), program)
+    return analysis, SlicingCriterion(line, var), program
+
+
+def test_bench_equivalence_agrawal_route(benchmark):
+    analysis, criterion, _ = _setup()
+    result = benchmark(agrawal_slice, analysis, criterion)
+    reference = ball_horwitz_slice(analysis, criterion)
+    assert set(reference.statement_nodes()) <= set(result.statement_nodes())
+
+
+def test_bench_equivalence_ball_horwitz_route_incremental(benchmark):
+    # Augmented PDG cached on the analysis — the steady-state cost.
+    analysis, criterion, _ = _setup()
+    analysis.augmented_pdg  # warm the cache
+    benchmark(ball_horwitz_slice, analysis, criterion)
+
+
+def test_bench_equivalence_ball_horwitz_graph_construction(benchmark):
+    # The part Agrawal's algorithm avoids: rebuilding control dependence
+    # from the augmented flowgraph.
+    _, _, program = _setup()
+    cfg = build_cfg(program)
+    pdg = benchmark(build_augmented_pdg, cfg)
+    assert len(pdg) > 0
+
+
+@pytest.mark.parametrize("seed", [3, 5])
+def test_bench_equivalence_same_slices_random(benchmark, seed):
+    programs = sized_programs("unstructured", [60], seed=seed)
+    _, program = programs[0]
+    analysis = analyze_program(program)
+    line, var = random_criterion(random.Random(seed), program)
+    criterion = SlicingCriterion(line, var)
+
+    def both():
+        return (
+            agrawal_slice(analysis, criterion, prune_redundant=True),
+            ball_horwitz_slice(analysis, criterion),
+        )
+
+    ours, theirs = benchmark(both)
+    assert ours.same_statements_as(theirs)

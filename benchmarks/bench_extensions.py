@@ -1,0 +1,122 @@
+"""Benchmarks for the extensions: forward slicing, chopping, dynamic
+slicing, and the two interpreters (experiment ids X1–X3 in DESIGN.md).
+
+Shape claims:
+
+* a forward slice costs the same as a backward slice (one closure);
+* the dynamic slicer's cost is dominated by tracing, linear in trace
+  length;
+* the CFG interpreter and the tree-walking interpreter agree — and the
+  CFG interpreter is not dramatically slower despite paying node-by-node
+  dispatch.
+"""
+
+import random
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.dynamic.slicer import dynamic_slice
+from repro.dynamic.trace import record_trace
+from repro.gen.generator import random_criterion
+from repro.interp.ast_interpreter import run_ast
+from repro.interp.interpreter import run_program
+from repro.lang.parser import parse_program
+from repro.pdg.builder import analyze_program
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.forward import chop, forward_slice
+
+from benchmarks.conftest import corpus_analysis, sized_programs
+
+CRITERION = SlicingCriterion(15, "positives")
+
+
+def test_bench_forward_slice(benchmark):
+    analysis = corpus_analysis("fig3a")
+    analysis.augmented_pdg  # warm, like the backward benches warm theirs
+    result = benchmark(forward_slice, analysis, SlicingCriterion(4, "x"))
+    assert len(result.statement_nodes()) >= 10
+
+
+def test_bench_chop(benchmark):
+    analysis = corpus_analysis("fig3a")
+    analysis.augmented_pdg
+    result = benchmark(
+        chop, analysis, SlicingCriterion(4, "x"), CRITERION
+    )
+    assert 8 in result.nodes
+
+
+def test_bench_trace_recording(benchmark):
+    analysis = corpus_analysis("fig3a")
+    inputs = list(range(-10, 40))
+    trace = benchmark(record_trace, analysis.cfg, inputs)
+    assert len(trace) > 100
+
+
+def test_bench_dynamic_slice(benchmark):
+    analysis = corpus_analysis("fig3a")
+    inputs = list(range(-10, 40))
+    result = benchmark(
+        dynamic_slice, analysis, CRITERION, inputs
+    )
+    static = conventional_slice(analysis, CRITERION)
+    assert set(result.statement_nodes()) <= set(static.statement_nodes())
+
+
+def test_bench_dynamic_scales_with_trace(benchmark):
+    analysis = corpus_analysis("fig3a")
+    inputs = list(range(-200, 200))
+
+    def run():
+        return dynamic_slice(analysis, CRITERION, inputs)
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(result.trace) > 2000
+
+
+def test_bench_interpreter_cfg(benchmark):
+    program = parse_program(PAPER_PROGRAMS["fig5a"].source)
+    inputs = list(range(-25, 25))
+    benchmark.group = "interpreters"
+    result = benchmark(run_program, program, inputs)
+    assert len(result.outputs) == 2
+
+
+def test_bench_interpreter_ast(benchmark):
+    program = parse_program(PAPER_PROGRAMS["fig5a"].source)
+    inputs = list(range(-25, 25))
+    benchmark.group = "interpreters"
+    result = benchmark(run_ast, program, inputs)
+    assert len(result.outputs) == 2
+
+
+def test_bench_dynamic_vs_static_size(benchmark):
+    """Dynamic slices are smaller: measured ratio over random runs."""
+    analyses = [
+        analyze_program(program)
+        for _, program in sized_programs("structured", [120] * 4, seed=9)
+    ]
+
+    def sweep():
+        shrunk = total = 0
+        for index, analysis in enumerate(analyses):
+            rng = random.Random(index)
+            line, var = random_criterion(rng, analysis.program)
+            criterion = SlicingCriterion(line, var)
+            inputs = [rng.randint(-9, 9) for _ in range(8)]
+            try:
+                dynamic = dynamic_slice(
+                    analysis, criterion, inputs, step_limit=100_000
+                )
+            except Exception:
+                continue
+            static = conventional_slice(analysis, criterion)
+            total += 1
+            if len(dynamic.statement_nodes()) <= len(
+                static.statement_nodes()
+            ):
+                shrunk += 1
+        return shrunk, total
+
+    shrunk, total = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert shrunk == total  # never larger

@@ -1,0 +1,29 @@
+"""Experiment F1 — Figure 1: the conventional slice of the jump-free
+running example w.r.t. ``positives`` on line 12 (= Fig. 1-b)."""
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+
+from benchmarks.conftest import corpus_analysis
+
+EXPECTED = PAPER_PROGRAMS["fig1a"].expectations["conventional"]
+
+
+def test_bench_fig01_conventional_slice(benchmark):
+    analysis = corpus_analysis("fig1a")
+    criterion = SlicingCriterion(12, "positives")
+
+    result = benchmark(conventional_slice, analysis, criterion)
+    assert frozenset(result.statement_nodes()) == EXPECTED
+
+
+def test_bench_fig01_full_pipeline(benchmark):
+    """Parse + analyze + slice from raw source (the end-to-end cost)."""
+    from repro.slicing import slice_program
+
+    source = PAPER_PROGRAMS["fig1a"].source
+    result = benchmark(
+        slice_program, source, 12, "positives", "conventional"
+    )
+    assert frozenset(result.statement_nodes()) == EXPECTED

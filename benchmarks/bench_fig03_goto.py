@@ -1,0 +1,41 @@
+"""Experiment F3 — Figure 3: the goto version of the running example.
+
+Regenerates both rows of the figure: the (wrong) conventional slice of
+Fig. 3-b and the Fig. 7 algorithm's slice of Fig. 3-c, including the
+label re-association L14 → 15.
+"""
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.extract import extract_source
+
+from benchmarks.conftest import corpus_analysis
+
+ENTRY = PAPER_PROGRAMS["fig3a"]
+CRITERION = SlicingCriterion(15, "positives")
+
+
+def test_bench_fig03_conventional_slice(benchmark):
+    analysis = corpus_analysis("fig3a")
+    result = benchmark(conventional_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations[
+        "conventional"
+    ]
+
+
+def test_bench_fig03_agrawal_slice(benchmark):
+    analysis = corpus_analysis("fig3a")
+    result = benchmark(agrawal_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations["agrawal"]
+    assert result.traversals == 1
+    assert result.label_map == {"L14": 15}
+
+
+def test_bench_fig03_extraction(benchmark):
+    analysis = corpus_analysis("fig3a")
+    result = agrawal_slice(analysis, CRITERION)
+    text = benchmark(extract_source, result)
+    assert "L13: goto L3;" in text
+    assert "L14: ;" in text

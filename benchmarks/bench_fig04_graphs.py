@@ -1,0 +1,36 @@
+"""Experiment F4 — Figure 4: the postdominator tree and lexical successor
+tree of the goto program (the two structures the new algorithm walks)."""
+
+from repro.analysis.lexical import build_lst, build_lst_syntactic
+from repro.analysis.postdominance import build_postdominator_tree
+from repro.cfg.builder import build_cfg
+from repro.corpus import PAPER_PROGRAMS
+from repro.lang.parser import parse_program
+
+SOURCE = PAPER_PROGRAMS["fig3a"].source
+
+
+def test_bench_fig04_postdominator_tree_iterative(benchmark):
+    cfg = build_cfg(parse_program(SOURCE))
+    tree = benchmark(build_postdominator_tree, cfg)
+    assert tree.parent_of(13) == 3  # Fig. 4-b
+
+def test_bench_fig04_postdominator_tree_lengauer_tarjan(benchmark):
+    cfg = build_cfg(parse_program(SOURCE))
+    tree = benchmark(
+        build_postdominator_tree, cfg, "lengauer-tarjan"
+    )
+    assert tree.parent_of(13) == 3
+
+
+def test_bench_fig04_lexical_successor_tree(benchmark):
+    cfg = build_cfg(parse_program(SOURCE))
+    lst = benchmark(build_lst, cfg)
+    assert lst.parent_of(13) == 14  # Fig. 4-d: the straight line chain
+
+
+def test_bench_fig04_lst_syntactic_rebuild(benchmark):
+    program = parse_program(SOURCE)
+    cfg = build_cfg(program)
+    lst = benchmark(build_lst_syntactic, program, cfg)
+    assert lst.as_parent_map() == build_lst(cfg).as_parent_map()

@@ -1,0 +1,27 @@
+"""Experiment F5 — Figure 5: the continue version.  The new algorithm
+keeps the continue on line 7 and drops the one on line 11 (Fig. 5-c);
+Lyle's keeps both plus the predicate on line 9 (§5)."""
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.lyle import lyle_slice
+
+from benchmarks.conftest import corpus_analysis
+
+ENTRY = PAPER_PROGRAMS["fig5a"]
+CRITERION = SlicingCriterion(14, "positives")
+
+
+def test_bench_fig05_agrawal_slice(benchmark):
+    analysis = corpus_analysis("fig5a")
+    result = benchmark(agrawal_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations["agrawal"]
+    assert 7 in result.nodes and 11 not in result.nodes
+
+
+def test_bench_fig05_lyle_slice(benchmark):
+    analysis = corpus_analysis("fig5a")
+    result = benchmark(lyle_slice, analysis, CRITERION)
+    members = set(result.statement_nodes())
+    assert {7, 9, 11} <= members  # the paper's §5 comparison

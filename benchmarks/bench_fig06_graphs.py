@@ -1,0 +1,36 @@
+"""Experiment F6 — Figure 6: the four graphs of the continue program;
+the crux is continue 7's postdominator (3) differing from its lexical
+successor (8)."""
+
+from repro.analysis.lexical import build_lst
+from repro.analysis.postdominance import build_postdominator_tree
+from repro.cfg.builder import build_cfg
+from repro.corpus import PAPER_PROGRAMS
+from repro.lang.parser import parse_program
+from repro.viz.dot import render_all
+
+from benchmarks.conftest import corpus_analysis
+
+SOURCE = PAPER_PROGRAMS["fig5a"].source
+
+
+def test_bench_fig06_trees(benchmark):
+    cfg = build_cfg(parse_program(SOURCE))
+
+    def build_both():
+        return build_postdominator_tree(cfg), build_lst(cfg)
+
+    pdt, lst = benchmark(build_both)
+    assert pdt.parent_of(7) == 3
+    assert lst.parent_of(7) == 8
+
+
+def test_bench_fig06_render_all_graphs(benchmark):
+    analysis = corpus_analysis("fig5a")
+    graphs = benchmark(render_all, analysis)
+    assert set(graphs) >= {
+        "flowgraph",
+        "postdominator-tree",
+        "control-dependence",
+        "lexical-successor-tree",
+    }

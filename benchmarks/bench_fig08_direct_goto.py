@@ -1,0 +1,30 @@
+"""Experiment F8 — Figure 8 (and its graphs, Figure 9): direct jumps to
+the loop head; including goto 7 forces 11 and 13 in, and with them the
+predicate on line 9.  Also reproduces the Jiang–Zhou–Robson failure the
+paper reports (§5, experiment C4)."""
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.jiang import jiang_slice
+
+from benchmarks.conftest import corpus_analysis
+
+ENTRY = PAPER_PROGRAMS["fig8a"]
+CRITERION = SlicingCriterion(15, "positives")
+
+
+def test_bench_fig08_agrawal_slice(benchmark):
+    analysis = corpus_analysis("fig8a")
+    result = benchmark(agrawal_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations["agrawal"]
+    assert result.traversals == 1
+    assert result.label_map == {"L14": 15, "L12": 13}
+
+
+def test_bench_fig08_jiang_reconstruction(benchmark):
+    analysis = corpus_analysis("fig8a")
+    result = benchmark(jiang_slice, analysis, CRITERION)
+    members = set(result.statement_nodes())
+    assert 7 in members
+    assert 11 not in members and 13 not in members  # the reported miss

@@ -1,0 +1,28 @@
+"""Experiment F10 — Figures 10/11: the unstructured program that needs
+two pre-order traversals (node 4 joins only in the second pass)."""
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.ball_horwitz import ball_horwitz_slice
+from repro.slicing.criterion import SlicingCriterion
+
+from benchmarks.conftest import corpus_analysis
+
+ENTRY = PAPER_PROGRAMS["fig10a"]
+CRITERION = SlicingCriterion(9, "y")
+
+
+def test_bench_fig10_two_traversals(benchmark):
+    analysis = corpus_analysis("fig10a")
+    result = benchmark(agrawal_slice, analysis, CRITERION)
+    assert result.traversals == 2
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations["agrawal"]
+    assert result.label_map == {"L6": 7, "L8": 9}
+
+
+def test_bench_fig10_ball_horwitz_reference(benchmark):
+    analysis = corpus_analysis("fig10a")
+    result = benchmark(ball_horwitz_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations[
+        "ball-horwitz"
+    ]

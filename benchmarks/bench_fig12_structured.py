@@ -1,0 +1,40 @@
+"""Experiment F12 — Figure 12: the structured-program simplification.
+Single traversal, same slices as Fig. 7 on structured inputs — measured
+here on the continue program and on Fig. 16's forward-goto program."""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.structured import structured_slice
+
+from benchmarks.conftest import corpus_analysis
+
+
+@pytest.mark.parametrize("name", ["fig5a", "fig14a", "fig16a"])
+def test_bench_fig12_structured_slice(benchmark, name):
+    entry = PAPER_PROGRAMS[name]
+    analysis = corpus_analysis(name)
+    criterion = SlicingCriterion(*entry.criterion)
+    result = benchmark(structured_slice, analysis, criterion)
+    general = agrawal_slice(analysis, criterion)
+    assert result.same_statements_as(general)
+    assert result.traversals == 1
+
+
+def test_bench_fig12_vs_fig7_speed(benchmark):
+    """The simplification's payoff: one traversal, no dependence-closure
+    chasing.  Timed against Fig. 7 on the same program elsewhere in this
+    suite; here we pin Fig. 12's own cost."""
+    analysis = corpus_analysis("fig5a")
+    criterion = SlicingCriterion(14, "positives")
+
+    def run_both():
+        return (
+            structured_slice(analysis, criterion),
+            agrawal_slice(analysis, criterion),
+        )
+
+    simplified, general = benchmark(run_both)
+    assert simplified.same_statements_as(general)

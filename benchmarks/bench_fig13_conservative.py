@@ -1,0 +1,26 @@
+"""Experiment F13 — Figure 13: the conservative on-the-fly algorithm.
+No traversals at all; may over-include (Fig. 14-c) but never
+under-includes relative to Fig. 12."""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.slicing.conservative import conservative_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.structured import structured_slice
+
+from benchmarks.conftest import corpus_analysis
+
+
+@pytest.mark.parametrize("name", ["fig1a", "fig5a", "fig14a", "fig16a"])
+def test_bench_fig13_conservative_slice(benchmark, name):
+    entry = PAPER_PROGRAMS[name]
+    analysis = corpus_analysis(name)
+    criterion = SlicingCriterion(*entry.criterion)
+    result = benchmark(conservative_slice, analysis, criterion)
+    simplified = structured_slice(analysis, criterion)
+    assert set(simplified.statement_nodes()) <= set(result.statement_nodes())
+    if "conservative" in entry.expectations:
+        assert frozenset(result.statement_nodes()) == entry.expectations[
+            "conservative"
+        ]

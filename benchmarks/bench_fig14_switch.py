@@ -1,0 +1,51 @@
+"""Experiment F14 — Figures 14/15: the switch program on which Fig. 12
+and Fig. 13 differ — conservative keeps the breaks on lines 5 and 7."""
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.slicing.conservative import conservative_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.extract import extract_source
+from repro.slicing.structured import structured_slice
+
+from benchmarks.conftest import corpus_analysis
+
+ENTRY = PAPER_PROGRAMS["fig14a"]
+CRITERION = SlicingCriterion(9, "y")
+
+
+def test_bench_fig14_simplified_slice(benchmark):
+    analysis = corpus_analysis("fig14a")
+    result = benchmark(structured_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations[
+        "structured"
+    ]
+
+
+def test_bench_fig14_conservative_slice(benchmark):
+    analysis = corpus_analysis("fig14a")
+    result = benchmark(conservative_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations[
+        "conservative"
+    ]
+
+
+def test_bench_fig14_difference_is_the_two_breaks(benchmark):
+    analysis = corpus_analysis("fig14a")
+
+    def both():
+        return (
+            structured_slice(analysis, CRITERION),
+            conservative_slice(analysis, CRITERION),
+        )
+
+    simplified, conservative = benchmark(both)
+    assert set(conservative.statement_nodes()) - set(
+        simplified.statement_nodes()
+    ) == {5, 7}
+
+
+def test_bench_fig14_extractions(benchmark):
+    analysis = corpus_analysis("fig14a")
+    simplified = structured_slice(analysis, CRITERION)
+    text = benchmark(extract_source, simplified)
+    assert "case 3:" not in text  # the arm disappears entirely

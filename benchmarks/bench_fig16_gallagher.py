@@ -1,0 +1,46 @@
+"""Experiment F16 — Figure 16: Gallagher's rule drops the goto on line 4
+(no statement of block L6 is in the slice) and produces the incorrect
+Fig. 16-b; the paper's algorithm produces Fig. 16-c."""
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.interp.oracle import TrajectoryMismatch, check_slice_correctness
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.gallagher import gallagher_slice
+
+from benchmarks.conftest import corpus_analysis
+
+ENTRY = PAPER_PROGRAMS["fig16a"]
+CRITERION = SlicingCriterion(10, "y")
+
+
+def test_bench_fig16_gallagher_slice(benchmark):
+    analysis = corpus_analysis("fig16a")
+    result = benchmark(gallagher_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations[
+        "gallagher"
+    ]
+    assert 4 not in result.nodes  # the unsound omission
+
+
+def test_bench_fig16_agrawal_slice(benchmark):
+    analysis = corpus_analysis("fig16a")
+    result = benchmark(agrawal_slice, analysis, CRITERION)
+    assert frozenset(result.statement_nodes()) == ENTRY.expectations["agrawal"]
+    assert result.label_map == {"L6": 10}
+
+
+def test_bench_fig16_oracle_distinguishes_them(benchmark):
+    analysis = corpus_analysis("fig16a")
+
+    def check():
+        correct = agrawal_slice(analysis, CRITERION)
+        wrong = gallagher_slice(analysis, CRITERION)
+        check_slice_correctness(correct, ENTRY.input_sets)
+        try:
+            check_slice_correctness(wrong, ENTRY.input_sets)
+        except TrajectoryMismatch:
+            return True
+        return False
+
+    assert benchmark(check)

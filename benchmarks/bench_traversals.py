@@ -1,0 +1,50 @@
+"""Experiment F7 — the Fig. 7 algorithm itself: distribution of
+productive traversal counts.
+
+§3 predicts: a single traversal suffices unless the program contains a
+(postdominates, lexically-succeeds) jump pair, and "multiple traversals
+are [not] always required whenever a program contains such pairs"
+(footnote 4).  The bench measures the distribution over random goto
+programs and asserts the implications that do hold:
+
+* no conflicting jump pair ⇒ exactly ≤ 1 productive traversal;
+* every observed count is small (the fixed point converges fast).
+"""
+
+import random
+
+from repro.analysis.lexical import jump_conflicting_pairs
+from repro.gen.generator import random_criterion
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+
+from benchmarks.conftest import sized_programs
+
+BATCH = [
+    analyze_program(program)
+    for _, program in sized_programs("unstructured", [30] * 12, seed=414)
+]
+
+
+def test_bench_traversal_distribution(benchmark):
+    def sweep():
+        histogram = {}
+        for index, analysis in enumerate(BATCH):
+            line, var = random_criterion(
+                random.Random(index), analysis.program
+            )
+            result = agrawal_slice(analysis, SlicingCriterion(line, var))
+            histogram[result.traversals] = (
+                histogram.get(result.traversals, 0) + 1
+            )
+            pairs = jump_conflicting_pairs(
+                analysis.cfg, analysis.pdt, analysis.lst
+            )
+            if not pairs:
+                assert result.traversals <= 1
+        return histogram
+
+    histogram = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert sum(histogram.values()) == len(BATCH)
+    assert max(histogram) <= 4  # fast convergence in practice

@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark asserts the paper-expected artefact besides timing it,
+so ``pytest benchmarks/ --benchmark-only`` is simultaneously a
+reproduction run: a wrong slice fails the bench.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.gen.generator import (
+    GeneratorConfig,
+    generate_structured,
+    generate_unstructured,
+    realize,
+)
+from repro.pdg.builder import ProgramAnalysis, analyze_program
+
+_CACHE = {}
+
+
+def corpus_analysis(name: str) -> ProgramAnalysis:
+    if name not in _CACHE:
+        _CACHE[name] = analyze_program(PAPER_PROGRAMS[name].source)
+    return _CACHE[name]
+
+
+def sized_programs(kind: str, sizes, seed: int = 2024):
+    """Deterministic programs of increasing size for scaling benches."""
+    out = []
+    for size in sizes:
+        rng = random.Random(seed + size)
+        if kind == "unstructured":
+            config = GeneratorConfig(flat_length=size, num_vars=6)
+            program = realize(generate_unstructured(rng, config))
+        else:
+            config = GeneratorConfig(
+                max_depth=4, max_stmts=max(3, size // 24), num_vars=6
+            )
+            program = realize(generate_structured(rng, config))
+        out.append((size, program))
+    return out
+
+
+@pytest.fixture(scope="session")
+def fig_analyses():
+    return {name: corpus_analysis(name) for name in PAPER_PROGRAMS}

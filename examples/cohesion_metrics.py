@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Slice-based cohesion metrics — the paper's "software metrics"
+application (§1; references [21], [23]).
+
+Ott & Thuss: a module is cohesive when the slices of its outputs share
+most of their statements.  Two programs below compute the same outputs;
+the first interleaves one computation, the second staples two unrelated
+ones together — and the metrics see it.  The punchline is the paper's:
+on jump-ridden code the metrics are only meaningful if the slicer
+handles the jumps (compare the `agrawal` and `conventional` rows).
+
+Run:  python examples/cohesion_metrics.py
+"""
+
+from repro import analyze_program, slice_based_metrics
+
+COHESIVE = """\
+sum = 0;
+count = 0;
+while (!eof()) {
+read(x);
+sum = sum + x;
+count = count + 1;
+}
+write(sum);
+write(count);
+"""
+
+GRAB_BAG = """\
+read(n);
+squares = n * n;
+read(m);
+cubes = m * m * m;
+write(squares);
+write(cubes);
+"""
+
+WITH_JUMPS = """\
+sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L13;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L13;
+L12: sum = sum + f3(x);
+L13: goto L3;
+L14: write(sum);
+write(positives);
+"""
+
+
+def report(title, source, algorithms=("agrawal",)):
+    print(f"=== {title} ===")
+    analysis = analyze_program(source)
+    for algorithm in algorithms:
+        metrics = slice_based_metrics(analysis, algorithm=algorithm)
+        print(f"[{algorithm}]")
+        print(metrics.describe())
+    print()
+
+
+def main() -> None:
+    report("a cohesive accumulator (sum + count share the loop)", COHESIVE)
+    report("a grab-bag (two unrelated computations)", GRAB_BAG)
+    report(
+        "the paper's goto program — metrics with vs without jump handling",
+        WITH_JUMPS,
+        algorithms=("agrawal", "conventional"),
+    )
+    print(
+        "Note the last pair: the conventional slicer drops the gotos, so\n"
+        "its slices (and therefore coverage/overlap) are deflated — slice-\n"
+        "based metrics inherit the correctness of the underlying slicer,\n"
+        "which is exactly why the paper's algorithms matter downstream."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Beyond the paper: forward slices, chops, and dynamic slices.
+
+Three of the applications the paper's §1 lists — maintenance,
+parallelization, debugging — want more than backward static slices:
+
+* *impact analysis* ("what breaks if I edit this?") is a **forward
+  slice**;
+* *how does this input reach that output?* is a **chop** (forward ∩
+  backward);
+* *what went wrong in THIS run?* is a **dynamic slice** — typically far
+  smaller than the static slice, because only the dependences actually
+  exercised count (Agrawal's companion work, the paper's reference [1]).
+
+Run:  python examples/impact_and_dynamic.py
+"""
+
+from repro import (
+    SlicingCriterion,
+    agrawal_slice,
+    analyze_program,
+    chop,
+    dynamic_slice,
+    forward_slice,
+)
+
+PROGRAM = """\
+sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L13;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L13;
+L12: sum = sum + f3(x);
+L13: goto L3;
+L14: write(sum);
+write(positives);
+"""
+
+
+def show(title, nodes):
+    print(f"{title:<46} {sorted(nodes)}")
+
+
+def main() -> None:
+    analysis = analyze_program(PROGRAM)
+    print("program: the paper's Fig. 3-a (goto version)\n")
+
+    # Impact analysis: editing read(x) on line 4 affects nearly
+    # everything; editing the write on 14 affects nothing else.
+    show(
+        "forward slice from <x, 4> (edit read(x)):",
+        forward_slice(analysis, SlicingCriterion(4, "x")).statement_nodes(),
+    )
+    show(
+        "forward slice from <sum, 14> (edit write):",
+        forward_slice(analysis, SlicingCriterion(14, "sum")).statement_nodes(),
+    )
+
+    # The chop: how does x read on line 4 reach positives on line 15?
+    show(
+        "chop <x,4> -> <positives,15>:",
+        chop(
+            analysis,
+            SlicingCriterion(4, "x"),
+            SlicingCriterion(15, "positives"),
+        ).statement_nodes(),
+    )
+
+    # Static vs dynamic, same criterion, three different runs.
+    criterion = SlicingCriterion(15, "positives")
+    static = agrawal_slice(analysis, criterion)
+    show("STATIC slice <positives,15> (Fig. 3-c):", static.statement_nodes())
+    for inputs in ([], [-1, -2], [3, -1, 4]):
+        dynamic = dynamic_slice(analysis, criterion, inputs=inputs)
+        show(
+            f"dynamic slice, run on {inputs!r}:",
+            dynamic.statement_nodes(),
+        )
+    print(
+        "\nThe empty run's dynamic slice is just the initialisation and\n"
+        "the loop guard — none of the loop body ever mattered.  Dynamic\n"
+        "slices are always subsets of the static slice (property-tested\n"
+        "in tests/property/test_extensions.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

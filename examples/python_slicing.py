@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Slicing real Python with the paper's structured-jump algorithms.
+
+Python has no goto, but ``break``/``continue``/``return`` are exactly
+the structured jumps of the paper's §4 — so the Fig. 12 algorithm (and
+the conservative Fig. 13) apply directly.  The front end translates a
+Python subset via the stdlib ``ast`` module, slices, and reports the
+result as annotated Python source lines.
+
+Run:  python examples/python_slicing.py
+"""
+
+from repro.pyfront import slice_python
+
+PYTHON_PROGRAM = """\
+total = 0
+count = 0
+errors = 0
+while not eof():
+    x = read()
+    if x < -100:
+        errors += 1
+        continue
+    if x <= 0:
+        total += f1(x)
+        continue
+    count += 1
+    if x % 2 == 0:
+        total += f2(x)
+        continue
+    total += f3(x)
+print(total)
+print(count)
+print(errors)
+"""
+
+
+def main() -> None:
+    print("=== Python program ===")
+    print(PYTHON_PROGRAM)
+
+    for line, var in [(18, "count"), (17, "total"), (19, "errors")]:
+        for algorithm in ("structured", "conservative"):
+            report = slice_python(
+                PYTHON_PROGRAM, line=line, var=var, algorithm=algorithm
+            )
+            print(
+                f"=== slice w.r.t. <{var}, line {line}> "
+                f"({algorithm}, paper Fig. "
+                f"{'12' if algorithm == 'structured' else '13'}) ==="
+            )
+            print(report.annotated)
+            print(f"slice lines: {report.lines}\n")
+
+    # The headline observation, on Python instead of C: the `continue`
+    # on line 11 IS in the count-slice (it guards the increment), while
+    # the one on line 8 is too (errors path also skips count), but the
+    # continue on line 15 is NOT (after the increment, it only affects
+    # `total`).
+    report = slice_python(PYTHON_PROGRAM, line=18, var="count")
+    assert 11 in report.lines and 8 in report.lines
+    assert 15 not in report.lines
+    print("count-slice keeps the guarding continues (8, 11), drops 15 — QED.")
+
+
+if __name__ == "__main__":
+    main()

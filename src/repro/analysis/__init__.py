@@ -1,0 +1,80 @@
+"""Graph and dataflow analyses over SL control-flow graphs.
+
+Everything the slicing algorithms need:
+
+* :mod:`repro.analysis.tree` — rooted-tree utilities shared by the
+  dominator, postdominator, and lexical successor trees.
+* :mod:`repro.analysis.dominance` — iterative (Cooper–Harvey–Kennedy)
+  immediate dominators.
+* :mod:`repro.analysis.lengauer_tarjan` — the Lengauer–Tarjan algorithm,
+  cross-checked against the iterative one.
+* :mod:`repro.analysis.postdominance` — postdominator trees (paper §3).
+* :mod:`repro.analysis.control_dependence` — Ferrante–Ottenstein–Warren
+  control dependence.
+* :mod:`repro.analysis.dataflow` — a generic worklist framework.
+* :mod:`repro.analysis.reaching_defs`, :mod:`repro.analysis.liveness` —
+  instances of the framework.
+* :mod:`repro.analysis.defuse` — def-use chains / data dependence.
+* :mod:`repro.analysis.lexical` — the lexical successor tree (paper §3)
+  and structured-jump classification (paper §4).
+"""
+
+from repro.analysis.control_dependence import (
+    ControlDependenceGraph,
+    compute_control_dependence,
+)
+from repro.analysis.dataflow import (
+    BACKWARD,
+    FORWARD,
+    DataflowResult,
+    GenKillProblem,
+    solve_dataflow,
+)
+from repro.analysis.defuse import DataDependenceGraph, compute_data_dependence
+from repro.analysis.dominance import immediate_dominators
+from repro.analysis.lengauer_tarjan import lengauer_tarjan
+from repro.analysis.lexical import (
+    LexicalSuccessorTree,
+    build_lst,
+    build_lst_syntactic,
+    conflicting_pairs,
+    is_structured_jump,
+    is_structured_program,
+    jump_conflicting_pairs,
+    jump_target,
+)
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.postdominance import (
+    build_dominator_tree,
+    build_postdominator_tree,
+)
+from repro.analysis.reaching_defs import Definition, compute_reaching_definitions
+from repro.analysis.tree import Tree
+
+__all__ = [
+    "BACKWARD",
+    "ControlDependenceGraph",
+    "DataDependenceGraph",
+    "DataflowResult",
+    "Definition",
+    "FORWARD",
+    "GenKillProblem",
+    "LexicalSuccessorTree",
+    "Tree",
+    "build_dominator_tree",
+    "build_lst",
+    "build_lst_syntactic",
+    "build_postdominator_tree",
+    "compute_control_dependence",
+    "compute_data_dependence",
+    "compute_liveness",
+    "compute_reaching_definitions",
+    "conflicting_pairs",
+    "immediate_dominators",
+    "is_structured_jump",
+    "is_structured_program",
+    "jump_conflicting_pairs",
+    "jump_target",
+    "lengauer_tarjan",
+    "solve_dataflow",
+]

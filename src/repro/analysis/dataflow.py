@@ -1,0 +1,105 @@
+"""A generic worklist dataflow framework over CFGs.
+
+Monotone set-based problems (union meet) are all the reproduction needs:
+reaching definitions (forward) feed data dependence; live variables
+(backward) support the dead-code example.  Problems are expressed either
+as gen/kill pairs (:class:`GenKillProblem`) or an arbitrary monotone
+transfer function.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Generic, Hashable, TypeVar
+
+from repro.cfg.graph import ControlFlowGraph
+
+T = TypeVar("T", bound=Hashable)
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+@dataclass
+class DataflowResult(Generic[T]):
+    """Fixed-point values at each node boundary.
+
+    For a forward problem ``in_`` is the value at node entry and ``out``
+    at node exit; for a backward problem the names keep their meaning
+    (``in_`` still precedes the node in execution order).
+    """
+
+    in_: Dict[int, FrozenSet[T]]
+    out: Dict[int, FrozenSet[T]]
+
+
+class GenKillProblem(Generic[T]):
+    """A classic gen/kill bit-vector problem with union meet.
+
+    Subclasses (or direct instances) provide ``gen(node_id)`` and
+    ``kill(node_id)``; the transfer function is
+    ``out = gen ∪ (in − kill)`` (forward) or the mirror image (backward).
+    """
+
+    direction: str = FORWARD
+
+    def __init__(
+        self,
+        gen: Callable[[int], FrozenSet[T]],
+        kill: Callable[[int], FrozenSet[T]],
+        direction: str = FORWARD,
+    ) -> None:
+        self._gen = gen
+        self._kill = kill
+        self.direction = direction
+
+    def gen(self, node_id: int) -> FrozenSet[T]:
+        return self._gen(node_id)
+
+    def kill(self, node_id: int) -> FrozenSet[T]:
+        return self._kill(node_id)
+
+    def transfer(self, node_id: int, value: FrozenSet[T]) -> FrozenSet[T]:
+        return self.gen(node_id) | (value - self.kill(node_id))
+
+
+def solve_dataflow(
+    cfg: ControlFlowGraph, problem: GenKillProblem[T]
+) -> DataflowResult[T]:
+    """Solve *problem* to its least fixed point with a FIFO worklist.
+
+    Every node (including ones unreachable from ENTRY — dead code still
+    has well-defined local dataflow) starts at the empty set.
+    """
+    forward = problem.direction == FORWARD
+    if forward:
+        inputs_of = cfg.pred_ids
+        outputs_of = cfg.succ_ids
+    else:
+        inputs_of = cfg.succ_ids
+        outputs_of = cfg.pred_ids
+
+    before: Dict[int, FrozenSet[T]] = {n: frozenset() for n in cfg.nodes}
+    after: Dict[int, FrozenSet[T]] = {n: frozenset() for n in cfg.nodes}
+
+    worklist = deque(sorted(cfg.nodes))
+    queued = set(worklist)
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        merged: FrozenSet[T] = frozenset()
+        for source in inputs_of(node):
+            merged |= after[source]
+        before[node] = merged
+        new_after = problem.transfer(node, merged)
+        if new_after != after[node]:
+            after[node] = new_after
+            for target in outputs_of(node):
+                if target not in queued:
+                    queued.add(target)
+                    worklist.append(target)
+
+    if forward:
+        return DataflowResult(in_=before, out=after)
+    return DataflowResult(in_=after, out=before)

@@ -1,0 +1,205 @@
+"""The lexical successor tree (paper §3) and structured-jump tests
+(paper §4).
+
+A statement S' is the *immediate lexical successor* of S when deleting S
+(together with its body, for compound statements) sends control to S'.
+The relationship forms a tree rooted at EXIT; "S' is a lexical successor
+of S" means S' is an ancestor of S in that tree.  The same notion appears
+as the "continuation statement" in Ball–Horwitz and the "fall-through
+statement" in Choi–Ferrante.
+
+Two constructions are provided:
+
+* :func:`build_lst` wraps the map the CFG builder records while wiring —
+  the wiring-time *next* continuation of a statement is, by definition,
+  where control goes if the statement is deleted.
+* :func:`build_lst_syntactic` rebuilds the tree directly from the AST
+  ("in a purely syntax directed manner", §3) without looking at CFG
+  edges.  The test suite checks the two agree on every program.
+
+A jump is *structured* when its target — its unique CFG successor — is
+one of its lexical successors (§4): ``break``, ``continue`` and
+``return`` always are; a ``goto`` is iff it jumps forward along its own
+successor chain.  §4's Property 1 (a structured program has no pair
+(Ni, Nj) with Ni postdominating Nj and Nj lexically succeeding Ni) is
+checked by :func:`conflicting_pairs`, which also predicts when a single
+Fig. 7 traversal suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.tree import Tree
+from repro.cfg.graph import ControlFlowGraph, NodeKind
+from repro.lang.ast_nodes import (
+    Block,
+    DoWhile,
+    For,
+    If,
+    Program,
+    Stmt,
+    Switch,
+    While,
+)
+
+
+class LexicalSuccessorTree(Tree):
+    """A :class:`Tree` rooted at EXIT whose parent relation is
+    "immediate lexical successor"."""
+
+
+def build_lst(cfg: ControlFlowGraph) -> LexicalSuccessorTree:
+    """The lexical successor tree recorded during CFG construction."""
+    return LexicalSuccessorTree(dict(cfg.lexical_parent), root=cfg.exit_id)
+
+
+def build_lst_syntactic(
+    program: Program, cfg: ControlFlowGraph
+) -> LexicalSuccessorTree:
+    """Rebuild the LST from the AST alone (cross-check for
+    :func:`build_lst`).
+
+    The recursion mirrors the paper's definition: within a sequence each
+    statement's successor is the next statement's entry; the last
+    statement of an if branch falls to whatever follows the if; the last
+    statement of a loop body falls back to the loop's test; switch arms
+    fall through into the following arm.
+    """
+    parents: Dict[int, int] = {}
+
+    def sequence(stmts: List[Stmt], follow: int) -> int:
+        current = follow
+        for stmt in reversed(stmts):
+            current = one(stmt, current)
+        return current
+
+    def one(stmt: Stmt, follow: int) -> int:
+        """Record parents inside *stmt*; return its entry node."""
+        if isinstance(stmt, Block):
+            return sequence(stmt.stmts, follow)
+        node_id = cfg.node_of(stmt)
+        node = cfg.nodes[node_id]
+        parents[node_id] = follow
+        if node.kind is NodeKind.CONDGOTO:
+            return node_id
+        if isinstance(stmt, If):
+            if stmt.then_branch is not None:
+                one(stmt.then_branch, follow)
+            if stmt.else_branch is not None:
+                one(stmt.else_branch, follow)
+            return node_id
+        if isinstance(stmt, While):
+            if stmt.body is not None:
+                one(stmt.body, node_id)
+            return node_id
+        if isinstance(stmt, DoWhile):
+            entry = node_id
+            if stmt.body is not None:
+                entry = one(stmt.body, node_id)
+            return entry
+        if isinstance(stmt, For):
+            loop_back = node_id
+            if stmt.step is not None:
+                step_id = cfg.node_of(stmt.step)
+                parents[step_id] = node_id
+                loop_back = step_id
+            if stmt.body is not None:
+                one(stmt.body, loop_back)
+            if stmt.init is not None:
+                init_id = cfg.node_of(stmt.init)
+                parents[init_id] = node_id
+                return init_id
+            return node_id
+        if isinstance(stmt, Switch):
+            following = follow
+            for case in reversed(stmt.cases):
+                following = sequence(case.stmts, following)
+            return node_id
+        # Simple statements and jumps: nothing nested.
+        return node_id
+
+    sequence(program.body, cfg.exit_id)
+    return LexicalSuccessorTree(parents, root=cfg.exit_id)
+
+
+def jump_target(cfg: ControlFlowGraph, jump_id: int) -> int:
+    """The node an unconditional jump transfers control to — its unique
+    CFG successor."""
+    node = cfg.nodes[jump_id]
+    if not node.is_jump:
+        raise ValueError(f"node {jump_id} is not an unconditional jump")
+    succs = cfg.succ_ids(jump_id)
+    if len(succs) != 1:
+        raise ValueError(
+            f"jump node {jump_id} has {len(succs)} successors; "
+            "did you pass an augmented CFG?"
+        )
+    return succs[0]
+
+
+def is_structured_jump(
+    cfg: ControlFlowGraph, lst: LexicalSuccessorTree, jump_id: int
+) -> bool:
+    """True when the jump's target is also one of its lexical successors
+    (paper §4's definition of a structured jump)."""
+    return lst.is_ancestor(jump_target(cfg, jump_id), jump_id, strict=True)
+
+
+def is_structured_program(
+    cfg: ControlFlowGraph, lst: Optional[LexicalSuccessorTree] = None
+) -> bool:
+    """True when every unconditional jump in *cfg* is structured."""
+    if lst is None:
+        lst = build_lst(cfg)
+    return all(
+        is_structured_jump(cfg, lst, node.id) for node in cfg.jump_nodes()
+    )
+
+
+def conflicting_pairs(
+    pdt: Tree,
+    lst: LexicalSuccessorTree,
+    candidates: Optional[List[int]] = None,
+) -> Iterator[Tuple[int, int]]:
+    """Yield pairs (Ni, Nj) with Ni a proper postdominator of Nj and Nj a
+    proper lexical successor of Ni, both drawn from *candidates*.
+
+    §3: "Multiple traversals are required, in general, when a program
+    contains [such] a pair"; §4 Property 1: structured programs contain
+    none.  The absence of conflicting pairs certifies that a single
+    Fig. 7 traversal suffices.
+
+    The paper's quantification is implicitly over the nodes the
+    traversal examines — the **unconditional jump statements** (its
+    example pair, nodes 4 and 7 of Fig. 10, are both gotos, and it
+    declares Figs. 3 and 8 pair-free even though ordinary statements
+    there do postdominate lexical predecessors).  Callers should
+    therefore pass the jump nodes as *candidates*;
+    :func:`jump_conflicting_pairs` does exactly that.  With
+    ``candidates=None`` every node common to both trees is considered —
+    the literal reading, kept for completeness.
+    """
+    if candidates is None:
+        nodes = sorted(pdt.nodes & lst.nodes)
+    else:
+        nodes = sorted(set(candidates) & pdt.nodes & lst.nodes)
+    node_set = set(nodes)
+    for nj in nodes:
+        # Ancestors of nj in the postdominator tree are its proper
+        # postdominators (candidate Ni); check the lexical condition.
+        for ni in pdt.ancestors(nj):
+            if ni == pdt.root or ni not in lst or ni not in node_set:
+                continue
+            if lst.is_ancestor(nj, ni, strict=True):
+                yield (ni, nj)
+
+
+def jump_conflicting_pairs(
+    cfg: ControlFlowGraph, pdt: Tree, lst: LexicalSuccessorTree
+) -> List[Tuple[int, int]]:
+    """Conflicting pairs among the program's unconditional jumps — the
+    condition under which the Fig. 7 algorithm may need more than one
+    postdominator-tree traversal."""
+    jumps = [node.id for node in cfg.jump_nodes()]
+    return list(conflicting_pairs(pdt, lst, candidates=jumps))

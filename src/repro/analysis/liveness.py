@@ -1,0 +1,38 @@
+"""Live-variable analysis (backward gen/kill).
+
+Not required by the slicers themselves, but part of the dataflow substrate
+(the dead-code example application uses it, and it doubles as a second
+instance exercising the generic framework from the other direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.analysis.dataflow import (
+    BACKWARD,
+    DataflowResult,
+    GenKillProblem,
+    solve_dataflow,
+)
+from repro.cfg.graph import ControlFlowGraph
+
+
+def compute_liveness(cfg: ControlFlowGraph) -> DataflowResult[str]:
+    """Solve live variables for *cfg*.
+
+    ``result.in_[n]`` is the set of variables live on entry to node ``n``
+    (``use(n) ∪ (live-out(n) − def(n))``).
+    """
+    gen_cache: Dict[int, FrozenSet[str]] = {}
+    kill_cache: Dict[int, FrozenSet[str]] = {}
+    for node in cfg.sorted_nodes():
+        gen_cache[node.id] = frozenset(node.uses)
+        kill_cache[node.id] = frozenset(node.defs)
+
+    problem = GenKillProblem(
+        gen=gen_cache.__getitem__,
+        kill=kill_cache.__getitem__,
+        direction=BACKWARD,
+    )
+    return solve_dataflow(cfg, problem)

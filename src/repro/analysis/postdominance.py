@@ -1,0 +1,115 @@
+"""Dominator and postdominator trees over control-flow graphs.
+
+The postdominator tree is one of the two structures the paper's algorithm
+walks (the other is the lexical successor tree): "S' postdominates S iff
+S' is an ancestor of S in the postdominator tree" (§3).
+
+Postdominators are dominators of the reverse graph rooted at EXIT.  Two
+details:
+
+* A **virtual ENTRY→EXIT edge** is included by default.  It changes only
+  ENTRY's postdominators and is the standard Ferrante–Ottenstein–Warren
+  device that makes top-level statements control dependent on the dummy
+  entry predicate (the paper's "node 0", footnote 3).
+* A statement that cannot reach EXIT (for example the body of ``while
+  (1)`` with no break) has **no postdominator**; the paper's algorithms
+  are undefined there.  With ``strict=True`` (default) we raise
+  :class:`AnalysisError` naming the offending nodes instead of silently
+  producing a wrong slice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.dominance import immediate_dominators
+from repro.analysis.lengauer_tarjan import lengauer_tarjan
+from repro.analysis.tree import Tree
+from repro.cfg.graph import ControlFlowGraph
+from repro.lang.errors import AnalysisError
+
+_ALGORITHMS = {
+    "iterative": immediate_dominators,
+    "lengauer-tarjan": lengauer_tarjan,
+}
+
+
+def _adjacency(
+    cfg: ControlFlowGraph,
+    extra_edges: Tuple[Tuple[int, int], ...] = (),
+) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+    succ: Dict[int, List[int]] = {node_id: [] for node_id in cfg.nodes}
+    pred: Dict[int, List[int]] = {node_id: [] for node_id in cfg.nodes}
+    for src, dst, _ in cfg.edges():
+        succ[src].append(dst)
+        pred[dst].append(src)
+    for src, dst in extra_edges:
+        succ[src].append(dst)
+        pred[dst].append(src)
+    return succ, pred
+
+
+def build_dominator_tree(
+    cfg: ControlFlowGraph, algorithm: str = "iterative"
+) -> Tree:
+    """The dominator tree of *cfg*, rooted at ENTRY.
+
+    Only nodes reachable from ENTRY appear (unreachable code has no
+    dominator); callers needing every node should consult
+    ``cfg.reachable_from(cfg.entry_id)`` first.
+    """
+    compute = _algorithm(algorithm)
+    succ, pred = _adjacency(cfg)
+    idom = compute(succ, pred, cfg.entry_id)
+    parent = {n: d for n, d in idom.items() if n != cfg.entry_id}
+    return Tree(parent, root=cfg.entry_id)
+
+
+def build_postdominator_tree(
+    cfg: ControlFlowGraph,
+    algorithm: str = "iterative",
+    virtual_entry_exit_edge: bool = True,
+    strict: bool = True,
+) -> Tree:
+    """The postdominator tree of *cfg*, rooted at EXIT.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"iterative"`` (default) or ``"lengauer-tarjan"``.
+    virtual_entry_exit_edge:
+        Include the FOW dummy edge ENTRY→EXIT (see module docstring).
+    strict:
+        Raise :class:`AnalysisError` when some node cannot reach EXIT.
+        With ``strict=False`` such nodes are simply absent from the tree.
+    """
+    compute = _algorithm(algorithm)
+    extra = ((cfg.entry_id, cfg.exit_id),) if virtual_entry_exit_edge else ()
+    succ, pred = _adjacency(cfg, extra)
+    # Postdominance = dominance in the reverse graph rooted at EXIT.
+    ipdom = compute(pred, succ, cfg.exit_id)
+    if strict:
+        missing = sorted(set(cfg.nodes) - set(ipdom))
+        if missing:
+            described = ", ".join(
+                f"{node_id} ({cfg.nodes[node_id].text!r} line "
+                f"{cfg.nodes[node_id].line})"
+                for node_id in missing[:5]
+            )
+            raise AnalysisError(
+                "postdominators are undefined for nodes that cannot reach "
+                f"EXIT: {described}"
+                + (" ..." if len(missing) > 5 else "")
+            )
+    parent = {n: d for n, d in ipdom.items() if n != cfg.exit_id}
+    return Tree(parent, root=cfg.exit_id)
+
+
+def _algorithm(name: str):
+    try:
+        return _ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dominator algorithm {name!r}; "
+            f"expected one of {sorted(_ALGORITHMS)}"
+        ) from None

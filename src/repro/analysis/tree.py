@@ -1,0 +1,143 @@
+"""A rooted tree over integer node ids.
+
+Shared by three structures central to the paper: the dominator tree, the
+postdominator tree, and the lexical successor tree.  The two queries the
+slicing algorithms live on are:
+
+* :meth:`Tree.is_ancestor` — "S' postdominates S iff S' is an ancestor of
+  S in the postdominator tree" (paper §3), and likewise for lexical
+  succession;
+* :meth:`Tree.nearest_ancestor_in` — the *nearest postdominator in the
+  slice* / *nearest lexical successor in the slice* tests of the Fig. 7
+  and Fig. 12 algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+
+class Tree:
+    """An immutable rooted tree given as a child → parent map.
+
+    The root has no entry in ``parent``.  Every other node must reach the
+    root through the parent chain; a cycle raises ``ValueError`` at
+    construction time.
+    """
+
+    def __init__(self, parent: Dict[int, int], root: int) -> None:
+        if root in parent:
+            raise ValueError(f"root {root} must not have a parent")
+        self.root = root
+        self._parent = dict(parent)
+        self._children: Dict[int, List[int]] = {root: []}
+        for child in parent:
+            self._children.setdefault(child, [])
+        for child, par in parent.items():
+            if par not in self._children:
+                raise ValueError(
+                    f"parent {par} of {child} is not a tree node"
+                )
+            self._children[par].append(child)
+        for kids in self._children.values():
+            kids.sort()
+        self._depth = self._compute_depths()
+
+    def _compute_depths(self) -> Dict[int, int]:
+        depth: Dict[int, int] = {self.root: 0}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in self._children[node]:
+                depth[child] = depth[node] + 1
+                stack.append(child)
+        if len(depth) != len(self._children):
+            orphans = sorted(set(self._children) - set(depth))
+            raise ValueError(
+                f"parent map contains a cycle or orphan nodes: {orphans[:5]}"
+            )
+        return depth
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Set[int]:
+        return set(self._children)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def parent_of(self, node: int) -> Optional[int]:
+        """The parent of *node*; None for the root."""
+        return self._parent.get(node)
+
+    def children_of(self, node: int) -> List[int]:
+        """Children of *node*, sorted by id (deterministic traversals)."""
+        return list(self._children[node])
+
+    def depth_of(self, node: int) -> int:
+        return self._depth[node]
+
+    def ancestors(self, node: int) -> Iterator[int]:
+        """Proper ancestors of *node*, nearest first, ending at the root."""
+        current = self._parent.get(node)
+        while current is not None:
+            yield current
+            current = self._parent.get(current)
+
+    def is_ancestor(self, ancestor: int, node: int, strict: bool = False) -> bool:
+        """True when *ancestor* is an ancestor of *node*.
+
+        With ``strict=False`` (the default) a node counts as its own
+        ancestor, matching "S' postdominates S" with reflexivity the way
+        the paper's nearest-in-slice queries need it.
+        """
+        if ancestor not in self._children or node not in self._children:
+            return False
+        if ancestor == node:
+            return not strict
+        if self._depth[ancestor] >= self._depth[node]:
+            return False
+        current: Optional[int] = node
+        while current is not None and self._depth[current] > self._depth[ancestor]:
+            current = self._parent.get(current)
+        return current == ancestor
+
+    def nearest_ancestor_in(
+        self, node: int, members: Iterable[int]
+    ) -> Optional[int]:
+        """The nearest *proper* ancestor of *node* contained in *members*.
+
+        This is the paper's "nearest postdominator in Slice" / "nearest
+        lexical successor in Slice" primitive.  Returns None when no
+        ancestor qualifies (never happens when the root — EXIT — is a
+        member, which is how the slicers call it).
+        """
+        member_set = members if isinstance(members, (set, frozenset)) else set(members)
+        for ancestor in self.ancestors(node):
+            if ancestor in member_set:
+                return ancestor
+        return None
+
+    def preorder(self) -> Iterator[int]:
+        """Pre-order traversal: every node before any of its children,
+        children visited in ascending id order (deterministic, matching
+        the paper's Fig. 7 requirement that a node is visited before its
+        children)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            # Reverse so the smallest-id child pops first.
+            stack.extend(reversed(self._children[node]))
+
+    def edges(self) -> Iterator[tuple]:
+        """(parent, child) pairs."""
+        for child, parent in self._parent.items():
+            yield parent, child
+
+    def as_parent_map(self) -> Dict[int, int]:
+        return dict(self._parent)

@@ -1,0 +1,9 @@
+"""Application layer: analyses built on the slicing substrate.
+
+* :mod:`repro.apps.deadcode` — dead-code elimination via liveness and
+  reachability (the "optimization" application of the paper's §1 list).
+"""
+
+from repro.apps.deadcode import DeadCodeReport, eliminate_dead_code
+
+__all__ = ["DeadCodeReport", "eliminate_dead_code"]

@@ -1,0 +1,104 @@
+"""Dead-code elimination over SL programs.
+
+One of the paper's §1 motivating applications ("optimization") built on
+the same substrate as the slicers:
+
+* **dead assignments** — an ``x = e`` whose target is not live-out at
+  its node can go (the expression is pure in SL; ``read`` is *never*
+  removed this way since it also defines the ``$in`` cursor, which stays
+  live as long as any later read/eof depends on the stream position);
+* **unreachable statements** — anything ENTRY cannot reach.
+
+Removal is iterated to a fixed point (removing one dead assignment can
+kill the liveness of another) and materialised through the slice
+extractor, so labels are re-associated exactly as for slices.  The
+transformation preserves the program's *observable* behaviour — output
+stream and return value — which the test suite checks with the
+interpreter on random programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.analysis.liveness import compute_liveness
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+from repro.slicing.extract import extract_nodes
+
+#: Safety bound; each iteration removes at least one node.
+MAX_ITERATIONS = 1000
+
+
+@dataclass
+class DeadCodeReport:
+    """The result of dead-code elimination."""
+
+    program: Program
+    #: (line, text) of removed dead assignments, in removal order.
+    removed_assignments: List[Tuple[int, str]] = field(default_factory=list)
+    #: (line, text) of removed unreachable statements.
+    removed_unreachable: List[Tuple[int, str]] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.removed_assignments) + len(self.removed_unreachable)
+
+
+def _dead_nodes(cfg, remove_unreachable: bool):
+    """Node ids to drop in one pass (dead assigns + unreachable)."""
+    liveness = compute_liveness(cfg)
+    live_from_entry = cfg.reachable_from(cfg.entry_id)
+    dead_assigns = []
+    unreachable = []
+    for node in cfg.statement_nodes():
+        if remove_unreachable and node.id not in live_from_entry:
+            unreachable.append(node)
+            continue
+        if node.kind is not NodeKind.ASSIGN:
+            continue
+        if not (node.defs & liveness.out[node.id]):
+            dead_assigns.append(node)
+    return dead_assigns, unreachable
+
+
+def eliminate_dead_code(
+    program_or_source: Union[str, Program],
+    remove_unreachable: bool = True,
+) -> DeadCodeReport:
+    """Iteratively remove dead assignments (and unreachable code) from a
+    program; returns the cleaned program plus a removal report."""
+    if isinstance(program_or_source, str):
+        program = parse_program(program_or_source)
+    else:
+        program = program_or_source
+
+    report = DeadCodeReport(program=program)
+    for _ in range(MAX_ITERATIONS):
+        cfg = build_cfg(program)
+        dead_assigns, unreachable = _dead_nodes(cfg, remove_unreachable)
+        if not dead_assigns and not unreachable:
+            break
+        report.iterations += 1
+        report.removed_assignments.extend(
+            (node.line, node.text) for node in dead_assigns
+        )
+        report.removed_unreachable.extend(
+            (node.line, node.text) for node in unreachable
+        )
+        drop = {node.id for node in dead_assigns} | {
+            node.id for node in unreachable
+        }
+        keep = {node.id for node in cfg.sorted_nodes()} - drop
+
+        # Extraction needs the analysis bundle for label re-association.
+        from repro.pdg.builder import analyze_program
+
+        analysis = analyze_program(program)
+        program = extract_nodes(analysis, keep).program
+    report.program = program
+    return report

@@ -1,0 +1,34 @@
+"""Control-flow graphs for SL programs.
+
+* :mod:`repro.cfg.graph` — the :class:`ControlFlowGraph` structure.
+* :mod:`repro.cfg.builder` — AST to CFG construction, including the
+  fusion of ``if (e) goto L;`` into a single CONDGOTO node so node
+  numbering matches the paper's.
+* :mod:`repro.cfg.augmented` — the Ball–Horwitz / Choi–Ferrante
+  *augmented* flowgraph (extra edge from each unconditional jump to its
+  immediate lexical successor).
+* :mod:`repro.cfg.basic_blocks` — basic-block partition (used by the
+  Gallagher baseline).
+"""
+
+from repro.cfg.augmented import build_augmented_cfg
+from repro.cfg.basic_blocks import BasicBlock, compute_basic_blocks
+from repro.cfg.builder import CFGBuilder, build_cfg
+from repro.cfg.graph import (
+    CFGNode,
+    ControlFlowGraph,
+    EdgeLabel,
+    NodeKind,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CFGBuilder",
+    "CFGNode",
+    "ControlFlowGraph",
+    "EdgeLabel",
+    "NodeKind",
+    "build_augmented_cfg",
+    "build_cfg",
+    "compute_basic_blocks",
+]

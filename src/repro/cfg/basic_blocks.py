@@ -1,0 +1,65 @@
+"""Basic-block partition of a CFG.
+
+Used by the Gallagher baseline slicer, whose inclusion rule speaks of
+"a statement in the block labeled L": the basic block that starts at the
+label's entry node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cfg.graph import ControlFlowGraph, NodeKind
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of CFG nodes."""
+
+    index: int
+    node_ids: List[int] = field(default_factory=list)
+
+    @property
+    def leader(self) -> int:
+        return self.node_ids[0]
+
+
+def _is_leader(cfg: ControlFlowGraph, node_id: int) -> bool:
+    """A node leads a block when control can arrive from more than one
+    place, or from a branching / jumping predecessor."""
+    node = cfg.nodes[node_id]
+    if node.kind in (NodeKind.ENTRY, NodeKind.EXIT):
+        return True
+    preds = cfg.pred_ids(node_id)
+    if len(preds) != 1:
+        return True
+    pred = cfg.nodes[preds[0]]
+    return pred.is_branch or pred.is_jump or len(cfg.succ_ids(preds[0])) != 1
+
+
+def compute_basic_blocks(cfg: ControlFlowGraph) -> Dict[int, BasicBlock]:
+    """Partition all CFG nodes into basic blocks.
+
+    Returns a map from node id to the block containing it.  Blocks follow
+    node-id (program) order of their leaders.
+    """
+    leaders = [n.id for n in cfg.sorted_nodes() if _is_leader(cfg, n.id)]
+    blocks: Dict[int, BasicBlock] = {}
+    by_node: Dict[int, BasicBlock] = {}
+    for index, leader in enumerate(sorted(leaders)):
+        block = BasicBlock(index=index)
+        current = leader
+        while True:
+            block.node_ids.append(current)
+            by_node[current] = block
+            succs = cfg.succ_ids(current)
+            node = cfg.nodes[current]
+            if len(succs) != 1 or node.is_jump or node.is_branch:
+                break
+            nxt = succs[0]
+            if _is_leader(cfg, nxt):
+                break
+            current = nxt
+        blocks[leader] = block
+    return by_node

@@ -1,0 +1,15 @@
+"""The paper's example programs, transcribed as a test corpus."""
+
+from repro.corpus.programs import (
+    PAPER_PROGRAMS,
+    PaperProgram,
+    get_program,
+    program_names,
+)
+
+__all__ = [
+    "PAPER_PROGRAMS",
+    "PaperProgram",
+    "get_program",
+    "program_names",
+]

@@ -1,0 +1,112 @@
+"""Classic slicing-literature programs beyond the paper's own figures.
+
+* ``wordcount`` — Weiser's running example (his 1984 paper's `wc`-like
+  program): three outputs with famously different slices.
+* ``search`` — a linear search with a ``break``: the canonical case
+  where the jump is *semantically essential* for one criterion (the
+  first-match index) and conservatively included for another (the
+  monotone ``found`` flag).
+
+Formatted like the main corpus: source line N = statement N = CFG node
+N.  Expectations here were derived by hand from the def/use and control
+structure and locked in after oracle validation (they are regression
+anchors, not paper transcriptions).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.programs import PaperProgram
+
+WORDCOUNT = PaperProgram(
+    name="wordcount",
+    figure="Weiser 1984 (classic example)",
+    description=(
+        "The word-count program: chars/lines/words slices are almost "
+        "disjoint apart from the input loop."
+    ),
+    source="""\
+lines = 0;
+words = 0;
+chars = 0;
+inword = 0;
+while (!eof()) {
+read(c);
+chars = chars + 1;
+if (c == 10)
+lines = lines + 1;
+if (c == 32 || c == 10)
+inword = 0; else {
+if (inword == 0) {
+inword = 1;
+words = words + 1; } } }
+write(lines);
+write(words);
+write(chars);
+""",
+    criterion=(16, "words"),
+    expectations={
+        "agrawal": frozenset({2, 4, 5, 6, 10, 11, 12, 13, 14, 16}),
+        "structured": frozenset({2, 4, 5, 6, 10, 11, 12, 13, 14, 16}),
+        "conventional": frozenset({2, 4, 5, 6, 10, 11, 12, 13, 14, 16}),
+    },
+    expected_traversals=0,
+    structured=True,
+    input_sets=(
+        (72, 101, 108, 10, 32, 119, 10),
+        (10, 10),
+        (32,),
+        (),
+        (97, 32, 98, 32, 99),
+    ),
+)
+
+#: The chars and lines criteria for wordcount, with their slices.
+WORDCOUNT_CRITERIA = {
+    (15, "lines"): frozenset({1, 5, 6, 8, 9, 15}),
+    (16, "words"): frozenset({2, 4, 5, 6, 10, 11, 12, 13, 14, 16}),
+    (17, "chars"): frozenset({3, 5, 6, 7, 17}),
+}
+
+
+SEARCH = PaperProgram(
+    name="search",
+    figure="classic first-match search",
+    description=(
+        "Linear search with a break.  For the first-match index the "
+        "break is semantically essential: without it the slice reports "
+        "the LAST match.  The conventional slice drops it; every "
+        "jump-aware algorithm keeps it."
+    ),
+    source="""\
+read(n);
+found = 0;
+index = 0;
+i = 0;
+while (!eof()) {
+read(v);
+i = i + 1;
+if (v == n) {
+found = 1;
+index = i;
+break; } }
+write(found);
+write(index);
+""",
+    criterion=(13, "index"),
+    expectations={
+        "conventional": frozenset({1, 3, 4, 5, 6, 7, 8, 10, 13}),
+        "agrawal": frozenset({1, 3, 4, 5, 6, 7, 8, 10, 11, 13}),
+        "structured": frozenset({1, 3, 4, 5, 6, 7, 8, 10, 11, 13}),
+        "conservative": frozenset({1, 3, 4, 5, 6, 7, 8, 10, 11, 13}),
+        "ball-horwitz": frozenset({1, 3, 4, 5, 6, 7, 8, 10, 11, 13}),
+    },
+    expected_traversals=1,
+    structured=True,
+    # The double-match input (5, 5, 1, 5) is the one that convicts the
+    # conventional slice: first match at i=1, last at i=3.
+    input_sets=((5, 5, 1, 5), (5, 1, 2, 5, 9), (5,), (1, 2, 3), ()),
+)
+
+EXTRA_PROGRAMS = {
+    program.name: program for program in (WORDCOUNT, SEARCH)
+}

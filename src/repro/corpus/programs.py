@@ -1,0 +1,387 @@
+"""Every example program from the paper, with its expected results.
+
+Each source is formatted so that **source line N is the paper's statement
+N** (closing braces and ``else`` keywords are tucked onto the preceding
+statement's line).  Because the CFG builder numbers nodes lexically with
+ENTRY = 0, node ids coincide with the paper's statement numbers for all
+of these programs — the corpus tests assert ``node.id == node.line`` to
+lock that in.
+
+The paper leaves some right-hand sides abstract (``y = ...``); the corpus
+picks small concrete constants, which changes nothing about dependences.
+Free variables (``c1``, ``c``) are supplied through ``env_sets`` so the
+semantic oracle can drive every path.
+
+Expected slices are primary-source data: each set below is transcribed
+from the figure or the prose of the paper (references in the
+``expectations`` keys; see EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PaperProgram:
+    """One corpus entry.
+
+    Attributes
+    ----------
+    name / figure / description:
+        Identification; ``figure`` names the paper figure the source is
+        transcribed from.
+    source:
+        SL text, line N = paper statement N.
+    criterion:
+        ``(line, var)`` — the slicing criterion the paper uses.
+    expectations:
+        algorithm name → expected slice as a set of paper statement
+        numbers (== node ids == source lines).
+    expected_traversals:
+        Paper-reported number of productive postdominator-tree
+        traversals for the Fig. 7 algorithm (None when unstated).
+    expected_labels:
+        Paper-reported label re-associations for the Fig. 7 slice.
+    must_include / must_exclude:
+        algorithm → statements the paper says are (not) in that slice,
+        for algorithms where the full slice is not spelled out (Lyle).
+    structured:
+        Whether the program is structured in the paper's §4 sense.
+    input_sets / env_sets:
+        Drive the semantic oracle over every interesting path.
+    """
+
+    name: str
+    figure: str
+    description: str
+    source: str
+    criterion: Tuple[int, str]
+    expectations: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    expected_traversals: Optional[int] = None
+    expected_labels: Dict[str, int] = field(default_factory=dict)
+    must_include: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    must_exclude: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    structured: bool = True
+    input_sets: Tuple[Tuple[int, ...], ...] = ()
+    env_sets: Tuple[Tuple[Tuple[str, int], ...], ...] = ((),)
+
+
+FIG1A = PaperProgram(
+    name="fig1a",
+    figure="Figure 1-a",
+    description=(
+        "The structured running example (no jumps); its conventional "
+        "slice w.r.t. positives on line 12 is Figure 1-b."
+    ),
+    source="""\
+sum = 0;
+positives = 0;
+while (!eof()) {
+read(x);
+if (x <= 0)
+sum = sum + f1(x); else {
+positives = positives + 1;
+if (x % 2 == 0)
+sum = sum + f2(x); else
+sum = sum + f3(x); } }
+write(sum);
+write(positives);
+""",
+    criterion=(12, "positives"),
+    expectations={
+        "conventional": frozenset({2, 3, 4, 5, 7, 12}),
+        "agrawal": frozenset({2, 3, 4, 5, 7, 12}),
+        "structured": frozenset({2, 3, 4, 5, 7, 12}),
+        "conservative": frozenset({2, 3, 4, 5, 7, 12}),
+        "ball-horwitz": frozenset({2, 3, 4, 5, 7, 12}),
+        "weiser": frozenset({2, 3, 4, 5, 7, 12}),
+    },
+    expected_traversals=0,
+    structured=True,
+    input_sets=((), (1, 2, 3), (-1, -2), (5, -5, 4, -4, 0), (2,)),
+)
+
+
+FIG3A = PaperProgram(
+    name="fig3a",
+    figure="Figure 3-a",
+    description=(
+        "Goto version of the running example.  The conventional slice "
+        "(Fig. 3-b) drops the jumps on lines 7 and 13 and is wrong; the "
+        "Fig. 7 algorithm adds them (but not line 11) and re-associates "
+        "L14 (Fig. 3-c)."
+    ),
+    source="""\
+sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L13;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L13;
+L12: sum = sum + f3(x);
+L13: goto L3;
+L14: write(sum);
+write(positives);
+""",
+    criterion=(15, "positives"),
+    expectations={
+        "conventional": frozenset({2, 3, 4, 5, 8, 15}),
+        "agrawal": frozenset({2, 3, 4, 5, 7, 8, 13, 15}),
+        "agrawal-lst": frozenset({2, 3, 4, 5, 7, 8, 13, 15}),
+        "ball-horwitz": frozenset({2, 3, 4, 5, 7, 8, 13, 15}),
+        "weiser": frozenset({2, 3, 4, 5, 8, 15}),
+    },
+    expected_traversals=1,
+    expected_labels={"L14": 15},
+    must_include={
+        # §5: "it will include all goto statements and all predicates in
+        # the example in Figure 3".
+        "lyle": frozenset({3, 5, 7, 9, 11, 13}),
+    },
+    must_exclude={
+        "agrawal": frozenset({1, 6, 9, 10, 11, 12, 14}),
+    },
+    structured=False,
+    input_sets=((), (3, -1, 4, 0, 7), (-2, -3), (1, 2, 3, 4, 5, 6), (2, 4)),
+)
+
+
+FIG5A = PaperProgram(
+    name="fig5a",
+    figure="Figure 5-a",
+    description=(
+        "Continue version of the running example.  The conventional "
+        "slice (Fig. 5-b) lacks the continue on line 7; the new "
+        "algorithm includes it but not the one on line 11 (Fig. 5-c)."
+    ),
+    source="""\
+sum = 0;
+positives = 0;
+while (!eof()) {
+read(x);
+if (x <= 0) {
+sum = sum + f1(x);
+continue; }
+positives = positives + 1;
+if (x % 2 == 0) {
+sum = sum + f2(x);
+continue; }
+sum = sum + f3(x); }
+write(sum);
+write(positives);
+""",
+    criterion=(14, "positives"),
+    expectations={
+        "conventional": frozenset({2, 3, 4, 5, 8, 14}),
+        "agrawal": frozenset({2, 3, 4, 5, 7, 8, 14}),
+        "structured": frozenset({2, 3, 4, 5, 7, 8, 14}),
+        "conservative": frozenset({2, 3, 4, 5, 7, 8, 14}),
+        "ball-horwitz": frozenset({2, 3, 4, 5, 7, 8, 14}),
+        # §5: Gallagher's rule "will correctly omit the continue
+        # statement on line 11, and thus the predicate on line 9".
+        "gallagher": frozenset({2, 3, 4, 5, 7, 8, 14}),
+    },
+    expected_traversals=1,
+    must_include={
+        # §5: "Lyle's algorithm will also include the continue statement
+        # on line 11, and therefore the predicate on line 9".
+        "lyle": frozenset({7, 9, 11}),
+    },
+    must_exclude={
+        "agrawal": frozenset({1, 6, 9, 10, 11, 12, 13}),
+        "gallagher": frozenset({9, 11}),
+    },
+    structured=True,
+    input_sets=((), (3, -1, 4, 0, 7), (-2, -3), (1, 2, 3, 4, 5, 6), (2, 4)),
+)
+
+
+FIG8A = PaperProgram(
+    name="fig8a",
+    figure="Figure 8-a",
+    description=(
+        "Direct-jump goto version: including the goto on line 7 forces "
+        "lines 11 and 13 in, which in turn force the predicate on line "
+        "9 (Fig. 8-c).  Labels L14 and L12 are re-associated."
+    ),
+    source="""\
+sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L3;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L3;
+L12: sum = sum + f3(x);
+goto L3;
+L14: write(sum);
+write(positives);
+""",
+    criterion=(15, "positives"),
+    expectations={
+        "conventional": frozenset({2, 3, 4, 5, 8, 15}),
+        "agrawal": frozenset({2, 3, 4, 5, 7, 8, 9, 11, 13, 15}),
+        "agrawal-lst": frozenset({2, 3, 4, 5, 7, 8, 9, 11, 13, 15}),
+        "ball-horwitz": frozenset({2, 3, 4, 5, 7, 8, 9, 11, 13, 15}),
+    },
+    expected_traversals=1,
+    expected_labels={"L14": 15, "L12": 13},
+    must_include={"jiang": frozenset({7})},
+    must_exclude={
+        # §5: Jiang–Zhou–Robson "will fail to include both jump
+        # statements on lines 11 and 13".
+        "jiang": frozenset({11, 13}),
+    },
+    structured=False,
+    input_sets=((), (3, -1, 4, 0, 7), (-2, -3), (1, 2, 3, 4, 5, 6), (2, 4)),
+)
+
+
+FIG10A = PaperProgram(
+    name="fig10a",
+    figure="Figure 10-a",
+    description=(
+        "The unstructured two-traversal example (adapted by the paper "
+        "from Ball & Horwitz): node 4 is only added during the second "
+        "pre-order traversal, after node 7's inclusion changes node 4's "
+        "nearest lexical successor in the slice."
+    ),
+    source="""\
+if (c1) {
+goto L6;
+L3: y = 1;
+goto L8; }
+z = 2;
+L6: x = 3;
+goto L3;
+L8: write(x);
+write(y);
+write(z);
+""",
+    criterion=(9, "y"),
+    expectations={
+        "conventional": frozenset({3, 9}),
+        "agrawal": frozenset({1, 2, 3, 4, 7, 9}),
+        "agrawal-lst": frozenset({1, 2, 3, 4, 7, 9}),
+        "ball-horwitz": frozenset({1, 2, 3, 4, 7, 9}),
+    },
+    expected_traversals=2,
+    expected_labels={"L6": 7, "L8": 9},
+    structured=False,
+    input_sets=((),),
+    env_sets=((("c1", 0),), (("c1", 1),)),
+)
+
+
+FIG14A = PaperProgram(
+    name="fig14a",
+    figure="Figure 14-a",
+    description=(
+        "The switch example separating Fig. 12 from Fig. 13: the "
+        "simplified algorithm keeps only the break on line 3 "
+        "(Fig. 14-b); the conservative one also keeps the breaks on "
+        "lines 5 and 7 (Fig. 14-c)."
+    ),
+    source="""\
+switch (c) {
+case 1: x = 11;
+break;
+case 2: y = 22;
+break;
+case 3: z = 33;
+break; }
+write(x);
+write(y);
+write(z);
+""",
+    criterion=(9, "y"),
+    expectations={
+        "conventional": frozenset({1, 4, 9}),
+        "structured": frozenset({1, 3, 4, 9}),
+        "agrawal": frozenset({1, 3, 4, 9}),
+        "conservative": frozenset({1, 3, 4, 5, 7, 9}),
+        "ball-horwitz": frozenset({1, 3, 4, 9}),
+    },
+    expected_traversals=1,
+    structured=True,
+    input_sets=((),),
+    env_sets=(
+        (("c", 0),),
+        (("c", 1),),
+        (("c", 2),),
+        (("c", 3),),
+        (("c", 4),),
+    ),
+)
+
+
+FIG16A = PaperProgram(
+    name="fig16a",
+    figure="Figure 16-a",
+    description=(
+        "Gallagher's counterexample: no statement of the block labelled "
+        "L6 is in the slice, so his rule drops the goto on line 4 and "
+        "the 'slice' executes y = f2(x) unconditionally (Fig. 16-b); the "
+        "correct slice keeps the goto and re-associates L6 (Fig. 16-c)."
+    ),
+    source="""\
+read(x);
+if (x < 0) {
+y = f1(x);
+goto L6; }
+y = f2(x);
+L6: if (y < 0) {
+z = g1(y);
+goto L10; }
+z = g2(y);
+L10: write(y);
+write(z);
+""",
+    criterion=(10, "y"),
+    expectations={
+        "conventional": frozenset({1, 2, 3, 5, 10}),
+        "gallagher": frozenset({1, 2, 3, 5, 10}),
+        "agrawal": frozenset({1, 2, 3, 4, 5, 10}),
+        "ball-horwitz": frozenset({1, 2, 3, 4, 5, 10}),
+        # Both gotos jump forward along their own lexical-successor
+        # chains, so Fig. 16-a is *structured* in the paper's §4 sense
+        # and the Fig. 12 algorithm also produces the correct slice.
+        "structured": frozenset({1, 2, 3, 4, 5, 10}),
+        "conservative": frozenset({1, 2, 3, 4, 5, 10}),
+    },
+    expected_traversals=1,
+    expected_labels={"L6": 10},
+    structured=True,
+    input_sets=((-5,), (5,), (0,), (-1,), (2,)),
+)
+
+
+PAPER_PROGRAMS: Dict[str, PaperProgram] = {
+    program.name: program
+    for program in (FIG1A, FIG3A, FIG5A, FIG8A, FIG10A, FIG14A, FIG16A)
+}
+
+
+def get_program(name: str) -> PaperProgram:
+    try:
+        return PAPER_PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown corpus program {name!r}; "
+            f"known: {', '.join(sorted(PAPER_PROGRAMS))}"
+        ) from None
+
+
+def program_names() -> List[str]:
+    return sorted(PAPER_PROGRAMS)

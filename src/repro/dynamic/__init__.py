@@ -1,0 +1,20 @@
+"""Dynamic slicing (extension; Agrawal's companion line of work,
+paper reference [1]: Agrawal–DeMillo–Spafford 1993).
+
+A *dynamic* slice answers "which statements affected this value in THIS
+execution?" — typically far smaller than the static slice, since only
+the dependences actually exercised count.  The implementation records an
+execution history through the CFG interpreter and builds the dynamic
+dependence graph over statement *instances*.
+"""
+
+from repro.dynamic.slicer import DynamicSliceResult, dynamic_slice
+from repro.dynamic.trace import ExecutionTrace, TraceEvent, record_trace
+
+__all__ = [
+    "DynamicSliceResult",
+    "ExecutionTrace",
+    "TraceEvent",
+    "dynamic_slice",
+    "record_trace",
+]

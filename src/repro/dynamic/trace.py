@@ -1,0 +1,81 @@
+"""Execution histories for dynamic slicing.
+
+A trace is the sequence of executed CFG nodes; each event additionally
+records, per variable the node uses, the index of the event that last
+defined it (the *dynamic data dependence*).  Definitions are tracked
+from the nodes' static def sets, which are exact for SL (every ``x = e``
+defines precisely ``x``; ``read`` defines its target and the ``$in``
+cursor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.interp.interpreter import DEFAULT_STEP_LIMIT, Interpreter
+from repro.interp.intrinsics import DEFAULT_INTRINSICS, IntrinsicRegistry
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed statement instance."""
+
+    index: int
+    node_id: int
+    #: variable -> index of the event that last defined it (absent when
+    #: the use read an initial/unwritten value).
+    data_deps: Tuple[Tuple[str, int], ...]
+
+
+@dataclass
+class ExecutionTrace:
+    """A full execution history plus the run's observable results."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    outputs: List[int] = field(default_factory=list)
+    returned: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def occurrences_of(self, node_id: int) -> List[int]:
+        """Event indices at which *node_id* executed."""
+        return [e.index for e in self.events if e.node_id == node_id]
+
+
+def record_trace(
+    cfg: ControlFlowGraph,
+    inputs: Sequence[int] = (),
+    initial_env: Optional[Dict[str, int]] = None,
+    intrinsics: IntrinsicRegistry = DEFAULT_INTRINSICS,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> ExecutionTrace:
+    """Execute *cfg* over *inputs* and record the dynamic history."""
+    trace = ExecutionTrace()
+    last_definition: Dict[str, int] = {}
+
+    def tracer(node_id: int) -> None:
+        node = cfg.nodes[node_id]
+        deps = tuple(
+            (var, last_definition[var])
+            for var in sorted(node.uses)
+            if var in last_definition
+        )
+        event = TraceEvent(
+            index=len(trace.events), node_id=node_id, data_deps=deps
+        )
+        trace.events.append(event)
+        for var in node.defs:
+            last_definition[var] = event.index
+
+    interpreter = Interpreter(
+        cfg, intrinsics=intrinsics, step_limit=step_limit
+    )
+    result = interpreter.run(
+        inputs, initial_env=initial_env, tracer=tracer
+    )
+    trace.outputs = result.outputs
+    trace.returned = result.returned
+    return trace

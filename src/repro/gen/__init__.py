@@ -1,0 +1,17 @@
+"""Random SL program generation for property-based tests and benchmarks."""
+
+from repro.gen.generator import (
+    GeneratorConfig,
+    generate_structured,
+    generate_unstructured,
+    random_criterion,
+    realize,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_structured",
+    "generate_unstructured",
+    "random_criterion",
+    "realize",
+]

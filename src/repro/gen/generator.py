@@ -1,0 +1,414 @@
+"""Seeded random generation of SL programs.
+
+Two generators:
+
+* :func:`generate_structured` — programs whose only jumps are ``break``,
+  ``continue``, and ``return``; **every generated program terminates** on
+  every input, by construction:
+
+  - ``while``/``do``-``while`` loops are ``!eof()``-guarded and begin
+    their body with a ``read`` (each iteration consumes input, and a
+    ``continue`` can never skip the read);
+  - ``for`` loops count a dedicated variable that the body never writes;
+
+* :func:`generate_unstructured` — flat goto programs in the style of the
+  paper's Figs. 3/8/10.  Unconditional gotos only jump *forward*;
+  backward jumps are always conditional, so every node can reach EXIT
+  (postdominators exist) — but termination is *not* guaranteed, and
+  consumers run them under the interpreter's step limit.
+
+Both finish with a ``write`` per variable, giving every program obvious
+slicing criteria; :func:`random_criterion` picks one.  :func:`realize`
+pretty-prints and re-parses a generated AST so statement line numbers are
+meaningful (criteria are line-addressed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    DoWhile,
+    Expr,
+    For,
+    Goto,
+    If,
+    Num,
+    Program,
+    Read,
+    Return,
+    Stmt,
+    Switch,
+    SwitchCase,
+    Unary,
+    Var,
+    While,
+    Write,
+)
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+
+#: Intrinsics the generator may call (all registered defaults).
+_CALLABLE = ("f1", "f2", "f3", "g1", "g2", "abs", "sign")
+
+_COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+_ARITHMETIC = ("+", "-", "*", "/", "%")
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for program shape and size."""
+
+    max_depth: int = 3          # nesting depth of compound statements
+    max_stmts: int = 5          # statements per sequence
+    num_vars: int = 4
+    expr_depth: int = 2
+    allow_loops: bool = True
+    allow_switch: bool = True
+    allow_return: bool = True
+    jump_probability: float = 0.25
+    #: Unstructured generator: program length and backward-jump rate.
+    flat_length: int = 14
+    backward_probability: float = 0.3
+
+
+def _variables(config: GeneratorConfig) -> List[str]:
+    return [f"v{index}" for index in range(config.num_vars)]
+
+
+def _expr(rng: random.Random, config: GeneratorConfig, depth: int) -> Expr:
+    """A random arithmetic expression over the variable pool."""
+    if depth <= 0 or rng.random() < 0.35:
+        if rng.random() < 0.5:
+            return Var(rng.choice(_variables(config)))
+        return Num(rng.randint(-5, 9))
+    roll = rng.random()
+    if roll < 0.15:
+        name = rng.choice(_CALLABLE)
+        arity = 1
+        args = tuple(_expr(rng, config, depth - 1) for _ in range(arity))
+        return Call(name=name, args=args)
+    if roll < 0.25:
+        return Unary(op="-", operand=_expr(rng, config, depth - 1))
+    return Binary(
+        op=rng.choice(_ARITHMETIC),
+        left=_expr(rng, config, depth - 1),
+        right=_expr(rng, config, depth - 1),
+    )
+
+
+def _condition(rng: random.Random, config: GeneratorConfig) -> Expr:
+    """A random boolean-ish condition."""
+    roll = rng.random()
+    if roll < 0.1:
+        return Unary(op="!", operand=_condition(rng, config))
+    if roll < 0.2:
+        return Binary(
+            op=rng.choice(("&&", "||")),
+            left=_condition(rng, config),
+            right=_condition(rng, config),
+        )
+    return Binary(
+        op=rng.choice(_COMPARISONS),
+        left=_expr(rng, config, 1),
+        right=_expr(rng, config, 1),
+    )
+
+
+# ----------------------------------------------------------------------
+# Structured programs.
+# ----------------------------------------------------------------------
+
+
+class _StructuredGenerator:
+    def __init__(self, rng: random.Random, config: GeneratorConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self._loop_counter = 0
+
+    def program(self) -> Program:
+        body = self._sequence(
+            depth=self.config.max_depth, in_loop=False, in_switch=False
+        )
+        # A trailing top-level return would make the criterion writes
+        # below dead code; drop it.
+        while body and isinstance(body[-1], Return):
+            body.pop()
+        for var in _variables(self.config):
+            body.append(Write(value=Var(var)))
+        return Program(body=body)
+
+    def _sequence(
+        self, depth: int, in_loop: bool, in_switch: bool
+    ) -> List[Stmt]:
+        rng = self.rng
+        count = rng.randint(1, self.config.max_stmts)
+        out: List[Stmt] = []
+        for _ in range(count):
+            stmt = self._statement(depth, in_loop, in_switch)
+            out.append(stmt)
+            # Anything after an unconditional jump would be dead code,
+            # which voids the paper's structured-program properties (and
+            # its Fig. 7 ≡ Ball–Horwitz equivalence) — cut the sequence.
+            if isinstance(stmt, (Break, Continue, Return, Goto)):
+                break
+        return out
+
+    def _statement(self, depth: int, in_loop: bool, in_switch: bool) -> Stmt:
+        rng = self.rng
+        config = self.config
+        choices = ["assign", "assign", "read", "write"]
+        if depth > 0:
+            choices += ["if", "if"]
+            if config.allow_loops:
+                choices += ["while", "for", "dowhile"]
+            if config.allow_switch:
+                choices.append("switch")
+        if rng.random() < config.jump_probability:
+            jump_choices = []
+            if in_loop:
+                jump_choices += ["break", "continue"]
+            elif in_switch:
+                jump_choices.append("break")
+            if config.allow_return:
+                jump_choices.append("return")
+            if jump_choices:
+                choices = [rng.choice(jump_choices)]
+        kind = rng.choice(choices)
+
+        if kind == "assign":
+            return Assign(
+                target=rng.choice(_variables(config)),
+                value=_expr(rng, config, config.expr_depth),
+            )
+        if kind == "read":
+            return Read(target=rng.choice(_variables(config)))
+        if kind == "write":
+            return Write(value=_expr(rng, config, 1))
+        if kind == "break":
+            return Break()
+        if kind == "continue":
+            return Continue()
+        if kind == "return":
+            return Return(value=_expr(rng, config, 1))
+        if kind == "if":
+            then_branch = Block(
+                stmts=self._sequence(depth - 1, in_loop, in_switch)
+            )
+            else_branch: Optional[Stmt] = None
+            if rng.random() < 0.5:
+                else_branch = Block(
+                    stmts=self._sequence(depth - 1, in_loop, in_switch)
+                )
+            return If(
+                cond=_condition(rng, config),
+                then_branch=then_branch,
+                else_branch=else_branch,
+            )
+        if kind == "while":
+            # Termination: !eof()-guarded, body leads with a read.
+            body = [Read(target=rng.choice(_variables(config)))]
+            body += self._sequence(depth - 1, in_loop=True, in_switch=False)
+            return While(
+                cond=Unary(op="!", operand=Call(name="eof", args=())),
+                body=Block(stmts=body),
+            )
+        if kind == "dowhile":
+            body = [Read(target=rng.choice(_variables(config)))]
+            body += self._sequence(depth - 1, in_loop=True, in_switch=False)
+            return DoWhile(
+                body=Block(stmts=body),
+                cond=Unary(op="!", operand=Call(name="eof", args=())),
+            )
+        if kind == "for":
+            counter = f"i{self._loop_counter}"
+            self._loop_counter += 1
+            bound = self.rng.randint(1, 4)
+            body = self._sequence(depth - 1, in_loop=True, in_switch=False)
+            return For(
+                init=Assign(target=counter, value=Num(0)),
+                cond=Binary(op="<", left=Var(counter), right=Num(bound)),
+                step=Assign(
+                    target=counter,
+                    value=Binary(op="+", left=Var(counter), right=Num(1)),
+                ),
+                body=Block(stmts=body),
+            )
+        if kind == "switch":
+            arm_count = rng.randint(1, 3)
+            cases = []
+            values = rng.sample(range(0, 6), arm_count)
+            for index in range(arm_count):
+                stmts = self._sequence(depth - 1, in_loop, in_switch=True)
+                if rng.random() < 0.7 and not isinstance(
+                    stmts[-1], (Break, Continue, Return)
+                ):
+                    stmts.append(Break())
+                cases.append(
+                    SwitchCase(matches=[values[index]], stmts=stmts)
+                )
+            if rng.random() < 0.4:
+                cases.append(
+                    SwitchCase(
+                        matches=[None],
+                        stmts=self._sequence(depth - 1, in_loop, True),
+                    )
+                )
+            return Switch(subject=_expr(rng, config, 1), cases=cases)
+        raise AssertionError(f"unhandled kind {kind}")
+
+
+def generate_structured(
+    rng: random.Random, config: Optional[GeneratorConfig] = None
+) -> Program:
+    """A random structured program (terminating by construction)."""
+    return _StructuredGenerator(rng, config or GeneratorConfig()).program()
+
+
+# ----------------------------------------------------------------------
+# Unstructured (flat goto) programs.
+# ----------------------------------------------------------------------
+
+
+def generate_unstructured(
+    rng: random.Random, config: Optional[GeneratorConfig] = None
+) -> Program:
+    """A random flat goto program (see module docstring for guarantees)."""
+    config = config or GeneratorConfig()
+    length = max(3, config.flat_length)
+    variables = _variables(config)
+
+    stmts: List[Stmt] = []
+    jumps: List[Tuple[int, int]] = []  # (statement index, target index)
+    unconditional_at: List[int] = []
+    for index in range(length):
+        roll = rng.random()
+        if roll < 0.40:
+            stmt: Stmt = Assign(
+                target=rng.choice(variables),
+                value=_expr(rng, config, config.expr_depth),
+            )
+        elif roll < 0.50:
+            stmt = Read(target=rng.choice(variables))
+        elif roll < 0.58:
+            stmt = Write(value=Var(rng.choice(variables)))
+        elif roll < 0.80:
+            # Conditional goto; backward allowed (the false edge still
+            # falls through, so EXIT stays reachable).
+            target = _pick_target(rng, index, length, config, backward_ok=True)
+            jumps.append((index, target))
+            stmt = If(
+                cond=_condition(rng, config),
+                then_branch=Goto(target=f"L{target}"),
+            )
+        else:
+            # Unconditional goto: forward only (termination-friendly and
+            # keeps every node able to reach EXIT).
+            target = _pick_target(rng, index, length, config, backward_ok=False)
+            jumps.append((index, target))
+            unconditional_at.append(index)
+            stmt = Goto(target=f"L{target}")
+        stmts.append(stmt)
+
+    for var in variables:
+        stmts.append(Write(value=Var(var)))
+
+    # Labels are applied after the trailing writes exist: a forward jump
+    # may target position ``length`` (the first write), never itself, so
+    # unconditional gotos cannot form an inescapable cycle.
+    targeted = {target for _, target in jumps}
+    # The statement after an unconditional goto is dead code unless some
+    # jump targets it; demote such gotos to conditional ones so the
+    # generated corpus stays free of unreachable statements (the paper's
+    # equivalence claim assumes that).
+    for index in unconditional_at:
+        if index + 1 not in targeted:
+            goto = stmts[index]
+            assert isinstance(goto, Goto)
+            stmts[index] = If(cond=_condition(rng, config), then_branch=goto)
+    for target in sorted(targeted):
+        stmts[target].label = f"L{target}"
+
+    # A goto can still strand a region whose only entries come from
+    # *inside* that region (a skipped-over backward target, say).  Reach
+    # a fixed point by demoting, in each round, every unconditional goto
+    # whose following statement is unreachable; the first dead statement
+    # always follows a reachable unconditional goto, so each round makes
+    # progress and the result is dead-code free.
+    from repro.cfg.builder import build_cfg  # local import: avoid cycle
+
+    program = Program(body=stmts)
+    while True:
+        cfg = build_cfg(program)
+        live = cfg.reachable_from(cfg.entry_id)
+        if all(node.id in live for node in cfg.statement_nodes()):
+            return program
+        changed = False
+        for index in range(len(stmts) - 1):
+            stmt = stmts[index]
+            if (
+                isinstance(stmt, Goto)
+                and cfg.node_of(stmts[index + 1]) not in live
+            ):
+                stmts[index] = If(
+                    label=stmt.label,
+                    cond=_condition(rng, config),
+                    then_branch=Goto(target=stmt.target),
+                )
+                changed = True
+        if not changed:  # pragma: no cover - defensive
+            return program
+        program = Program(body=stmts)
+
+
+def _pick_target(
+    rng: random.Random,
+    index: int,
+    length: int,
+    config: GeneratorConfig,
+    backward_ok: bool,
+) -> int:
+    backward = (
+        backward_ok and index > 0 and rng.random() < config.backward_probability
+    )
+    if backward:
+        return rng.randint(0, index - 1)
+    # Forward targets may land on position ``length`` — the first of the
+    # trailing writes — so even the last flat statement has a forward
+    # destination and no unconditional self-loop can arise.
+    return rng.randint(index + 1, length)
+
+
+# ----------------------------------------------------------------------
+# Realisation and criteria.
+# ----------------------------------------------------------------------
+
+
+def realize(program: Program) -> Program:
+    """Pretty-print and re-parse, so every statement has a real source
+    line (criteria are line-addressed)."""
+    return parse_program(pretty(program))
+
+
+def random_criterion(
+    rng: random.Random, program: Program
+) -> Tuple[int, str]:
+    """Pick a (line, var) criterion at one of the program's writes of a
+    plain variable (there is always at least one: the generators append
+    a write per variable)."""
+    candidates = [
+        (stmt.line, stmt.value.name)
+        for stmt in program.statements()
+        if isinstance(stmt, Write) and isinstance(stmt.value, Var)
+    ]
+    if not candidates:
+        raise ValueError("program has no write(<var>) statement")
+    return rng.choice(candidates)

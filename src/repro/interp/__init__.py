@@ -1,0 +1,34 @@
+"""A CFG-level interpreter for SL — the semantic oracle.
+
+Executing the CFG (rather than the AST) makes ``goto`` trivial: a jump is
+just following an edge.  The interpreter records *trajectories* — the
+sequence of values a variable holds each time control reaches a given
+statement — which is exactly the paper's correctness contract for a
+slice: "P' computes the same value(s) of var at loc as that computed by
+P" (§1).
+"""
+
+from repro.interp.intrinsics import DEFAULT_INTRINSICS, IntrinsicRegistry
+from repro.interp.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    run_program,
+    run_source,
+)
+from repro.interp.oracle import (
+    TrajectoryMismatch,
+    check_slice_correctness,
+    criterion_trajectory,
+)
+
+__all__ = [
+    "DEFAULT_INTRINSICS",
+    "ExecutionResult",
+    "Interpreter",
+    "IntrinsicRegistry",
+    "TrajectoryMismatch",
+    "check_slice_correctness",
+    "criterion_trajectory",
+    "run_program",
+    "run_source",
+]

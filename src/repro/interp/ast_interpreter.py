@@ -1,0 +1,263 @@
+"""A tree-walking interpreter for *structured* SL programs.
+
+An independent second implementation of SL semantics, used by the test
+suite for differential testing against the CFG interpreter: both must
+produce identical outputs, final environments, and return values on
+every structured program (goto needs the CFG; this interpreter refuses
+it).
+
+Control flow uses exceptions for the structured jumps, the classic
+tree-walker technique — which also makes this module a worked example of
+*why* the paper's jump statements resist structured treatment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.interp.interpreter import (
+    DEFAULT_STEP_LIMIT,
+    ExecutionResult,
+    _trunc_div,
+    _trunc_mod,
+)
+from repro.interp.intrinsics import DEFAULT_INTRINSICS, IntrinsicRegistry
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    DoWhile,
+    Expr,
+    For,
+    Goto,
+    If,
+    Num,
+    Program,
+    Read,
+    Return,
+    Skip,
+    Stmt,
+    Switch,
+    Unary,
+    Var,
+    While,
+    Write,
+)
+from repro.lang.errors import InterpreterError
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Optional[int]) -> None:
+        self.value = value
+
+
+@dataclass
+class _State:
+    env: Dict[str, int]
+    inputs: Sequence[int]
+    cursor: int
+    outputs: List[int]
+    steps: int
+    step_limit: int
+    intrinsics: IntrinsicRegistry
+
+    def tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise InterpreterError(
+                f"step limit ({self.step_limit}) exceeded"
+            )
+
+
+def _evaluate(expr: Expr, state: _State) -> int:
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Var):
+        return state.env.get(expr.name, 0)
+    if isinstance(expr, Unary):
+        value = _evaluate(expr.operand, state)
+        return (0 if value else 1) if expr.op == "!" else -value
+    if isinstance(expr, Binary):
+        if expr.op == "&&":
+            return (
+                1
+                if _evaluate(expr.left, state) and _evaluate(expr.right, state)
+                else 0
+            )
+        if expr.op == "||":
+            return (
+                1
+                if _evaluate(expr.left, state) or _evaluate(expr.right, state)
+                else 0
+            )
+        left = _evaluate(expr.left, state)
+        right = _evaluate(expr.right, state)
+        table = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: _trunc_div(left, right),
+            "%": lambda: _trunc_mod(left, right),
+            "<": lambda: int(left < right),
+            "<=": lambda: int(left <= right),
+            ">": lambda: int(left > right),
+            ">=": lambda: int(left >= right),
+            "==": lambda: int(left == right),
+            "!=": lambda: int(left != right),
+        }
+        return table[expr.op]()
+    if isinstance(expr, Call):
+        if expr.name == "eof":
+            return 1 if state.cursor >= len(state.inputs) else 0
+        args = [_evaluate(arg, state) for arg in expr.args]
+        return state.intrinsics.call(expr.name, args)
+    raise InterpreterError(f"cannot evaluate {expr!r}")
+
+
+def _execute(stmt: Stmt, state: _State) -> None:
+    state.tick()
+    if isinstance(stmt, Skip):
+        return
+    if isinstance(stmt, Assign):
+        state.env[stmt.target] = _evaluate(stmt.value, state)
+        return
+    if isinstance(stmt, Read):
+        if state.cursor < len(state.inputs):
+            state.env[stmt.target] = int(state.inputs[state.cursor])
+            state.cursor += 1
+        else:
+            state.env[stmt.target] = 0
+        return
+    if isinstance(stmt, Write):
+        state.outputs.append(_evaluate(stmt.value, state))
+        return
+    if isinstance(stmt, Block):
+        for inner in stmt.stmts:
+            _execute(inner, state)
+        return
+    if isinstance(stmt, If):
+        if _evaluate(stmt.cond, state):
+            if stmt.then_branch is not None:
+                _execute(stmt.then_branch, state)
+        elif stmt.else_branch is not None:
+            _execute(stmt.else_branch, state)
+        return
+    if isinstance(stmt, While):
+        while _evaluate(stmt.cond, state):
+            state.tick()
+            try:
+                if stmt.body is not None:
+                    _execute(stmt.body, state)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                continue
+        return
+    if isinstance(stmt, DoWhile):
+        while True:
+            state.tick()
+            try:
+                if stmt.body is not None:
+                    _execute(stmt.body, state)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                pass
+            if not _evaluate(stmt.cond, state):
+                return
+    if isinstance(stmt, For):
+        if stmt.init is not None:
+            _execute(stmt.init, state)
+        while stmt.cond is None or _evaluate(stmt.cond, state):
+            state.tick()
+            try:
+                if stmt.body is not None:
+                    _execute(stmt.body, state)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                pass
+            if stmt.step is not None:
+                _execute(stmt.step, state)
+        return
+    if isinstance(stmt, Switch):
+        value = _evaluate(stmt.subject, state)
+        start: Optional[int] = None
+        default: Optional[int] = None
+        for index, case in enumerate(stmt.cases):
+            if value in case.matches:
+                start = index
+                break
+            if None in case.matches and default is None:
+                default = index
+        if start is None:
+            start = default
+        if start is None:
+            return
+        try:
+            for case in stmt.cases[start:]:  # C fall-through
+                for inner in case.stmts:
+                    _execute(inner, state)
+        except _BreakSignal:
+            return
+        return
+    if isinstance(stmt, Break):
+        raise _BreakSignal()
+    if isinstance(stmt, Continue):
+        raise _ContinueSignal()
+    if isinstance(stmt, Return):
+        raise _ReturnSignal(
+            _evaluate(stmt.value, state) if stmt.value is not None else None
+        )
+    if isinstance(stmt, Goto):
+        raise InterpreterError(
+            f"line {stmt.line}: the tree-walking interpreter cannot "
+            "execute goto; use the CFG interpreter"
+        )
+    raise InterpreterError(f"cannot execute {stmt!r}")
+
+
+def run_ast(
+    program: Program,
+    inputs: Sequence[int] = (),
+    initial_env: Optional[Dict[str, int]] = None,
+    intrinsics: IntrinsicRegistry = DEFAULT_INTRINSICS,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> ExecutionResult:
+    """Execute a structured SL program by walking its AST."""
+    state = _State(
+        env=dict(initial_env or {}),
+        inputs=inputs,
+        cursor=0,
+        outputs=[],
+        steps=0,
+        step_limit=step_limit,
+        intrinsics=intrinsics,
+    )
+    returned: Optional[int] = None
+    try:
+        for stmt in program.body:
+            _execute(stmt, state)
+    except _ReturnSignal as signal:
+        returned = signal.value
+    except (_BreakSignal, _ContinueSignal):
+        raise InterpreterError("break/continue escaped to top level")
+    return ExecutionResult(
+        outputs=state.outputs,
+        env=state.env,
+        steps=state.steps,
+        returned=returned,
+        trajectories={},
+    )

@@ -1,0 +1,304 @@
+"""The CFG interpreter.
+
+Execution walks the control-flow graph node by node, so unstructured
+control flow needs no special handling.  Semantics follow C where C is
+deterministic and are *totalised* where C is not, so that any
+syntactically valid program has a defined run (important when executing
+thousands of randomly generated programs):
+
+* uninitialised variables read as 0;
+* division and modulo truncate toward zero (C); division by zero yields 0
+  (totalised, documented);
+* ``read(v)`` past the end of input stores 0 and leaves the cursor at the
+  end (``eof()`` stays true);
+* a step limit bounds runaway loops (:class:`InterpreterError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import ControlFlowGraph, EdgeLabel, NodeKind
+from repro.interp.intrinsics import DEFAULT_INTRINSICS, IntrinsicRegistry
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    If,
+    Num,
+    Program,
+    Read,
+    Return,
+    Switch,
+    Unary,
+    Var,
+    While,
+    DoWhile,
+    For,
+    Write,
+)
+from repro.lang.errors import InterpreterError
+from repro.lang.parser import parse_program
+
+#: Default bound on executed CFG nodes per run.
+DEFAULT_STEP_LIMIT = 200_000
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one program run."""
+
+    outputs: List[int]
+    env: Dict[str, int]
+    steps: int
+    returned: Optional[int] = None
+    #: node id -> recorded values of the watched variable, one per visit.
+    trajectories: Dict[int, List[int]] = field(default_factory=dict)
+
+
+def _trunc_div(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - _trunc_div(a, b) * b
+
+
+class Interpreter:
+    """Executes one CFG repeatedly over different inputs."""
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        intrinsics: IntrinsicRegistry = DEFAULT_INTRINSICS,
+        step_limit: int = DEFAULT_STEP_LIMIT,
+    ) -> None:
+        self.cfg = cfg
+        self.intrinsics = intrinsics
+        self.step_limit = step_limit
+        # Precompute labelled successor lookup per node.
+        self._by_label: Dict[int, Dict[str, int]] = {}
+        for node_id in cfg.nodes:
+            table: Dict[str, int] = {}
+            for dst, label in cfg.successors(node_id):
+                table.setdefault(label, dst)
+            self._by_label[node_id] = table
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        inputs: Sequence[int] = (),
+        initial_env: Optional[Dict[str, int]] = None,
+        watch: Optional[Dict[int, str]] = None,
+        tracer=None,
+    ) -> ExecutionResult:
+        """Execute the program.
+
+        Parameters
+        ----------
+        inputs:
+            The input stream consumed by ``read``.
+        initial_env:
+            Pre-set variable values (free variables like the ``c1`` of
+            paper Fig. 10 are supplied this way).
+        watch:
+            ``node id → variable name``: every time control *reaches*
+            that node, the variable's current value is appended to the
+            node's trajectory — the paper's "value(s) of var at loc".
+        tracer:
+            Optional callable invoked with each executed node id, in
+            execution order (before the node runs) — the hook the
+            dynamic slicer uses to record execution histories.
+        """
+        env: Dict[str, int] = dict(initial_env or {})
+        cursor = 0
+        outputs: List[int] = []
+        trajectories: Dict[int, List[int]] = {
+            node_id: [] for node_id in (watch or {})
+        }
+        watch = watch or {}
+        cfg = self.cfg
+        current = cfg.entry_id
+        steps = 0
+        returned: Optional[int] = None
+
+        def evaluate(expr: Expr) -> int:
+            if isinstance(expr, Num):
+                return expr.value
+            if isinstance(expr, Var):
+                return env.get(expr.name, 0)
+            if isinstance(expr, Unary):
+                value = evaluate(expr.operand)
+                if expr.op == "!":
+                    return 0 if value else 1
+                return -value
+            if isinstance(expr, Binary):
+                return self._binary(expr, evaluate)
+            if isinstance(expr, Call):
+                if expr.name == "eof":
+                    return 1 if cursor >= len(inputs) else 0
+                args = [evaluate(arg) for arg in expr.args]
+                return self.intrinsics.call(expr.name, args)
+            raise InterpreterError(f"cannot evaluate {expr!r}")
+
+        while current != cfg.exit_id:
+            steps += 1
+            if steps > self.step_limit:
+                raise InterpreterError(
+                    f"step limit ({self.step_limit}) exceeded at node "
+                    f"{current} ({cfg.nodes[current].text!r})"
+                )
+            node = cfg.nodes[current]
+            if current in watch:
+                trajectories[current].append(env.get(watch[current], 0))
+            if tracer is not None:
+                tracer(current)
+            kind = node.kind
+            if kind is NodeKind.ENTRY:
+                current = cfg.succ_ids(current)[0]
+            elif kind is NodeKind.ASSIGN:
+                stmt = node.stmt
+                assert isinstance(stmt, Assign)
+                env[stmt.target] = evaluate(stmt.value)
+                current = self._follow(current, EdgeLabel.FALL)
+            elif kind is NodeKind.READ:
+                stmt = node.stmt
+                assert isinstance(stmt, Read)
+                if cursor < len(inputs):
+                    env[stmt.target] = int(inputs[cursor])
+                    cursor += 1
+                else:
+                    env[stmt.target] = 0
+                current = self._follow(current, EdgeLabel.FALL)
+            elif kind is NodeKind.WRITE:
+                stmt = node.stmt
+                assert isinstance(stmt, Write)
+                outputs.append(evaluate(stmt.value))
+                current = self._follow(current, EdgeLabel.FALL)
+            elif kind is NodeKind.SKIP:
+                current = self._follow(current, EdgeLabel.FALL)
+            elif kind in (NodeKind.PREDICATE, NodeKind.CONDGOTO):
+                cond = self._condition_of(node)
+                branch = EdgeLabel.TRUE if evaluate(cond) else EdgeLabel.FALSE
+                current = self._follow(current, branch)
+            elif kind is NodeKind.SWITCH:
+                stmt = node.stmt
+                assert isinstance(stmt, Switch)
+                value = evaluate(stmt.subject)
+                table = self._by_label[current]
+                label = EdgeLabel.case(value)
+                if label in table:
+                    current = table[label]
+                else:
+                    current = self._follow(current, EdgeLabel.DEFAULT)
+            elif kind in (NodeKind.GOTO, NodeKind.BREAK, NodeKind.CONTINUE):
+                current = self._follow(current, EdgeLabel.JUMP)
+            elif kind is NodeKind.RETURN:
+                stmt = node.stmt
+                assert isinstance(stmt, Return)
+                if stmt.value is not None:
+                    returned = evaluate(stmt.value)
+                current = self._follow(current, EdgeLabel.JUMP)
+            else:
+                raise InterpreterError(f"cannot execute node {node!r}")
+
+        return ExecutionResult(
+            outputs=outputs,
+            env=env,
+            steps=steps,
+            returned=returned,
+            trajectories=trajectories,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _follow(self, node_id: int, label: str) -> int:
+        table = self._by_label[node_id]
+        if label in table:
+            return table[label]
+        raise InterpreterError(
+            f"node {node_id} has no outgoing {label!r} edge"
+        )
+
+    @staticmethod
+    def _condition_of(node) -> Expr:
+        stmt = node.stmt
+        if isinstance(stmt, If):
+            return stmt.cond
+        if isinstance(stmt, (While, DoWhile)):
+            return stmt.cond
+        if isinstance(stmt, For):
+            return stmt.cond if stmt.cond is not None else Num(1)
+        raise InterpreterError(f"node {node!r} is not a predicate")
+
+    def _binary(self, expr: Binary, evaluate) -> int:
+        op = expr.op
+        if op == "&&":
+            return 1 if evaluate(expr.left) and evaluate(expr.right) else 0
+        if op == "||":
+            return 1 if evaluate(expr.left) or evaluate(expr.right) else 0
+        a = evaluate(expr.left)
+        b = evaluate(expr.right)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return _trunc_div(a, b)
+        if op == "%":
+            return _trunc_mod(a, b)
+        if op == "<":
+            return 1 if a < b else 0
+        if op == "<=":
+            return 1 if a <= b else 0
+        if op == ">":
+            return 1 if a > b else 0
+        if op == ">=":
+            return 1 if a >= b else 0
+        if op == "==":
+            return 1 if a == b else 0
+        if op == "!=":
+            return 1 if a != b else 0
+        raise InterpreterError(f"unknown binary operator {op!r}")
+
+
+def run_program(
+    program: Union[Program, ControlFlowGraph],
+    inputs: Sequence[int] = (),
+    initial_env: Optional[Dict[str, int]] = None,
+    intrinsics: IntrinsicRegistry = DEFAULT_INTRINSICS,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    watch: Optional[Dict[int, str]] = None,
+) -> ExecutionResult:
+    """Execute a program (AST or prebuilt CFG) over *inputs*."""
+    cfg = program if isinstance(program, ControlFlowGraph) else build_cfg(program)
+    interpreter = Interpreter(cfg, intrinsics=intrinsics, step_limit=step_limit)
+    return interpreter.run(inputs, initial_env=initial_env, watch=watch)
+
+
+def run_source(
+    source: str,
+    inputs: Sequence[int] = (),
+    initial_env: Optional[Dict[str, int]] = None,
+    intrinsics: IntrinsicRegistry = DEFAULT_INTRINSICS,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> ExecutionResult:
+    """Parse and execute SL source text."""
+    return run_program(
+        parse_program(source),
+        inputs,
+        initial_env=initial_env,
+        intrinsics=intrinsics,
+        step_limit=step_limit,
+    )

@@ -1,0 +1,82 @@
+"""Intrinsic (pure, built-in) functions for SL programs.
+
+The paper's examples call opaque pure functions — ``f1``, ``f2``, ``f3``
+over ``x`` and ``g1``, ``g2`` over ``y``.  SL models them as intrinsics
+registered with the interpreter.  The defaults below are arbitrary but
+fixed, injective-ish integer functions, so different slices of the same
+program are distinguishable by their outputs.
+
+``eof`` is special-cased by the interpreter (it inspects the input
+stream) and must not be registered here.
+
+Unknown intrinsics evaluate through :func:`opaque_function` — a
+deterministic hash-based pure function — so any syntactically valid
+program can run without pre-registration (important for the random
+program generator).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Sequence
+
+from repro.lang.errors import InterpreterError
+
+IntrinsicFn = Callable[..., int]
+
+
+def opaque_function(name: str, args: Sequence[int]) -> int:
+    """A deterministic pure function of (name, args) used for intrinsics
+    that have no registered definition."""
+    payload = f"{name}:{','.join(str(a) for a in args)}".encode()
+    digest = hashlib.sha256(payload).digest()
+    value = int.from_bytes(digest[:4], "big") % 2001 - 1000
+    return value
+
+
+class IntrinsicRegistry:
+    """A name → pure-function table, copy-on-write friendly."""
+
+    def __init__(self, table: Dict[str, IntrinsicFn]) -> None:
+        if "eof" in table:
+            raise InterpreterError(
+                "'eof' is handled by the interpreter and cannot be "
+                "registered as an intrinsic"
+            )
+        self._table = dict(table)
+
+    def with_function(self, name: str, fn: IntrinsicFn) -> "IntrinsicRegistry":
+        table = dict(self._table)
+        table[name] = fn
+        return IntrinsicRegistry(table)
+
+    def call(self, name: str, args: Sequence[int]) -> int:
+        fn = self._table.get(name)
+        if fn is None:
+            return opaque_function(name, args)
+        try:
+            return int(fn(*args))
+        except TypeError as exc:
+            raise InterpreterError(
+                f"intrinsic {name!r} called with {len(args)} argument(s): {exc}"
+            ) from exc
+
+    def names(self):
+        return sorted(self._table)
+
+
+#: The default registry: the paper's running-example functions plus a few
+#: generic helpers the examples and the generator use.
+DEFAULT_INTRINSICS = IntrinsicRegistry(
+    {
+        "f1": lambda x: 2 * x + 1,
+        "f2": lambda x: x * x,
+        "f3": lambda x: x - 3,
+        "g1": lambda y: y + 7,
+        "g2": lambda y: 2 * y,
+        "abs": lambda x: abs(x),
+        "min": lambda a, b: min(a, b),
+        "max": lambda a, b: max(a, b),
+        "sign": lambda x: (x > 0) - (x < 0),
+    }
+)

@@ -1,0 +1,146 @@
+"""The slice-correctness oracle.
+
+The paper's definition (§1): a slice P' of P with respect to (var, loc)
+must compute the same value(s) of var at loc as P does.  Operationally:
+for any input, the sequence of values *var* holds each time control
+reaches *loc* must be identical in P and in the extracted slice.
+
+:func:`check_slice_correctness` runs both programs over a battery of
+inputs and compares those trajectories, raising
+:class:`TrajectoryMismatch` with a full report on the first divergence.
+This is the weapon the property-based tests point at every algorithm —
+and at the known-unsound baselines, expecting them to fail (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cfg.builder import build_cfg
+from repro.interp.interpreter import (
+    DEFAULT_STEP_LIMIT,
+    Interpreter,
+)
+from repro.interp.intrinsics import DEFAULT_INTRINSICS, IntrinsicRegistry
+from repro.lang.errors import SlangError
+from repro.lang.pretty import pretty
+from repro.pdg.builder import ProgramAnalysis
+from repro.slicing.common import SliceResult
+from repro.slicing.criterion import SlicingCriterion, resolve_criterion
+from repro.slicing.extract import extract_slice
+
+
+class TrajectoryMismatch(SlangError):
+    """The slice's criterion trajectory diverged from the original's."""
+
+    def __init__(
+        self,
+        message: str,
+        inputs: Sequence[int],
+        expected: List[int],
+        actual: List[int],
+        slice_source: str,
+    ) -> None:
+        self.inputs = list(inputs)
+        self.expected = expected
+        self.actual = actual
+        self.slice_source = slice_source
+        super().__init__(
+            f"{message}\n  inputs:   {list(inputs)}\n"
+            f"  original: {expected}\n  slice:    {actual}\n"
+            f"  extracted slice:\n{_indent(slice_source)}"
+        )
+
+
+def _indent(text: str) -> str:
+    return "\n".join(f"    {line}" for line in text.splitlines())
+
+
+def criterion_trajectory(
+    analysis: ProgramAnalysis,
+    criterion: SlicingCriterion,
+    inputs: Sequence[int],
+    initial_env: Optional[Dict[str, int]] = None,
+    intrinsics: IntrinsicRegistry = DEFAULT_INTRINSICS,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> List[int]:
+    """The sequence of values *criterion.var* holds each time control
+    reaches the criterion statement."""
+    resolved = resolve_criterion(analysis, criterion)
+    interpreter = Interpreter(
+        analysis.cfg, intrinsics=intrinsics, step_limit=step_limit
+    )
+    result = interpreter.run(
+        inputs,
+        initial_env=initial_env,
+        watch={resolved.node_id: criterion.var},
+    )
+    return result.trajectories[resolved.node_id]
+
+
+def check_slice_correctness(
+    result: SliceResult,
+    input_sets: Sequence[Sequence[int]],
+    initial_env: Optional[Dict[str, int]] = None,
+    intrinsics: IntrinsicRegistry = DEFAULT_INTRINSICS,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> int:
+    """Verify *result* against the paper's semantic contract.
+
+    Runs the original program and the extracted slice over every input
+    set in *input_sets* and compares the criterion trajectories.
+
+    Returns the number of input sets checked; raises
+    :class:`TrajectoryMismatch` on the first divergence.  Step-limit or
+    other interpreter errors in the *original* program propagate (callers
+    doing property-based testing typically ``assume`` them away); the
+    slice gets double the step budget, since a correct slice never takes
+    more steps than its original.
+    """
+    analysis = result.analysis
+    criterion = result.criterion
+    resolved = result.resolved
+    extracted = extract_slice(result)
+    slice_source = pretty(extracted.program)
+
+    original_stmt = analysis.cfg.nodes[resolved.node_id].stmt
+    new_stmt = extracted.find(original_stmt)
+    if new_stmt is None:
+        raise TrajectoryMismatch(
+            "criterion statement missing from the extracted slice",
+            inputs=[],
+            expected=[],
+            actual=[],
+            slice_source=slice_source,
+        )
+    slice_cfg = build_cfg(extracted.program)
+    slice_node = slice_cfg.node_of(new_stmt)
+
+    original_interp = Interpreter(
+        analysis.cfg, intrinsics=intrinsics, step_limit=step_limit
+    )
+    slice_interp = Interpreter(
+        slice_cfg, intrinsics=intrinsics, step_limit=2 * step_limit
+    )
+
+    for inputs in input_sets:
+        expected = original_interp.run(
+            inputs,
+            initial_env=initial_env,
+            watch={resolved.node_id: criterion.var},
+        ).trajectories[resolved.node_id]
+        actual = slice_interp.run(
+            inputs,
+            initial_env=initial_env,
+            watch={slice_node: criterion.var},
+        ).trajectories[slice_node]
+        if expected != actual:
+            raise TrajectoryMismatch(
+                f"slice by {result.algorithm!r} diverges on criterion "
+                f"{criterion}",
+                inputs=inputs,
+                expected=expected,
+                actual=actual,
+                slice_source=slice_source,
+            )
+    return len(input_sets)

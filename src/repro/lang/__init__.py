@@ -1,0 +1,93 @@
+"""SL: a small C-like imperative language used as the slicing substrate.
+
+The paper slices C programs.  SL is a faithful miniature: assignments,
+``read``/``write`` I/O, ``if``/``else``, ``while``, ``do``-``while``,
+``for``, ``switch`` with C fall-through, ``break``, ``continue``,
+``return``, and ``goto`` with statement labels.  Every example program in
+the paper is expressible in SL with the paper's own statement numbering.
+
+Public entry points:
+
+* :func:`parse_program` — source text to AST (:class:`Program`).
+* :func:`tokenize` — source text to a token stream.
+* :func:`pretty` — AST back to canonical source text.
+* :func:`validate_program` — semantic checks (label resolution, jump
+  placement); returns the list of diagnostics and raises on errors.
+"""
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    DoWhile,
+    Expr,
+    For,
+    Goto,
+    If,
+    Num,
+    Program,
+    Read,
+    Return,
+    Skip,
+    Stmt,
+    Switch,
+    SwitchCase,
+    Unary,
+    Var,
+    While,
+    Write,
+    walk_statements,
+)
+from repro.lang.errors import (
+    LexError,
+    ParseError,
+    SlangError,
+    SourceLocation,
+    ValidationError,
+)
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_expression, parse_program
+from repro.lang.pretty import pretty
+from repro.lang.validate import validate_program
+
+__all__ = [
+    "Assign",
+    "Binary",
+    "Block",
+    "Break",
+    "Call",
+    "Continue",
+    "DoWhile",
+    "Expr",
+    "For",
+    "Goto",
+    "If",
+    "Lexer",
+    "LexError",
+    "Num",
+    "ParseError",
+    "Parser",
+    "Program",
+    "Read",
+    "Return",
+    "Skip",
+    "SlangError",
+    "SourceLocation",
+    "Stmt",
+    "Switch",
+    "SwitchCase",
+    "Unary",
+    "ValidationError",
+    "Var",
+    "While",
+    "Write",
+    "parse_expression",
+    "parse_program",
+    "pretty",
+    "tokenize",
+    "validate_program",
+    "walk_statements",
+]

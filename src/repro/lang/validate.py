@@ -1,0 +1,150 @@
+"""Semantic validation of SL programs.
+
+Checks performed before any analysis runs:
+
+* every ``goto`` target names a label that exists;
+* labels are unique;
+* ``break`` only appears inside a loop or a switch;
+* ``continue`` only appears inside a loop;
+* no switch arm repeats a ``case`` value or has two ``default`` labels.
+
+:func:`collect_labels` is shared with the CFG builder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang.ast_nodes import (
+    Block,
+    Break,
+    Continue,
+    DoWhile,
+    For,
+    Goto,
+    If,
+    Program,
+    Stmt,
+    Switch,
+    While,
+)
+from repro.lang.errors import ValidationError
+
+
+def collect_labels(program: Program) -> Dict[str, Stmt]:
+    """Map each statement label to its statement.
+
+    Raises
+    ------
+    ValidationError
+        If two statements carry the same label.
+    """
+    labels: Dict[str, Stmt] = {}
+    for stmt in program.statements():
+        if stmt.label is None:
+            continue
+        if stmt.label in labels:
+            raise ValidationError(
+                f"duplicate label {stmt.label!r} "
+                f"(lines {labels[stmt.label].line} and {stmt.line})"
+            )
+        labels[stmt.label] = stmt
+    return labels
+
+
+def check_program(program: Program) -> List[str]:
+    """Return a list of diagnostic messages (empty when valid)."""
+    diagnostics: List[str] = []
+    labels: Dict[str, Stmt] = {}
+    for stmt in program.statements():
+        if stmt.label is not None:
+            if stmt.label in labels:
+                diagnostics.append(
+                    f"line {stmt.line}: duplicate label {stmt.label!r} "
+                    f"(first defined on line {labels[stmt.label].line})"
+                )
+            else:
+                labels[stmt.label] = stmt
+
+    for stmt in program.statements():
+        if isinstance(stmt, Goto) and stmt.target not in labels:
+            diagnostics.append(
+                f"line {stmt.line}: goto to undefined label {stmt.target!r}"
+            )
+
+    for top in program.body:
+        _check_jump_placement(top, diagnostics, in_loop=False, in_switch=False)
+
+    for stmt in program.statements():
+        if isinstance(stmt, Switch):
+            _check_switch_arms(stmt, diagnostics)
+
+    return diagnostics
+
+
+def _check_jump_placement(
+    stmt: Stmt, diagnostics: List[str], in_loop: bool, in_switch: bool
+) -> None:
+    """Recursively verify that break/continue appear in a legal context."""
+    if isinstance(stmt, Break):
+        if not (in_loop or in_switch):
+            diagnostics.append(
+                f"line {stmt.line}: 'break' outside a loop or switch"
+            )
+    elif isinstance(stmt, Continue):
+        if not in_loop:
+            diagnostics.append(f"line {stmt.line}: 'continue' outside a loop")
+    elif isinstance(stmt, If):
+        if stmt.then_branch is not None:
+            _check_jump_placement(stmt.then_branch, diagnostics, in_loop, in_switch)
+        if stmt.else_branch is not None:
+            _check_jump_placement(stmt.else_branch, diagnostics, in_loop, in_switch)
+    elif isinstance(stmt, (While, DoWhile)):
+        if stmt.body is not None:
+            # A new loop context: break leaves this loop, not any switch.
+            _check_jump_placement(
+                stmt.body, diagnostics, in_loop=True, in_switch=False
+            )
+    elif isinstance(stmt, For):
+        if stmt.body is not None:
+            _check_jump_placement(
+                stmt.body, diagnostics, in_loop=True, in_switch=False
+            )
+    elif isinstance(stmt, Switch):
+        for case in stmt.cases:
+            for inner in case.stmts:
+                _check_jump_placement(
+                    inner, diagnostics, in_loop=in_loop, in_switch=True
+                )
+    elif isinstance(stmt, Block):
+        for inner in stmt.stmts:
+            _check_jump_placement(inner, diagnostics, in_loop, in_switch)
+
+
+def _check_switch_arms(stmt: Switch, diagnostics: List[str]) -> None:
+    seen: Dict[object, int] = {}
+    for case in stmt.cases:
+        for match in case.matches:
+            key = "default" if match is None else match
+            if key in seen:
+                what = "'default'" if match is None else f"case {match}"
+                diagnostics.append(
+                    f"line {case.line}: duplicate {what} in switch "
+                    f"(first on line {seen[key]})"
+                )
+            else:
+                seen[key] = case.line
+
+
+def validate_program(program: Program) -> List[str]:
+    """Run all checks; raise :class:`ValidationError` on any failure.
+
+    Returns the (empty) diagnostic list on success so callers can use it
+    uniformly with :func:`check_program`.
+    """
+    diagnostics = check_program(program)
+    if diagnostics:
+        raise ValidationError(
+            "program failed validation:\n  " + "\n  ".join(diagnostics)
+        )
+    return diagnostics

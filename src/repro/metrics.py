@@ -1,0 +1,111 @@
+"""Slice-based cohesion metrics (the paper's §1 "software metrics"
+application; its references [21] Longworth–Ott–Smith and [23] Ott–Thuss).
+
+Ott & Thuss measure module cohesion from the slices of a module's
+outputs: if the slices for each output share most of their statements,
+the module does one thing; if they barely overlap, it is a grab-bag.
+The classic measures, over the slice family S₁..Sₖ of a program with
+statement set P:
+
+* **tightness**   |⋂ Sᵢ| / |P| — fraction of the program in *every*
+  slice;
+* **coverage**    (1/k) Σ |Sᵢ| / |P| — average slice size;
+* **min/max coverage** — the extremes of |Sᵢ| / |P|;
+* **overlap**     (1/k) Σ |⋂ Sⱼ| / |Sᵢ| — how much of each slice is
+  common to all.
+
+Because these are computed from slices, they inherit the paper's point:
+on programs with jumps they are only meaningful if the slicer treats the
+jumps correctly (the default here is the Fig. 7 algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang.ast_nodes import Var, Write
+from repro.lang.errors import SliceError
+from repro.pdg.builder import ProgramAnalysis
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.registry import get_algorithm
+
+
+@dataclass(frozen=True)
+class SliceMetrics:
+    """The Ott–Thuss cohesion numbers for one program."""
+
+    criteria: Tuple[SlicingCriterion, ...]
+    slice_sizes: Tuple[int, ...]
+    program_size: int
+    tightness: float
+    coverage: float
+    min_coverage: float
+    max_coverage: float
+    overlap: float
+
+    def describe(self) -> str:
+        lines = [
+            f"program size: {self.program_size} statements; "
+            f"{len(self.criteria)} output slices"
+        ]
+        for criterion, size in zip(self.criteria, self.slice_sizes):
+            lines.append(f"  {criterion}: {size} statements")
+        lines.append(
+            f"tightness={self.tightness:.3f} coverage={self.coverage:.3f} "
+            f"(min {self.min_coverage:.3f}, max {self.max_coverage:.3f}) "
+            f"overlap={self.overlap:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def output_criteria(analysis: ProgramAnalysis) -> List[SlicingCriterion]:
+    """The default criterion family: one per ``write(<var>)`` statement
+    (the program's observable outputs)."""
+    criteria = []
+    for node in analysis.cfg.statement_nodes():
+        stmt = node.stmt
+        if isinstance(stmt, Write) and isinstance(stmt.value, Var):
+            criteria.append(SlicingCriterion(line=node.line, var=stmt.value.name))
+    return criteria
+
+
+def slice_based_metrics(
+    analysis: ProgramAnalysis,
+    criteria: Optional[Sequence[SlicingCriterion]] = None,
+    algorithm: str = "agrawal",
+) -> SliceMetrics:
+    """Compute the Ott–Thuss metrics for *analysis*'s program.
+
+    Raises :class:`SliceError` when no criteria are available (a program
+    with no ``write(<var>)`` outputs and none supplied).
+    """
+    if criteria is None:
+        criteria = output_criteria(analysis)
+    if not criteria:
+        raise SliceError(
+            "no slicing criteria: the program has no write(<var>) "
+            "statements and none were supplied"
+        )
+    slicer = get_algorithm(algorithm)
+    slices = [
+        frozenset(slicer(analysis, criterion).statement_nodes())
+        for criterion in criteria
+    ]
+    program_size = len(analysis.cfg.statement_nodes())
+    intersection = frozenset.intersection(*slices)
+    sizes = [len(s) for s in slices]
+    coverages = [size / program_size for size in sizes]
+    overlaps = [
+        len(intersection) / len(s) if s else 0.0 for s in slices
+    ]
+    return SliceMetrics(
+        criteria=tuple(criteria),
+        slice_sizes=tuple(sizes),
+        program_size=program_size,
+        tightness=len(intersection) / program_size,
+        coverage=sum(coverages) / len(coverages),
+        min_coverage=min(coverages),
+        max_coverage=max(coverages),
+        overlap=sum(overlaps) / len(overlaps),
+    )

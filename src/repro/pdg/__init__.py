@@ -1,0 +1,20 @@
+"""Program dependence graphs (paper §2).
+
+The PDG merges the control- and data-dependence graphs of a program.
+:func:`build_pdg` produces the standard PDG (control dependence from the
+plain flowgraph); :func:`build_augmented_pdg` produces the Ball–Horwitz /
+Choi–Ferrante variant (control dependence from the augmented flowgraph,
+data dependence still from the plain one — exactly the paper's §5
+description of those algorithms).
+"""
+
+from repro.pdg.graph import ProgramDependenceGraph
+from repro.pdg.builder import ProgramAnalysis, analyze_program, build_augmented_pdg, build_pdg
+
+__all__ = [
+    "ProgramAnalysis",
+    "ProgramDependenceGraph",
+    "analyze_program",
+    "build_augmented_pdg",
+    "build_pdg",
+]

@@ -1,0 +1,168 @@
+"""PDG construction and the :class:`ProgramAnalysis` bundle.
+
+:func:`analyze_program` runs the whole front-end pipeline once — parse
+(when given source text), CFG, postdominator tree, lexical successor
+tree, control and data dependence, PDG — and hands back one object the
+slicing algorithms share.  The augmented variants (Ball–Horwitz) are
+computed lazily since only that baseline needs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.analysis.control_dependence import (
+    ControlDependenceGraph,
+    compute_control_dependence,
+)
+from repro.analysis.dataflow import DataflowResult
+from repro.analysis.defuse import DataDependenceGraph, compute_data_dependence
+from repro.analysis.lexical import LexicalSuccessorTree, build_lst
+from repro.analysis.reaching_defs import compute_reaching_definitions
+from repro.analysis.postdominance import build_postdominator_tree
+from repro.analysis.tree import Tree
+from repro.cfg.augmented import build_augmented_cfg
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import ControlFlowGraph
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+from repro.pdg.graph import CONTROL, DATA, ProgramDependenceGraph
+
+
+def build_pdg(
+    cfg: ControlFlowGraph,
+    cdg: Optional[ControlDependenceGraph] = None,
+    ddg: Optional[DataDependenceGraph] = None,
+    pdt: Optional[Tree] = None,
+) -> ProgramDependenceGraph:
+    """Merge control and data dependence into a PDG.
+
+    Any of the ingredient graphs may be passed in to avoid recomputation;
+    missing ones are computed from *cfg*.
+    """
+    if cdg is None:
+        if pdt is None:
+            pdt = build_postdominator_tree(cfg)
+        cdg = compute_control_dependence(cfg, pdt)
+    if ddg is None:
+        ddg = compute_data_dependence(cfg)
+    pdg = ProgramDependenceGraph()
+    for node_id in cfg.nodes:
+        pdg.add_node(node_id)
+    for src, dst, label in cdg.edges():
+        pdg.add_edge(src, dst, CONTROL, label)
+    for src, dst, var in ddg.edges():
+        pdg.add_edge(src, dst, DATA, var)
+    return pdg
+
+
+def build_augmented_pdg(
+    cfg: ControlFlowGraph,
+    ddg: Optional[DataDependenceGraph] = None,
+) -> ProgramDependenceGraph:
+    """The Ball–Horwitz / Choi–Ferrante augmented PDG: control dependence
+    from the **augmented** flowgraph, data dependence from the **plain**
+    one (paper §5)."""
+    augmented = build_augmented_cfg(cfg)
+    pdt = build_postdominator_tree(augmented)
+    cdg = compute_control_dependence(augmented, pdt)
+    if ddg is None:
+        ddg = compute_data_dependence(cfg)
+    pdg = ProgramDependenceGraph()
+    for node_id in cfg.nodes:
+        pdg.add_node(node_id)
+    for src, dst, label in cdg.edges():
+        pdg.add_edge(src, dst, CONTROL, label)
+    for src, dst, var in ddg.edges():
+        pdg.add_edge(src, dst, DATA, var)
+    return pdg
+
+
+@dataclass
+class ProgramAnalysis:
+    """Every analysis artefact for one program, computed once.
+
+    Attributes mirror the paper's figures: ``cfg`` (the flowgraph),
+    ``pdt`` (postdominator tree), ``cdg`` (control dependence graph),
+    ``lst`` (lexical successor tree), ``ddg``/``pdg`` (data / program
+    dependence graphs).
+    """
+
+    program: Program
+    cfg: ControlFlowGraph
+    pdt: Tree
+    lst: LexicalSuccessorTree
+    cdg: ControlDependenceGraph
+    ddg: DataDependenceGraph
+    pdg: ProgramDependenceGraph
+    reaching: Optional[DataflowResult] = field(default=None, repr=False)
+    _augmented_cfg: Optional[ControlFlowGraph] = field(default=None, repr=False)
+    _augmented_pdg: Optional[ProgramDependenceGraph] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def augmented_cfg(self) -> ControlFlowGraph:
+        if self._augmented_cfg is None:
+            self._augmented_cfg = build_augmented_cfg(self.cfg)
+        return self._augmented_cfg
+
+    @property
+    def augmented_pdg(self) -> ProgramDependenceGraph:
+        if self._augmented_pdg is None:
+            self._augmented_pdg = build_augmented_pdg(self.cfg, ddg=self.ddg)
+        return self._augmented_pdg
+
+    def node_text(self, node_id: int) -> str:
+        return self.cfg.nodes[node_id].text
+
+    def reaching_defs_of(self, node_id: int, var: str):
+        """Nodes whose definition of *var* may reach the entry of
+        *node_id* (used to resolve criteria naming a variable the
+        criterion statement does not itself use)."""
+        if self.reaching is None:
+            self.reaching = compute_reaching_definitions(self.cfg)
+        return sorted(
+            {
+                definition.node
+                for definition in self.reaching.in_[node_id]
+                if definition.var == var
+            }
+        )
+
+    def lines_of(self, node_ids) -> Dict[int, int]:
+        """Map node id → source line for a node set (reporting helper)."""
+        return {
+            node_id: self.cfg.nodes[node_id].line for node_id in sorted(node_ids)
+        }
+
+
+def analyze_program(
+    source_or_program: Union[str, Program],
+    fuse_cond_goto: bool = True,
+    chain_io: bool = True,
+    dominator_algorithm: str = "iterative",
+) -> ProgramAnalysis:
+    """Run the full analysis pipeline on SL source text or a parsed AST."""
+    if isinstance(source_or_program, str):
+        program = parse_program(source_or_program)
+    else:
+        program = source_or_program
+    cfg = build_cfg(program, fuse_cond_goto=fuse_cond_goto, chain_io=chain_io)
+    pdt = build_postdominator_tree(cfg, algorithm=dominator_algorithm)
+    lst = build_lst(cfg)
+    cdg = compute_control_dependence(cfg, pdt)
+    reaching = compute_reaching_definitions(cfg)
+    ddg = compute_data_dependence(cfg, reaching)
+    pdg = build_pdg(cfg, cdg=cdg, ddg=ddg)
+    return ProgramAnalysis(
+        program=program,
+        cfg=cfg,
+        pdt=pdt,
+        lst=lst,
+        cdg=cdg,
+        ddg=ddg,
+        pdg=pdg,
+        reaching=reaching,
+    )

@@ -1,0 +1,19 @@
+"""Slicing (a subset of) real Python via the stdlib ``ast`` module.
+
+Python has no ``goto``, but it has the paper's structured jumps —
+``break``, ``continue``, ``return`` — so the Fig. 12/13 algorithms apply
+directly.  :func:`translate_source` maps a Python subset onto SL
+statement for statement (keeping Python line numbers), and
+:func:`slice_python` runs any registered slicing algorithm over it,
+reporting which *Python lines* belong to the slice.
+"""
+
+from repro.pyfront.translate import TranslationError, translate_source
+from repro.pyfront.slicer import PythonSliceReport, slice_python
+
+__all__ = [
+    "PythonSliceReport",
+    "TranslationError",
+    "slice_python",
+    "translate_source",
+]

@@ -1,0 +1,245 @@
+"""Python-subset → SL translation (stdlib ``ast`` based).
+
+Supported statements::
+
+    x = expr            x += expr (and -=, *=, //=, %=)
+    if / elif / else    while cond:      for i in range(...):
+    break / continue / return [expr]
+    print(expr)         → write(expr)
+    x = read()          → read(x)
+    pass                → ;
+
+Supported expressions: integer literals, names, ``+ - * // %``, unary
+``-``/``not``, comparisons, ``and``/``or``, calls to intrinsics
+(``f1`` … ``eof()``).  Chained comparisons (``a < b < c``) expand to
+conjunctions.  ``True``/``False`` become ``1``/``0``.
+
+Every translated statement keeps its **Python line number**, so slicing
+criteria and slice reports speak in terms of the original file.
+Anything outside the subset raises :class:`TranslationError` naming the
+construct and its line.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from typing import List
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    For,
+    If,
+    Num,
+    Program,
+    Read,
+    Return,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    While,
+    Write,
+)
+from repro.lang.errors import SlangError
+
+
+class TranslationError(SlangError):
+    """A Python construct outside the supported subset."""
+
+
+_BINOPS = {
+    pyast.Add: "+",
+    pyast.Sub: "-",
+    pyast.Mult: "*",
+    pyast.FloorDiv: "/",
+    pyast.Mod: "%",
+}
+
+_CMPOPS = {
+    pyast.Lt: "<",
+    pyast.LtE: "<=",
+    pyast.Gt: ">",
+    pyast.GtE: ">=",
+    pyast.Eq: "==",
+    pyast.NotEq: "!=",
+}
+
+
+def _fail(node: pyast.AST, what: str) -> TranslationError:
+    line = getattr(node, "lineno", "?")
+    return TranslationError(
+        f"line {line}: unsupported Python construct: {what}"
+    )
+
+
+def _expr(node: pyast.expr) -> Expr:
+    if isinstance(node, pyast.Constant):
+        if isinstance(node.value, bool):
+            return Num(1 if node.value else 0)
+        if isinstance(node.value, int):
+            return Num(node.value)
+        raise _fail(node, f"non-integer constant {node.value!r}")
+    if isinstance(node, pyast.Name):
+        return Var(node.id)
+    if isinstance(node, pyast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise _fail(node, f"operator {type(node.op).__name__}")
+        return Binary(op=op, left=_expr(node.left), right=_expr(node.right))
+    if isinstance(node, pyast.UnaryOp):
+        if isinstance(node.op, pyast.USub):
+            return Unary(op="-", operand=_expr(node.operand))
+        if isinstance(node.op, pyast.Not):
+            return Unary(op="!", operand=_expr(node.operand))
+        raise _fail(node, f"unary {type(node.op).__name__}")
+    if isinstance(node, pyast.BoolOp):
+        op = "&&" if isinstance(node.op, pyast.And) else "||"
+        result = _expr(node.values[0])
+        for value in node.values[1:]:
+            result = Binary(op=op, left=result, right=_expr(value))
+        return result
+    if isinstance(node, pyast.Compare):
+        parts: List[Expr] = []
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            sl_op = _CMPOPS.get(type(op))
+            if sl_op is None:
+                raise _fail(node, f"comparison {type(op).__name__}")
+            parts.append(
+                Binary(op=sl_op, left=_expr(left), right=_expr(right))
+            )
+            left = right
+        result = parts[0]
+        for part in parts[1:]:
+            result = Binary(op="&&", left=result, right=part)
+        return result
+    if isinstance(node, pyast.Call):
+        if not isinstance(node.func, pyast.Name):
+            raise _fail(node, "call through a non-name")
+        if node.keywords:
+            raise _fail(node, "keyword arguments")
+        return Call(
+            name=node.func.id,
+            args=tuple(_expr(arg) for arg in node.args),
+        )
+    raise _fail(node, type(node).__name__)
+
+
+def _range_bounds(call: pyast.Call) -> tuple:
+    args = [_expr(arg) for arg in call.args]
+    if len(args) == 1:
+        return Num(0), args[0], Num(1)
+    if len(args) == 2:
+        return args[0], args[1], Num(1)
+    if len(args) == 3:
+        return args[0], args[1], args[2]
+    raise _fail(call, f"range() with {len(args)} arguments")
+
+
+def _stmt(node: pyast.stmt) -> Stmt:
+    line = node.lineno
+    if isinstance(node, pyast.Pass):
+        return Skip(line=line)
+    if isinstance(node, pyast.Assign):
+        if len(node.targets) != 1 or not isinstance(node.targets[0], pyast.Name):
+            raise _fail(node, "assignment to a non-name or multiple targets")
+        target = node.targets[0].id
+        # `x = read()` is the input-statement idiom.
+        if (
+            isinstance(node.value, pyast.Call)
+            and isinstance(node.value.func, pyast.Name)
+            and node.value.func.id == "read"
+            and not node.value.args
+        ):
+            return Read(line=line, target=target)
+        return Assign(line=line, target=target, value=_expr(node.value))
+    if isinstance(node, pyast.AugAssign):
+        if not isinstance(node.target, pyast.Name):
+            raise _fail(node, "augmented assignment to a non-name")
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise _fail(node, f"augmented operator {type(node.op).__name__}")
+        target = node.target.id
+        return Assign(
+            line=line,
+            target=target,
+            value=Binary(op=op, left=Var(target), right=_expr(node.value)),
+        )
+    if isinstance(node, pyast.Expr):
+        value = node.value
+        if (
+            isinstance(value, pyast.Call)
+            and isinstance(value.func, pyast.Name)
+            and value.func.id == "print"
+        ):
+            if len(value.args) != 1:
+                raise _fail(node, "print() with != 1 argument")
+            return Write(line=line, value=_expr(value.args[0]))
+        raise _fail(node, "expression statement (only print() is allowed)")
+    if isinstance(node, pyast.If):
+        return If(
+            line=line,
+            cond=_expr(node.test),
+            then_branch=_block(node.body, line),
+            else_branch=_block(node.orelse, line) if node.orelse else None,
+        )
+    if isinstance(node, pyast.While):
+        if node.orelse:
+            raise _fail(node, "while-else")
+        return While(
+            line=line, cond=_expr(node.test), body=_block(node.body, line)
+        )
+    if isinstance(node, pyast.For):
+        if node.orelse:
+            raise _fail(node, "for-else")
+        if not isinstance(node.target, pyast.Name):
+            raise _fail(node, "for over a non-name target")
+        if not (
+            isinstance(node.iter, pyast.Call)
+            and isinstance(node.iter.func, pyast.Name)
+            and node.iter.func.id == "range"
+        ):
+            raise _fail(node, "for over anything but range()")
+        start, stop, step = _range_bounds(node.iter)
+        counter = node.target.id
+        return For(
+            line=line,
+            init=Assign(line=line, target=counter, value=start),
+            cond=Binary(op="<", left=Var(counter), right=stop),
+            step=Assign(
+                line=line,
+                target=counter,
+                value=Binary(op="+", left=Var(counter), right=step),
+            ),
+            body=_block(node.body, line),
+        )
+    if isinstance(node, pyast.Break):
+        return Break(line=line)
+    if isinstance(node, pyast.Continue):
+        return Continue(line=line)
+    if isinstance(node, pyast.Return):
+        return Return(
+            line=line,
+            value=_expr(node.value) if node.value is not None else None,
+        )
+    raise _fail(node, type(node).__name__)
+
+
+def _block(stmts: List[pyast.stmt], line: int) -> Block:
+    return Block(line=line, stmts=[_stmt(stmt) for stmt in stmts])
+
+
+def translate_source(source: str) -> Program:
+    """Translate Python *source* (a module body, or a module defining a
+    single function whose body is taken) into an SL :class:`Program`."""
+    module = pyast.parse(source)
+    body = module.body
+    if len(body) == 1 and isinstance(body[0], pyast.FunctionDef):
+        body = body[0].body
+    return Program(body=[_stmt(stmt) for stmt in body], source=source)

@@ -1,0 +1,97 @@
+"""Program slicing algorithms — the paper's contribution and every
+baseline it compares against.
+
+The core entry points:
+
+* :func:`slice_program` — one-call convenience: source text + criterion
+  + algorithm name → :class:`SliceResult`.
+* :func:`agrawal_slice` — the paper's general Fig. 7 algorithm.
+* :func:`structured_slice` / :func:`conservative_slice` — the Fig. 12 and
+  Fig. 13 simplifications for structured programs.
+* :func:`conventional_slice` — classic PDG reachability (incorrect in the
+  presence of jumps; the paper's baseline).
+* :func:`ball_horwitz_slice`, :func:`lyle_slice`,
+  :func:`gallagher_slice`, :func:`jiang_slice`, :func:`weiser_slice` —
+  related-work baselines (§5).
+* :func:`extract_slice` / :func:`extract_source` — materialise a slice
+  as a runnable program.
+"""
+
+from typing import Union
+
+from repro.lang.ast_nodes import Program
+from repro.pdg.builder import ProgramAnalysis, analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.ball_horwitz import ball_horwitz_slice
+from repro.slicing.common import SliceResult, nearest_in_slice, reassociate_labels
+from repro.slicing.conservative import conservative_slice
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import (
+    ResolvedCriterion,
+    SlicingCriterion,
+    resolve_criterion,
+)
+from repro.slicing.extract import ExtractedSlice, extract_slice, extract_source
+from repro.slicing.forward import chop, forward_slice
+from repro.slicing.gallagher import gallagher_slice
+from repro.slicing.jiang import jiang_slice
+from repro.slicing.lyle import lyle_slice
+from repro.slicing.registry import (
+    ALGORITHMS,
+    CORRECT_GENERAL,
+    CORRECT_STRUCTURED,
+    algorithm_names,
+    get_algorithm,
+)
+from repro.slicing.structured import structured_slice
+from repro.slicing.weiser import weiser_slice
+
+
+def slice_program(
+    source_or_analysis: Union[str, Program, ProgramAnalysis],
+    line: int,
+    var: str,
+    algorithm: str = "agrawal",
+) -> SliceResult:
+    """Slice a program with respect to ``(var, line)``.
+
+    Accepts SL source text, a parsed :class:`Program`, or a prebuilt
+    :class:`ProgramAnalysis` (reuse one when slicing the same program
+    repeatedly).
+    """
+    if isinstance(source_or_analysis, ProgramAnalysis):
+        analysis = source_or_analysis
+    else:
+        analysis = analyze_program(source_or_analysis)
+    slicer = get_algorithm(algorithm)
+    return slicer(analysis, SlicingCriterion(line=line, var=var))
+
+
+__all__ = [
+    "ALGORITHMS",
+    "CORRECT_GENERAL",
+    "CORRECT_STRUCTURED",
+    "ExtractedSlice",
+    "ResolvedCriterion",
+    "SliceResult",
+    "SlicingCriterion",
+    "agrawal_slice",
+    "algorithm_names",
+    "ball_horwitz_slice",
+    "chop",
+    "conservative_slice",
+    "conventional_slice",
+    "extract_slice",
+    "forward_slice",
+    "extract_source",
+    "gallagher_slice",
+    "get_algorithm",
+    "jiang_slice",
+    "lyle_slice",
+    "nearest_in_slice",
+    "reassociate_labels",
+    "resolve_criterion",
+    "slice_program",
+    "structured_slice",
+    "weiser_slice",
+]

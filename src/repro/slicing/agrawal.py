@@ -1,0 +1,228 @@
+"""Agrawal's general slicing algorithm — the paper's Figure 7.
+
+Start from the conventional slice.  Repeatedly traverse the postdominator
+tree in pre-order; for every unconditional jump statement J not yet in
+the slice, compare its *nearest postdominator in the slice* with its
+*nearest lexical successor in the slice* (EXIT counts as in the slice for
+both).  If they differ, J's presence affects the relative order or
+guarding of the sliced statements, so J joins the slice along with the
+transitive closure of its (control and data) dependences.  Iterate until
+a whole traversal adds no jump.  Finally, re-associate the label of any
+in-slice goto whose target fell outside the slice with the target's
+nearest postdominator in the slice.
+
+§3 notes that the traversal may equally be driven by pre-order over the
+*lexical successor tree*; the final slice is identical though the number
+of traversals may differ.  ``drive_tree="lexical"`` selects that variant
+(ablation experiment B2 in DESIGN.md).
+
+Additions take effect immediately *within* a traversal — the paper's
+Fig. 3 walkthrough depends on it (node 13's inclusion is what keeps node
+11 out) — hence the inner loop consults the live slice set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.lang.errors import SliceError
+from repro.pdg.builder import ProgramAnalysis
+from repro.slicing.common import (
+    SliceResult,
+    conventional_base,
+    nearest_in_slice,
+    reassociate_labels,
+)
+from repro.slicing.criterion import SlicingCriterion, resolve_criterion
+
+#: Safety bound on fixed-point traversals; the loop provably terminates
+#: (each round adds at least one of finitely many jumps) so hitting this
+#: indicates an implementation bug, not a hard program.
+MAX_TRAVERSALS = 10_000
+
+
+def _prune_redundant_jumps(
+    analysis: ProgramAnalysis, slice_set: Set[int], base: frozenset
+) -> None:
+    """Drop algorithm-added jumps that are redundant at the fixed point,
+    together with the dependence-closure members only they brought in.
+
+    Sound by the paper's own criterion: a jump whose nearest
+    postdominator in the slice equals its nearest lexical successor in
+    the slice "will not adversely affect the flow of control among the
+    statements included in the slice" when omitted (§3).  The candidate
+    slice is rebuilt as ``base ∪ closures(surviving jumps)`` after each
+    removal, so orphaned closure nodes disappear too; the loop iterates
+    because one removal can make another jump redundant.
+    """
+    cfg = analysis.cfg
+    jumps: Set[int] = {
+        node_id
+        for node_id in slice_set - base
+        if cfg.nodes.get(node_id) is not None and cfg.nodes[node_id].is_jump
+    }
+    closures = {
+        jump: analysis.pdg.backward_closure([jump]) for jump in jumps
+    }
+
+    def rebuild(kept: Set[int]) -> Set[int]:
+        result = set(base)
+        for jump in kept:
+            result.add(jump)
+            result |= closures[jump]
+        return result
+
+    changed = True
+    while changed:
+        changed = False
+        for jump in sorted(jumps):
+            candidate = rebuild(jumps - {jump})
+            npd = nearest_in_slice(analysis.pdt, jump, candidate, cfg.exit_id)
+            nls = nearest_in_slice(analysis.lst, jump, candidate, cfg.exit_id)
+            if npd == nls:
+                jumps.discard(jump)
+                changed = True
+                break
+
+    slice_set.clear()
+    slice_set.update(rebuild(jumps))
+
+
+def agrawal_slice(
+    analysis: ProgramAnalysis,
+    criterion: SlicingCriterion,
+    drive_tree: str = "postdominator",
+    prune_redundant: bool = False,
+    explain: Optional[List[str]] = None,
+) -> SliceResult:
+    """Slice with the paper's Fig. 7 algorithm.
+
+    Parameters
+    ----------
+    drive_tree:
+        ``"postdominator"`` (paper default) or ``"lexical"`` — which
+        tree's pre-order drives the per-traversal examination order.
+    prune_redundant:
+        The algorithm examines jumps in pre-order, but the paper leaves
+        *sibling* order unspecified — and this reproduction found that
+        the choice can matter (erratum E2, EXPERIMENTS.md): a jump
+        examined before the slice has grown may pass the npd ≠ nls test
+        and be added, even though at the fixed point the test no longer
+        holds; the algorithm never removes jumps.  The result is a
+        superset of the Ball–Horwitz slice, differing only by such
+        redundant no-op jumps, and remains semantically correct.  With
+        ``prune_redundant=True`` a post-pass repeatedly removes added
+        jumps whose nearest postdominator and lexical successor in the
+        remaining slice coincide — sound by the paper's own omission
+        criterion — which restores exact Ball–Horwitz equality on every
+        program we have tested.
+    explain:
+        Pass a list to collect a human-readable narration of the run —
+        one line per jump examination with its nearest-postdominator /
+        nearest-lexical-successor verdict, in the style of the paper's
+        §3 walkthroughs.
+    """
+    if drive_tree == "postdominator":
+        order_tree = analysis.pdt
+    elif drive_tree == "lexical":
+        order_tree = analysis.lst
+    else:
+        raise SliceError(
+            f"unknown drive_tree {drive_tree!r}; expected "
+            "'postdominator' or 'lexical'"
+        )
+
+    resolved = resolve_criterion(analysis, criterion)
+    cfg = analysis.cfg
+    slice_set: Set[int] = conventional_base(analysis, resolved)
+    base = frozenset(slice_set)
+    if explain is not None:
+        members = sorted(
+            n for n in base if cfg.nodes[n].stmt is not None
+        )
+        explain.append(
+            f"conventional slice w.r.t. {criterion}: {members}"
+        )
+
+    # ``traversals`` counts *productive* traversals — ones that added at
+    # least one jump — matching the paper's usage ("a single traversal
+    # ... was sufficient", "node 4 is added ... during the second
+    # preorder traversal").  The final, confirming pass is not counted.
+    traversals = 0
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > MAX_TRAVERSALS:
+            raise AssertionError(
+                "Fig. 7 fixed point failed to converge; this is a bug"
+            )
+        added_jump = False
+        for node_id in order_tree.preorder():
+            node = cfg.nodes.get(node_id)
+            if node is None or not node.is_jump or node_id in slice_set:
+                continue
+            npd = nearest_in_slice(
+                analysis.pdt, node_id, slice_set, cfg.exit_id
+            )
+            nls = nearest_in_slice(
+                analysis.lst, node_id, slice_set, cfg.exit_id
+            )
+            if npd != nls:
+                closure = analysis.pdg.backward_closure([node_id])
+                if explain is not None:
+                    brought = sorted(
+                        n
+                        for n in closure - slice_set - {node_id}
+                        if cfg.nodes[n].stmt is not None
+                    )
+                    extra = f"; closure adds {brought}" if brought else ""
+                    explain.append(
+                        f"traversal {traversals + 1}: jump {node_id} "
+                        f"({node.text!r}, line {node.line}) — nearest "
+                        f"postdominator in slice {npd} != nearest lexical "
+                        f"successor in slice {nls}: INCLUDE{extra}"
+                    )
+                slice_set.add(node_id)
+                slice_set |= closure
+                added_jump = True
+            elif explain is not None:
+                explain.append(
+                    f"traversal {traversals + 1}: jump {node_id} "
+                    f"({node.text!r}, line {node.line}) — both nearest "
+                    f"postdominator and lexical successor in slice are "
+                    f"{npd}: skip"
+                )
+        if not added_jump:
+            break
+        traversals += 1
+
+    if prune_redundant:
+        before = frozenset(slice_set)
+        _prune_redundant_jumps(analysis, slice_set, base)
+        if explain is not None and before != frozenset(slice_set):
+            removed = sorted(before - slice_set)
+            explain.append(f"prune: removed redundant nodes {removed}")
+
+    nodes = frozenset(slice_set)
+    label_map = reassociate_labels(analysis, nodes)
+    if explain is not None:
+        for label, node_id in sorted(label_map.items()):
+            explain.append(
+                f"label {label}: target not in slice; re-associated with "
+                f"its nearest postdominator in the slice, node {node_id}"
+            )
+        final = sorted(
+            n for n in nodes if cfg.nodes[n].stmt is not None
+        )
+        explain.append(
+            f"final slice after {traversals} productive traversal(s): "
+            f"{final}"
+        )
+    return SliceResult(
+        algorithm="agrawal" if not prune_redundant else "agrawal-pruned",
+        resolved=resolved,
+        nodes=nodes,
+        analysis=analysis,
+        traversals=traversals,
+        label_map=label_map,
+    )

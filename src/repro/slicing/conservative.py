@@ -1,0 +1,91 @@
+"""Agrawal's conservative on-the-fly algorithm — Figure 13.
+
+The extreme simplification for structured programs: skip the lexical
+successor tree and the postdominator-tree traversal entirely, and add
+**every** jump statement that is directly control dependent on a
+predicate in the slice.  The result may contain jumps the Fig. 12
+algorithm would omit (paper Fig. 14c includes the ``break`` statements on
+lines 5 and 7 that Fig. 14b does not), but it is never *less* than
+Fig. 12's slice, never incorrect on structured programs, and cheap enough
+to fold into the conventional slicer's closure ("on-the-fly detection",
+§4).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.lang.errors import SliceError
+from repro.pdg.builder import ProgramAnalysis
+from repro.analysis.lexical import is_structured_program
+from repro.slicing.common import SliceResult, conventional_base, reassociate_labels
+from repro.slicing.criterion import SlicingCriterion, resolve_criterion
+from repro.slicing.structured import (
+    _controlled_by_slice_predicate,
+    exit_diverting_predicates,
+)
+
+
+def conservative_slice(
+    analysis: ProgramAnalysis,
+    criterion: SlicingCriterion,
+    force: bool = False,
+) -> SliceResult:
+    """Slice with the paper's Fig. 13 algorithm.
+
+    Like :func:`repro.slicing.structured.structured_slice`, this is only
+    guaranteed correct on structured programs; ``force=True`` bypasses
+    the check.
+    """
+    structured = is_structured_program(analysis.cfg, analysis.lst)
+    if not structured and not force:
+        raise SliceError(
+            "Fig. 13 is only correct for structured programs; use "
+            "agrawal_slice for unstructured programs or pass force=True"
+        )
+    dead = analysis.cfg.unreachable_statements()
+    if dead and not force:
+        raise SliceError(
+            "Fig. 13 assumes no unreachable code (a jump guarding dead "
+            f"code would be missed; first dead statement at line "
+            f"{dead[0].line}); use agrawal_slice or pass force=True"
+        )
+    diverting = exit_diverting_predicates(analysis)
+    if diverting and not force:
+        line = analysis.cfg.nodes[diverting[0]].line
+        raise SliceError(
+            "Fig. 13 shares Fig. 12's property-2 precondition, violated "
+            f"by the all-branches-leave predicate at line {line} "
+            "(erratum E1, see EXPERIMENTS.md); use agrawal_slice or "
+            "pass force=True"
+        )
+
+    resolved = resolve_criterion(analysis, criterion)
+    cfg = analysis.cfg
+    slice_set: Set[int] = conventional_base(analysis, resolved)
+
+    for node in cfg.jump_nodes():
+        if node.id in slice_set:
+            continue
+        if _controlled_by_slice_predicate(analysis, node.id, slice_set):
+            slice_set.add(node.id)
+            # The paper adds no closure here, justified by its property
+            # 2 (an added jump's dependences are already in the slice).
+            # We union the closure anyway: it is a no-op exactly when
+            # property 2 holds, and it keeps the slice well-formed (a
+            # jump never appears without its enclosing construct) in the
+            # corner cases the property misses — e.g. a jump controlled
+            # only by the dummy entry predicate.
+            slice_set |= analysis.pdg.backward_closure([node.id])
+
+    nodes = frozenset(slice_set)
+    notes = [] if structured else ["ran on an unstructured program (force)"]
+    return SliceResult(
+        algorithm="conservative",
+        resolved=resolved,
+        nodes=nodes,
+        analysis=analysis,
+        traversals=0,
+        label_map=reassociate_labels(analysis, nodes),
+        notes=notes,
+    )

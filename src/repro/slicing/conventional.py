@@ -1,0 +1,35 @@
+"""The conventional slicing algorithm (paper §2).
+
+Transitive closure of data and control dependences from the criterion
+node over the program dependence graph (Ottenstein & Ottenstein, Horwitz–
+Reps–Binkley).  Includes the conditional-jump adaptation the paper folds
+in ("if the predicate in a conditional jump statement is included …, the
+associated jump must also be included") — automatic here because the CFG
+builder fuses ``if (e) goto L;`` into one node.
+
+On programs with unconditional jump statements the result is generally
+**not** a correct slice — that is the paper's launching point (Fig. 3b) —
+but it is the base every other algorithm refines.
+"""
+
+from __future__ import annotations
+
+from repro.pdg.builder import ProgramAnalysis
+from repro.slicing.common import SliceResult, conventional_base, reassociate_labels
+from repro.slicing.criterion import SlicingCriterion, resolve_criterion
+
+
+def conventional_slice(
+    analysis: ProgramAnalysis, criterion: SlicingCriterion
+) -> SliceResult:
+    """Slice by PDG backward reachability only."""
+    resolved = resolve_criterion(analysis, criterion)
+    nodes = frozenset(conventional_base(analysis, resolved))
+    return SliceResult(
+        algorithm="conventional",
+        resolved=resolved,
+        nodes=nodes,
+        analysis=analysis,
+        traversals=0,
+        label_map=reassociate_labels(analysis, nodes),
+    )

@@ -1,0 +1,94 @@
+"""Slicing criteria.
+
+The paper slices "with respect to a variable, var, and a location, loc"
+(§1).  :class:`SlicingCriterion` names those two things by source line
+and variable name; :func:`resolve_criterion` maps them onto CFG nodes:
+
+* the *criterion node* is the statement at the given line (preferring one
+  that uses the variable, then one that defines it);
+* the *seed set* for the dependence closure is the criterion node itself
+  when it uses or defines the variable, otherwise the node plus every
+  definition of the variable reaching it (the value "observed" at a
+  location that does not mention the variable is whatever definition
+  flows there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+from repro.lang.errors import SliceError
+from repro.pdg.builder import ProgramAnalysis
+
+
+@dataclass(frozen=True)
+class SlicingCriterion:
+    """Slice with respect to *var* at source line *line*."""
+
+    line: int
+    var: str
+
+    def __str__(self) -> str:
+        return f"<{self.var}, line {self.line}>"
+
+
+@dataclass(frozen=True)
+class ResolvedCriterion:
+    """A criterion mapped onto CFG nodes."""
+
+    criterion: SlicingCriterion
+    node_id: int
+    seeds: FrozenSet[int]
+
+
+def resolve_criterion(
+    analysis: ProgramAnalysis, criterion: SlicingCriterion
+) -> ResolvedCriterion:
+    """Locate the criterion statement and the dependence seeds.
+
+    Raises
+    ------
+    SliceError
+        When no statement exists at the requested line.
+    """
+    cfg = analysis.cfg
+    candidates: List[int] = [
+        node.id
+        for node in cfg.statement_nodes()
+        if node.line == criterion.line
+    ]
+    if not candidates:
+        lines = sorted({n.line for n in cfg.statement_nodes()})
+        raise SliceError(
+            f"no statement at line {criterion.line}; "
+            f"statement lines are {lines}"
+        )
+    node_id = _pick_candidate(analysis, candidates, criterion.var)
+    node = cfg.nodes[node_id]
+    if criterion.var in node.uses or criterion.var in node.defs:
+        seeds: FrozenSet[int] = frozenset({node_id})
+    else:
+        reaching = analysis.reaching_defs_of(node_id, criterion.var)
+        seeds = frozenset({node_id, *reaching})
+    return ResolvedCriterion(criterion=criterion, node_id=node_id, seeds=seeds)
+
+
+def _pick_candidate(
+    analysis: ProgramAnalysis, candidates: List[int], var: str
+) -> int:
+    """Among same-line statements, prefer one using *var*, then one
+    defining it, then the first."""
+    using: Optional[int] = None
+    defining: Optional[int] = None
+    for node_id in candidates:
+        node = analysis.cfg.nodes[node_id]
+        if using is None and var in node.uses:
+            using = node_id
+        if defining is None and var in node.defs:
+            defining = node_id
+    if using is not None:
+        return using
+    if defining is not None:
+        return defining
+    return candidates[0]

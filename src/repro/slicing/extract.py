@@ -1,0 +1,410 @@
+"""Extraction: turn a slice (a set of CFG nodes) back into a runnable
+SL program.
+
+Rules (DESIGN.md §4):
+
+* a simple statement or jump is kept iff its node is in the slice;
+* a compound statement is kept iff its predicate node is in the slice
+  (dependence closure guarantees no orphaned body statements — asserted);
+* an ``if`` whose kept branch list is empty renders as ``;`` on that
+  side; an ``else`` with nothing left disappears;
+* statement labels survive only if some retained goto still targets
+  them; *re-associated* labels (the slicer's ``label_map``) are emitted
+  as labelled empty statements ``L: ;`` immediately before the statement
+  they were re-associated to — the paper prints these as bare labels on
+  their own line (``L14`` in Fig. 3c, ``L6``/``L8`` in Fig. 10b);
+* a switch arm whose statements are all dropped is removed; its ``case``
+  labels are re-associated, exactly like goto labels, to the arm
+  containing the nearest in-slice postdominator of the dropped arm's
+  entry — if that lands outside the switch the arm vanishes (an empty
+  arm must not be kept: it would fall through into the next arm, which
+  the original only did on the paths the slicer just proved irrelevant).
+
+The extractor deep-copies every retained statement and returns a mapping
+from original to copied statements so callers (the semantic-correctness
+oracle in particular) can find the criterion statement inside the
+extracted program.
+
+Known approximation: a re-associated label that lands on the *test* node
+of a ``do``-``while`` is emitted before the whole loop, which enters the
+body first rather than the test.  SL programs mixing ``goto`` into
+``do``-``while`` headers can observe the difference; none of the paper's
+programs (nor the generator's) do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.graph import ControlFlowGraph, NodeKind
+from repro.lang.ast_nodes import (
+    Assign,
+    Block,
+    Break,
+    Continue,
+    DoWhile,
+    For,
+    Goto,
+    If,
+    Program,
+    Read,
+    Return,
+    Skip,
+    Stmt,
+    Switch,
+    SwitchCase,
+    While,
+    Write,
+    walk_statements,
+)
+from repro.lang.errors import SliceError
+from repro.slicing.common import SliceResult
+
+
+@dataclass
+class ExtractedSlice:
+    """The extracted program plus provenance.
+
+    ``stmt_map`` maps ``id(original statement)`` to the copied statement
+    in the extracted program (only for retained statements).
+    """
+
+    program: Program
+    stmt_map: Dict[int, Stmt] = field(default_factory=dict)
+
+    def find(self, original: Stmt) -> Optional[Stmt]:
+        return self.stmt_map.get(id(original))
+
+
+class _Extractor:
+    def __init__(self, result: SliceResult) -> None:
+        self.result = result
+        self.analysis = result.analysis
+        self.cfg: ControlFlowGraph = result.analysis.cfg
+        self.slice_nodes = set(result.nodes)
+        self.label_map = dict(result.label_map)
+        self.stmt_map: Dict[int, Stmt] = {}
+        # Labels still needed: targets of retained (cond)gotos that were
+        # NOT re-associated.
+        self.needed_labels: Set[str] = set()
+        for node_id in self.slice_nodes:
+            node = self.cfg.nodes.get(node_id)
+            if (
+                node is not None
+                and node.goto_target is not None
+                and node.goto_target not in self.label_map
+            ):
+                self.needed_labels.add(node.goto_target)
+        # Dangling labels to emit before a given node's statement.
+        self.labels_by_node: Dict[int, List[str]] = {}
+        for label, node_id in sorted(self.label_map.items()):
+            self.labels_by_node.setdefault(node_id, []).append(label)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExtractedSlice:
+        body = self._copy_sequence(self.result.analysis.program.body)
+        # Labels re-associated to EXIT land after the last statement.
+        for label in self.labels_by_node.get(self.cfg.exit_id, []):
+            body.append(Skip(label=label))
+        return ExtractedSlice(program=Program(body=body), stmt_map=self.stmt_map)
+
+    def _copy_sequence(self, stmts: List[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in stmts:
+            out.extend(self._copy_statement(stmt))
+        return out
+
+    def _kept_label(self, stmt: Stmt) -> Optional[str]:
+        if stmt.label is not None and stmt.label in self.needed_labels:
+            return stmt.label
+        return None
+
+    def _dangling_before(self, node_id: int) -> List[Stmt]:
+        return [
+            Skip(label=label)
+            for label in self.labels_by_node.get(node_id, [])
+        ]
+
+    def _retained(self, node_id: int) -> bool:
+        return node_id in self.slice_nodes
+
+    def _assert_no_orphans(self, stmt: Stmt) -> None:
+        """A dropped compound must contain no retained statements —
+        dependence closure guarantees it; a violation means the slicer
+        produced an inconsistent node set."""
+        for inner in walk_statements(stmt):
+            if self.cfg.has_node_for(inner) and self._retained(
+                self.cfg.node_of(inner)
+            ):
+                raise SliceError(
+                    f"inconsistent slice: statement at line {inner.line} is "
+                    f"in the slice but its enclosing construct at line "
+                    f"{stmt.line} is not"
+                )
+
+    # ------------------------------------------------------------------
+
+    def _copy_statement(self, stmt: Stmt) -> List[Stmt]:
+        if isinstance(stmt, Block):
+            inner = self._copy_sequence(stmt.stmts)
+            if not inner:
+                return []
+            return [Block(line=stmt.line, label=self._kept_label(stmt), stmts=inner)]
+
+        node_id = self.cfg.node_of(stmt)
+        if not self._retained(node_id):
+            if isinstance(stmt, Switch):
+                return self._hoist_dropped_switch(stmt, node_id)
+            self._assert_no_orphans(stmt)
+            # Even a dropped statement may carry a re-associated label
+            # pointing at *another* node; those are handled at that node.
+            return []
+
+        prefix = self._dangling_before(node_id)
+        copied = self._copy_retained(stmt, node_id)
+        self.stmt_map[id(stmt)] = copied
+        return prefix + [copied]
+
+    def _copy_retained(self, stmt: Stmt, node_id: int) -> Stmt:
+        label = self._kept_label(stmt)
+        if isinstance(stmt, Skip):
+            return Skip(line=stmt.line, label=label)
+        if isinstance(stmt, Assign):
+            return Assign(
+                line=stmt.line, label=label, target=stmt.target, value=stmt.value
+            )
+        if isinstance(stmt, Read):
+            return Read(line=stmt.line, label=label, target=stmt.target)
+        if isinstance(stmt, Write):
+            return Write(line=stmt.line, label=label, value=stmt.value)
+        if isinstance(stmt, Break):
+            return Break(line=stmt.line, label=label)
+        if isinstance(stmt, Continue):
+            return Continue(line=stmt.line, label=label)
+        if isinstance(stmt, Return):
+            return Return(line=stmt.line, label=label, value=stmt.value)
+        if isinstance(stmt, Goto):
+            return Goto(line=stmt.line, label=label, target=stmt.target)
+        if isinstance(stmt, If):
+            return self._copy_if(stmt, node_id, label)
+        if isinstance(stmt, While):
+            body = self._copy_branch(stmt.body)
+            return While(line=stmt.line, label=label, cond=stmt.cond, body=body)
+        if isinstance(stmt, DoWhile):
+            body = self._copy_branch(stmt.body)
+            return DoWhile(line=stmt.line, label=label, body=body, cond=stmt.cond)
+        if isinstance(stmt, For):
+            return self._copy_for(stmt, label)
+        if isinstance(stmt, Switch):
+            return self._copy_switch(stmt, label)
+        raise TypeError(f"unknown statement node: {stmt!r}")
+
+    def _copy_if(self, stmt: If, node_id: int, label: Optional[str]) -> Stmt:
+        node = self.cfg.nodes[node_id]
+        if node.kind is NodeKind.CONDGOTO:
+            goto = stmt.then_branch
+            # The fused goto is retained with its if; map it too so
+            # criterion lookups inside fused statements work.
+            new_goto = Goto(line=goto.line, target=goto.target)
+            self.stmt_map[id(goto)] = new_goto
+            return If(
+                line=stmt.line, label=label, cond=stmt.cond,
+                then_branch=new_goto, else_branch=None,
+            )
+        then_branch = self._copy_branch(stmt.then_branch)
+        else_branch: Optional[Stmt] = None
+        if stmt.else_branch is not None:
+            else_list = self._copy_statement(stmt.else_branch)
+            else_branch = self._pack_branch(else_list, stmt.else_branch)
+            if isinstance(else_branch, Skip) and else_branch.label is None:
+                else_branch = None  # nothing left on the else side
+        return If(
+            line=stmt.line,
+            label=label,
+            cond=stmt.cond,
+            then_branch=then_branch,
+            else_branch=else_branch,
+        )
+
+    def _copy_branch(self, branch: Optional[Stmt]) -> Stmt:
+        """Copy a loop/if body, collapsing to ``;`` when empty."""
+        if branch is None:
+            return Skip()
+        copied = self._copy_statement(branch)
+        return self._pack_branch(copied, branch)
+
+    @staticmethod
+    def _pack_branch(copied: List[Stmt], original: Stmt) -> Stmt:
+        if not copied:
+            return Skip()
+        if len(copied) == 1:
+            return copied[0]
+        # Dangling-label prefixes can turn one statement into several.
+        return Block(stmts=copied)
+
+    def _copy_for(self, stmt: For, label: Optional[str]) -> Stmt:
+        init = None
+        if stmt.init is not None and self._retained(self.cfg.node_of(stmt.init)):
+            init_list = self._copy_statement(stmt.init)
+            init = init_list[0] if init_list else None
+        step = None
+        if stmt.step is not None and self._retained(self.cfg.node_of(stmt.step)):
+            step_list = self._copy_statement(stmt.step)
+            step = step_list[0] if step_list else None
+        body = self._copy_branch(stmt.body)
+        return For(
+            line=stmt.line, label=label, init=init, cond=stmt.cond,
+            step=step, body=body,
+        )
+
+    def _hoist_dropped_switch(self, stmt: Switch, node_id: int) -> List[Stmt]:
+        """Extract retained statements from a switch whose subject is not
+        in the slice.
+
+        This is legitimate (unlike for if/while/do-while): a statement in
+        the switch's fall-through *tail* — reached by every arm, e.g. a
+        shared ``default`` suffix — postdominates the switch and so is
+        not control dependent on it.  All such retained statements lie on
+        the switch's postdominator spine, execute exactly once per switch
+        entry, in lexical order; emitting them in sequence in place of
+        the switch preserves semantics.  A retained statement that does
+        *not* postdominate the switch really is an inconsistency.
+        """
+        def check_spine(stmts: List[Stmt]) -> None:
+            # Only the arm-level retained statements must postdominate
+            # the switch; statements nested under them are governed by
+            # those (and dropped nested compounds assert their own
+            # consistency during copying).
+            for inner in stmts:
+                if isinstance(inner, Block):
+                    check_spine(inner.stmts)
+                    continue
+                inner_id = self.cfg.node_of(inner)
+                if self._retained(inner_id) and not (
+                    self.analysis.pdt.is_ancestor(inner_id, node_id)
+                ):
+                    raise SliceError(
+                        f"inconsistent slice: statement at line "
+                        f"{inner.line} is in the slice but does not "
+                        "postdominate its dropped enclosing switch at "
+                        f"line {stmt.line}"
+                    )
+
+        hoisted: List[Stmt] = []
+        for case in stmt.cases:
+            check_spine(case.stmts)
+            hoisted.extend(self._copy_sequence(case.stmts))
+        return hoisted
+
+    # ------------------------------------------------------------------
+    # Switch handling, including case-label re-association.
+    # ------------------------------------------------------------------
+
+    def _arm_entry_node(self, stmt: Switch, index: int) -> Optional[int]:
+        """The CFG node control reaches when the switch dispatches to arm
+        *index* (following fall-through past empty arms)."""
+        for case in stmt.cases[index:]:
+            for inner in case.stmts:
+                return self.cfg.entry_of(inner)
+        return None  # falls straight out of the switch
+
+    def _copy_switch(self, stmt: Switch, label: Optional[str]) -> Stmt:
+        copied_arms: List[Optional[SwitchCase]] = []
+        arm_nodes: List[Set[int]] = []
+        for case in stmt.cases:
+            nodes: Set[int] = set()
+            for inner in case.stmts:
+                for walked in walk_statements(inner):
+                    if self.cfg.has_node_for(walked):
+                        nodes.add(self.cfg.node_of(walked))
+            arm_nodes.append(nodes)
+            kept = self._copy_sequence(case.stmts)
+            if kept:
+                copied_arms.append(
+                    SwitchCase(matches=list(case.matches), stmts=kept, line=case.line)
+                )
+            else:
+                copied_arms.append(None)
+
+        # Re-associate the case labels of dropped arms.
+        for index, case in enumerate(stmt.cases):
+            if copied_arms[index] is not None:
+                continue
+            entry = self._arm_entry_node(stmt, index)
+            if entry is None:
+                continue
+            target = entry
+            if target not in self.slice_nodes:
+                target = self._nearest_postdom_in_slice(entry)
+            home = self._arm_containing(target, arm_nodes, copied_arms)
+            if home is not None:
+                copied_arms[home].matches = (
+                    list(case.matches) + copied_arms[home].matches
+                )
+
+        final_arms = [arm for arm in copied_arms if arm is not None]
+        return Switch(
+            line=stmt.line, label=label, subject=stmt.subject, cases=final_arms
+        )
+
+    def _nearest_postdom_in_slice(self, node_id: int) -> int:
+        from repro.slicing.common import nearest_in_slice
+
+        return nearest_in_slice(
+            self.analysis.pdt, node_id, self.slice_nodes, self.cfg.exit_id
+        )
+
+    @staticmethod
+    def _arm_containing(
+        node_id: int,
+        arm_nodes: List[Set[int]],
+        copied_arms: List[Optional[SwitchCase]],
+    ) -> Optional[int]:
+        for index, nodes in enumerate(arm_nodes):
+            if node_id in nodes and copied_arms[index] is not None:
+                return index
+        return None
+
+
+def extract_slice(result: SliceResult) -> ExtractedSlice:
+    """Materialise *result* as a runnable SL program (see module
+    docstring for the rules)."""
+    return _Extractor(result).run()
+
+
+@dataclass
+class _NodeSelection:
+    """The minimal view the extractor needs — lets non-slicer callers
+    (dead-code elimination, say) reuse extraction for any node set."""
+
+    analysis: object
+    nodes: frozenset
+    label_map: Dict[str, int]
+
+
+def extract_nodes(analysis, nodes, label_map: Optional[Dict[str, int]] = None) -> ExtractedSlice:
+    """Extract an arbitrary retained-node set as a runnable program.
+
+    The set must satisfy the same consistency rules as a slice (a kept
+    statement's enclosing compounds kept, modulo the switch-hoisting
+    case).  When *label_map* is None, dangling labels are re-associated
+    with :func:`repro.slicing.common.reassociate_labels`.
+    """
+    from repro.slicing.common import reassociate_labels
+
+    node_set = frozenset(nodes)
+    if label_map is None:
+        label_map = reassociate_labels(analysis, node_set)
+    selection = _NodeSelection(
+        analysis=analysis, nodes=node_set, label_map=dict(label_map)
+    )
+    return _Extractor(selection).run()
+
+
+def extract_source(result: SliceResult) -> str:
+    """The extracted slice as pretty-printed SL source."""
+    from repro.lang.pretty import pretty
+
+    return pretty(extract_slice(result).program)

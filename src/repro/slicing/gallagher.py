@@ -1,0 +1,77 @@
+"""Gallagher's jump rule (paper §5, references [11, 12]).
+
+"A jump statement, Goto L, is included in a slice only if a statement in
+the block labeled L and the predicates on which the jump statement is
+control dependent are included in the slice."  Break/continue/return are
+handled by the paper's suggested extension — think of them as gotos with
+dummy labels on their targets, i.e. the rule inspects the basic block the
+jump transfers control to.
+
+The rule iterates to a fixed point (added jumps pull in their dependence
+closure, which can make further blocks "included").
+
+The paper's calibration points, reproduced by the tests:
+
+* on Fig. 5 the rule correctly omits the ``continue`` on line 11 (the
+  predicate on line 9 is not in the slice);
+* on Fig. 16 it **incorrectly** omits the goto on line 4, because no
+  statement of the block labelled L6 is in the slice — so the extracted
+  "slice" executes ``y = f2(x)`` unconditionally (Fig. 16b).  This is the
+  unsoundness Agrawal's algorithm fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.analysis.lexical import jump_target
+from repro.cfg.basic_blocks import compute_basic_blocks
+from repro.pdg.builder import ProgramAnalysis
+from repro.slicing.common import SliceResult, conventional_base, reassociate_labels
+from repro.slicing.criterion import SlicingCriterion, resolve_criterion
+from repro.slicing.structured import PREDICATE_KINDS
+
+
+def gallagher_slice(
+    analysis: ProgramAnalysis, criterion: SlicingCriterion
+) -> SliceResult:
+    """Slice with the reconstruction of Gallagher's rule."""
+    resolved = resolve_criterion(analysis, criterion)
+    cfg = analysis.cfg
+    blocks = compute_basic_blocks(cfg)
+    slice_set: Set[int] = conventional_base(analysis, resolved)
+
+    changed = True
+    while changed:
+        changed = False
+        for jump in cfg.jump_nodes():
+            if jump.id in slice_set:
+                continue
+            target_block = blocks[jump_target(cfg, jump.id)]
+            block_touched = any(
+                member in slice_set for member in target_block.node_ids
+            )
+            if not block_touched:
+                continue
+            controlling = [
+                parent
+                for parent in analysis.cdg.parents_of(jump.id)
+                if cfg.nodes[parent].kind in PREDICATE_KINDS
+            ]
+            if controlling and not all(
+                parent in slice_set for parent in controlling
+            ):
+                continue
+            slice_set.add(jump.id)
+            slice_set |= analysis.pdg.backward_closure([jump.id])
+            changed = True
+
+    nodes = frozenset(slice_set)
+    return SliceResult(
+        algorithm="gallagher",
+        resolved=resolved,
+        nodes=nodes,
+        analysis=analysis,
+        traversals=0,
+        label_map=reassociate_labels(analysis, nodes),
+    )

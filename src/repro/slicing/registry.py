@@ -1,0 +1,66 @@
+"""Name → slicing-algorithm registry (CLI, benches, and compare tooling).
+
+Every algorithm shares the signature
+``f(analysis: ProgramAnalysis, criterion: SlicingCriterion) -> SliceResult``;
+variants needing extra arguments (the LST-driven Fig. 7 traversal, the
+forced structured slicers) are registered as partially-applied entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.pdg.builder import ProgramAnalysis
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.ball_horwitz import ball_horwitz_slice
+from repro.slicing.common import SliceResult
+from repro.slicing.conservative import conservative_slice
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.gallagher import gallagher_slice
+from repro.slicing.jiang import jiang_slice
+from repro.slicing.lyle import lyle_slice
+from repro.slicing.structured import structured_slice
+from repro.slicing.weiser import weiser_slice
+
+Slicer = Callable[[ProgramAnalysis, SlicingCriterion], SliceResult]
+
+
+def _agrawal_lexical(
+    analysis: ProgramAnalysis, criterion: SlicingCriterion
+) -> SliceResult:
+    return agrawal_slice(analysis, criterion, drive_tree="lexical")
+
+
+ALGORITHMS: Dict[str, Slicer] = {
+    "conventional": conventional_slice,
+    "agrawal": agrawal_slice,
+    "agrawal-lst": _agrawal_lexical,
+    "structured": structured_slice,
+    "conservative": conservative_slice,
+    "ball-horwitz": ball_horwitz_slice,
+    "lyle": lyle_slice,
+    "gallagher": gallagher_slice,
+    "jiang": jiang_slice,
+    "weiser": weiser_slice,
+}
+
+#: Algorithms that produce *correct* slices on arbitrary programs.
+CORRECT_GENERAL = ("agrawal", "agrawal-lst", "ball-horwitz", "lyle")
+
+#: Algorithms correct on structured programs only.
+CORRECT_STRUCTURED = ("structured", "conservative")
+
+
+def get_algorithm(name: str) -> Slicer:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown slicing algorithm {name!r}; "
+            f"known: {', '.join(sorted(ALGORITHMS))}"
+        ) from None
+
+
+def algorithm_names() -> List[str]:
+    return sorted(ALGORITHMS)

@@ -1,0 +1,159 @@
+"""Agrawal's simplified algorithm for structured programs — Figure 12.
+
+For programs whose every jump is structured (target lexically succeeds
+the jump: ``break``/``continue``/``return``, forward gotos along their
+own successor chain), §4 proves two properties:
+
+1. no (postdominates, lexically-succeeds) conflicting pair exists, so a
+   **single** pre-order traversal of the postdominator tree suffices; and
+2. a jump can only matter when a predicate it is *directly* control
+   dependent on is already in the slice — and then the closure of the
+   jump's dependences is already in the slice too.
+
+The algorithm therefore makes one traversal, considers only jumps
+directly control dependent on an in-slice predicate, applies the same
+nearest-postdominator vs nearest-lexical-successor test, and never needs
+to chase dependence closures.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cfg.graph import NodeKind
+from repro.lang.errors import SliceError
+from repro.pdg.builder import ProgramAnalysis
+from repro.analysis.lexical import is_structured_program
+from repro.slicing.common import (
+    SliceResult,
+    conventional_base,
+    nearest_in_slice,
+    reassociate_labels,
+)
+from repro.slicing.criterion import SlicingCriterion, resolve_criterion
+
+#: Node kinds that count as predicates for the "directly control
+#: dependent on a predicate in Slice" test.  ENTRY is included: the paper
+#: treats it as "a dummy predicate node, viz., node 0" (footnote 3) on
+#: which all top-level statements are control dependent, and it is in
+#: every slice's closure.  Without it, a top-level unguarded ``return``
+#: (whose removal resurrects dead code after it) would never be
+#: considered, and Figs. 12/13 would under-slice a structured program.
+PREDICATE_KINDS = frozenset(
+    {NodeKind.PREDICATE, NodeKind.SWITCH, NodeKind.CONDGOTO, NodeKind.ENTRY}
+)
+
+
+def exit_diverting_predicates(analysis: ProgramAnalysis) -> list:
+    """Predicates from which control never rejoins the program.
+
+    A predicate whose immediate postdominator is EXIT even though real
+    statements lexically follow it (every branch ``return``s, say) breaks
+    the paper's §4 property 2: jumps under it can be *needed* by a slice
+    while the predicate itself is not in the conventional slice — so
+    Figs. 12/13 would under-slice.  **This is a deviation from the paper
+    discovered by this reproduction's property-based tests** (see
+    EXPERIMENTS.md, finding E1): the counterexample
+
+    .. code-block:: c
+
+        if (p) { if (q) return 1; return 2; }   // both branches return
+        write(x);                                // criterion
+
+    is structured by the paper's definition, yet Fig. 12 drops both
+    returns (the criterion is not control dependent on ``q``, so ``q`` is
+    not in the conventional slice) while Fig. 7 and Ball–Horwitz keep
+    them.  The structured slicers therefore refuse programs containing
+    such predicates unless forced.
+    """
+    cfg = analysis.cfg
+    out = []
+    for node in cfg.statement_nodes():
+        if node.kind not in PREDICATE_KINDS:
+            continue
+        if (
+            analysis.pdt.parent_of(node.id) == cfg.exit_id
+            and analysis.lst.parent_of(node.id) != cfg.exit_id
+        ):
+            out.append(node.id)
+    return out
+
+
+def _controlled_by_slice_predicate(
+    analysis: ProgramAnalysis, node_id: int, slice_set: Set[int]
+) -> bool:
+    for parent in analysis.cdg.parents_of(node_id):
+        if (
+            parent in slice_set
+            and analysis.cfg.nodes[parent].kind in PREDICATE_KINDS
+        ):
+            return True
+    return False
+
+
+def structured_slice(
+    analysis: ProgramAnalysis,
+    criterion: SlicingCriterion,
+    force: bool = False,
+) -> SliceResult:
+    """Slice with the paper's Fig. 12 algorithm.
+
+    Raises :class:`SliceError` when the program is not structured, since
+    the algorithm's guarantees do not apply; pass ``force=True`` to run
+    it anyway (the result may then be an under-approximation — useful for
+    the tests that demonstrate *why* the precondition exists).
+    """
+    structured = is_structured_program(analysis.cfg, analysis.lst)
+    if not structured and not force:
+        raise SliceError(
+            "Fig. 12 requires a structured program (every jump's target "
+            "lexically succeeds it); use agrawal_slice for unstructured "
+            "programs or pass force=True to run regardless"
+        )
+    dead = analysis.cfg.unreachable_statements()
+    if dead and not force:
+        raise SliceError(
+            "Fig. 12 assumes no unreachable code (its property 2 fails "
+            f"on dead code; first dead statement at line {dead[0].line}); "
+            "use agrawal_slice or pass force=True"
+        )
+    diverting = exit_diverting_predicates(analysis)
+    if diverting and not force:
+        line = analysis.cfg.nodes[diverting[0]].line
+        raise SliceError(
+            "Fig. 12's property 2 fails when a predicate's every branch "
+            f"leaves the program (line {line}): jumps under it may be "
+            "needed while it is outside the conventional slice (erratum "
+            "E1, see EXPERIMENTS.md); use agrawal_slice or pass "
+            "force=True"
+        )
+
+    resolved = resolve_criterion(analysis, criterion)
+    cfg = analysis.cfg
+    slice_set: Set[int] = conventional_base(analysis, resolved)
+
+    for node_id in analysis.pdt.preorder():
+        node = cfg.nodes.get(node_id)
+        if node is None or not node.is_jump or node_id in slice_set:
+            continue
+        if not _controlled_by_slice_predicate(analysis, node_id, slice_set):
+            continue
+        npd = nearest_in_slice(analysis.pdt, node_id, slice_set, cfg.exit_id)
+        nls = nearest_in_slice(analysis.lst, node_id, slice_set, cfg.exit_id)
+        if npd != nls:
+            slice_set.add(node_id)
+            # Defensive closure — a no-op when the paper's property 2
+            # holds (see the matching comment in conservative.py).
+            slice_set |= analysis.pdg.backward_closure([node_id])
+
+    nodes = frozenset(slice_set)
+    notes = [] if structured else ["ran on an unstructured program (force)"]
+    return SliceResult(
+        algorithm="structured",
+        resolved=resolved,
+        nodes=nodes,
+        analysis=analysis,
+        traversals=1,
+        label_map=reassociate_labels(analysis, nodes),
+        notes=notes,
+    )

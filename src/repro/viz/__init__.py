@@ -1,0 +1,21 @@
+"""Rendering of the paper's graph figures (DOT and ASCII)."""
+
+from repro.viz.dot import (
+    ascii_tree,
+    cdg_to_dot,
+    cfg_to_dot,
+    ddg_to_dot,
+    pdg_to_dot,
+    render_all,
+    tree_to_dot,
+)
+
+__all__ = [
+    "ascii_tree",
+    "cdg_to_dot",
+    "cfg_to_dot",
+    "ddg_to_dot",
+    "pdg_to_dot",
+    "render_all",
+    "tree_to_dot",
+]

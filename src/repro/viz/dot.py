@@ -1,0 +1,210 @@
+"""Graphviz-DOT and ASCII renderings of the analysis graphs.
+
+The paper's figures 2, 4, 6, 9, 11 and 15 each show four graphs per
+program — flowgraph, postdominator tree, control-dependence graph, and
+lexical successor tree.  :func:`render_all` regenerates all of them (plus
+the data- and program-dependence graphs) for any program; the ``graph``
+CLI subcommand exposes it.
+
+Only plain strings are produced — no graphviz dependency; pipe the output
+to ``dot -Tpdf`` if rendering is wanted.  :func:`ascii_tree` draws trees
+directly in the terminal, which is what the tests snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.tree import Tree
+from repro.cfg.graph import ControlFlowGraph, NodeKind
+from repro.pdg.builder import ProgramAnalysis
+from repro.pdg.graph import ProgramDependenceGraph
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _node_label(cfg: ControlFlowGraph, node_id: int) -> str:
+    node = cfg.nodes[node_id]
+    if node.kind is NodeKind.ENTRY:
+        return "ENTRY"
+    if node.kind is NodeKind.EXIT:
+        return "EXIT"
+    return f"{node_id}: {node.text}"
+
+
+def _node_attrs(
+    cfg: ControlFlowGraph, node_id: int, highlight: Set[int]
+) -> str:
+    node = cfg.nodes[node_id]
+    attrs = [f"label={_quote(_node_label(cfg, node_id))}"]
+    if node.kind in (NodeKind.ENTRY, NodeKind.EXIT):
+        attrs.append("shape=oval")
+    elif node.is_branch:
+        attrs.append("shape=diamond")
+    elif node.is_jump:
+        # The paper draws jump statements with thick outlines.
+        attrs.append("shape=box")
+        attrs.append("penwidth=2.5")
+    else:
+        attrs.append("shape=box")
+    if node_id in highlight:
+        attrs.append("style=filled")
+        attrs.append("fillcolor=lightgrey")
+    return ", ".join(attrs)
+
+
+def cfg_to_dot(
+    cfg: ControlFlowGraph,
+    name: str = "flowgraph",
+    highlight: Optional[Iterable[int]] = None,
+) -> str:
+    """The flowgraph as DOT; *highlight* shades a node set (the paper
+    shades slice members)."""
+    shade = set(highlight or ())
+    lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
+    for node in cfg.sorted_nodes():
+        lines.append(f"  n{node.id} [{_node_attrs(cfg, node.id, shade)}];")
+    for src, dst, label in cfg.edges():
+        attr = f" [label={_quote(label)}]" if label not in ("fall",) else ""
+        lines.append(f"  n{src} -> n{dst}{attr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tree_to_dot(
+    tree: Tree,
+    cfg: ControlFlowGraph,
+    name: str = "tree",
+    highlight: Optional[Iterable[int]] = None,
+) -> str:
+    """A postdominator / dominator / lexical successor tree as DOT."""
+    shade = set(highlight or ())
+    lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
+    for node_id in sorted(tree.nodes):
+        lines.append(f"  n{node_id} [{_node_attrs(cfg, node_id, shade)}];")
+    for parent, child in sorted(tree.edges()):
+        lines.append(f"  n{parent} -> n{child};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dependence_to_dot(
+    edges: Iterable,
+    cfg: ControlFlowGraph,
+    name: str,
+    highlight: Set[int],
+    label_index: int = 2,
+) -> str:
+    lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
+    nodes: Set[int] = set()
+    edge_lines: List[str] = []
+    for edge in edges:
+        src, dst = edge[0], edge[1]
+        label = str(edge[label_index]) if len(edge) > label_index else ""
+        nodes.add(src)
+        nodes.add(dst)
+        attr = f" [label={_quote(label)}]" if label else ""
+        edge_lines.append(f"  n{src} -> n{dst}{attr};")
+    for node_id in sorted(nodes):
+        lines.append(f"  n{node_id} [{_node_attrs(cfg, node_id, highlight)}];")
+    lines.extend(edge_lines)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cdg_to_dot(
+    analysis: ProgramAnalysis,
+    name: str = "cdg",
+    highlight: Optional[Iterable[int]] = None,
+) -> str:
+    return _dependence_to_dot(
+        analysis.cdg.edges(), analysis.cfg, name, set(highlight or ())
+    )
+
+
+def ddg_to_dot(
+    analysis: ProgramAnalysis,
+    name: str = "ddg",
+    highlight: Optional[Iterable[int]] = None,
+) -> str:
+    return _dependence_to_dot(
+        analysis.ddg.edges(), analysis.cfg, name, set(highlight or ())
+    )
+
+
+def pdg_to_dot(
+    pdg: ProgramDependenceGraph,
+    cfg: ControlFlowGraph,
+    name: str = "pdg",
+    highlight: Optional[Iterable[int]] = None,
+) -> str:
+    shade = set(highlight or ())
+    lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
+    nodes: Set[int] = set()
+    edge_lines: List[str] = []
+    for src, dst, kind, detail in pdg.edges():
+        nodes.add(src)
+        nodes.add(dst)
+        style = "solid" if kind == "control" else "dashed"
+        label = detail if kind == "data" else ""
+        attr = f' [style={style}{f", label={_quote(label)}" if label else ""}]'
+        edge_lines.append(f"  n{src} -> n{dst}{attr};")
+    for node_id in sorted(nodes):
+        lines.append(f"  n{node_id} [{_node_attrs(cfg, node_id, shade)}];")
+    lines.extend(edge_lines)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_tree(
+    tree: Tree,
+    cfg: Optional[ControlFlowGraph] = None,
+    highlight: Optional[Iterable[int]] = None,
+) -> str:
+    """A terminal rendering of a tree; slice members marked with ``*``."""
+    shade = set(highlight or ())
+
+    def label(node_id: int) -> str:
+        mark = "*" if node_id in shade else ""
+        if cfg is None:
+            return f"{node_id}{mark}"
+        return f"{_node_label(cfg, node_id)}{mark}"
+
+    lines: List[str] = []
+
+    def walk(node_id: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(label(node_id))
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(f"{prefix}{connector}{label(node_id)}")
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        children = tree.children_of(node_id)
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(tree.root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_all(
+    analysis: ProgramAnalysis,
+    highlight: Optional[Iterable[int]] = None,
+) -> Dict[str, str]:
+    """Every graph the paper draws for a program, keyed by figure role."""
+    shade = list(highlight or ())
+    return {
+        "flowgraph": cfg_to_dot(analysis.cfg, "flowgraph", shade),
+        "postdominator-tree": tree_to_dot(
+            analysis.pdt, analysis.cfg, "postdominators", shade
+        ),
+        "control-dependence": cdg_to_dot(analysis, "cdg", shade),
+        "lexical-successor-tree": tree_to_dot(
+            analysis.lst, analysis.cfg, "lst", shade
+        ),
+        "data-dependence": ddg_to_dot(analysis, "ddg", shade),
+        "pdg": pdg_to_dot(analysis.pdg, analysis.cfg, "pdg", shade),
+    }

@@ -1,0 +1,30 @@
+"""Shared fixtures: cached analyses of the paper corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.pdg.builder import ProgramAnalysis, analyze_program
+
+_ANALYSIS_CACHE = {}
+
+
+def corpus_analysis(name: str) -> ProgramAnalysis:
+    """Analyze a corpus program once per test session."""
+    if name not in _ANALYSIS_CACHE:
+        _ANALYSIS_CACHE[name] = analyze_program(PAPER_PROGRAMS[name].source)
+    return _ANALYSIS_CACHE[name]
+
+
+@pytest.fixture
+def analyze():
+    """Function fixture: source text -> ProgramAnalysis."""
+    return analyze_program
+
+
+@pytest.fixture(params=sorted(PAPER_PROGRAMS))
+def corpus_entry(request):
+    """Parametrised over every paper program: (PaperProgram, analysis)."""
+    program = PAPER_PROGRAMS[request.param]
+    return program, corpus_analysis(request.param)

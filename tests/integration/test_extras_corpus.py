@@ -1,0 +1,120 @@
+"""Integration tests for the extra (non-paper) corpus programs."""
+
+import pytest
+
+from repro.corpus.extras import EXTRA_PROGRAMS, WORDCOUNT_CRITERIA
+from repro.interp.oracle import TrajectoryMismatch, check_slice_correctness
+from repro.pdg.builder import analyze_program
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.registry import get_algorithm
+
+_ANALYSES = {}
+
+
+def analysis_of(name):
+    if name not in _ANALYSES:
+        _ANALYSES[name] = analyze_program(EXTRA_PROGRAMS[name].source)
+    return _ANALYSES[name]
+
+
+class TestExpectations:
+    @pytest.mark.parametrize(
+        "name,algorithm",
+        [
+            (name, algorithm)
+            for name in sorted(EXTRA_PROGRAMS)
+            for algorithm in sorted(EXTRA_PROGRAMS[name].expectations)
+        ],
+    )
+    def test_expected_slices(self, name, algorithm):
+        entry = EXTRA_PROGRAMS[name]
+        result = get_algorithm(algorithm)(
+            analysis_of(name), SlicingCriterion(*entry.criterion)
+        )
+        assert frozenset(result.statement_nodes()) == entry.expectations[
+            algorithm
+        ]
+
+    @pytest.mark.parametrize("name", sorted(EXTRA_PROGRAMS))
+    def test_node_ids_equal_lines(self, name):
+        for node in analysis_of(name).cfg.statement_nodes():
+            assert node.id == node.line
+
+
+class TestWordcount:
+    """Weiser's teaching point: the three output slices differ."""
+
+    @pytest.mark.parametrize(
+        "criterion,expected", sorted(WORDCOUNT_CRITERIA.items())
+    )
+    def test_per_output_slices(self, criterion, expected):
+        line, var = criterion
+        result = get_algorithm("agrawal")(
+            analysis_of("wordcount"), SlicingCriterion(line, var)
+        )
+        assert frozenset(result.statement_nodes()) == expected
+
+    def test_slices_nearly_disjoint(self):
+        lines_slice = WORDCOUNT_CRITERIA[(15, "lines")]
+        chars_slice = WORDCOUNT_CRITERIA[(17, "chars")]
+        words_slice = WORDCOUNT_CRITERIA[(16, "words")]
+        common = lines_slice & chars_slice & words_slice
+        assert common == {5, 6}  # only the input loop is shared
+
+    @pytest.mark.parametrize(
+        "criterion", sorted(WORDCOUNT_CRITERIA)
+    )
+    def test_all_slices_semantically_correct(self, criterion):
+        entry = EXTRA_PROGRAMS["wordcount"]
+        line, var = criterion
+        result = get_algorithm("agrawal")(
+            analysis_of("wordcount"), SlicingCriterion(line, var)
+        )
+        check_slice_correctness(result, entry.input_sets)
+
+
+class TestSearch:
+    """The break is essential for first-match semantics."""
+
+    def test_conventional_slice_is_wrong(self):
+        entry = EXTRA_PROGRAMS["search"]
+        result = get_algorithm("conventional")(
+            analysis_of("search"), SlicingCriterion(*entry.criterion)
+        )
+        with pytest.raises(TrajectoryMismatch):
+            check_slice_correctness(result, entry.input_sets)
+
+    def test_agrawal_slice_is_correct(self):
+        entry = EXTRA_PROGRAMS["search"]
+        result = get_algorithm("agrawal")(
+            analysis_of("search"), SlicingCriterion(*entry.criterion)
+        )
+        assert check_slice_correctness(result, entry.input_sets) == len(
+            entry.input_sets
+        )
+
+    def test_found_slice_keeps_break_conservatively(self):
+        # `found` is monotone, so the break is semantically redundant for
+        # it — but the nearest-postdominator test cannot know that, and
+        # every jump-aware algorithm keeps the break.  The conventional
+        # slice without it happens to be correct here.
+        analysis = analysis_of("search")
+        criterion = SlicingCriterion(12, "found")
+        agrawal = get_algorithm("agrawal")(analysis, criterion)
+        conventional = get_algorithm("conventional")(analysis, criterion)
+        assert 11 in agrawal.nodes
+        assert 11 not in conventional.nodes
+        entry = EXTRA_PROGRAMS["search"]
+        check_slice_correctness(agrawal, entry.input_sets)
+        check_slice_correctness(conventional, entry.input_sets)
+
+    def test_dynamic_slice_on_no_match_run_drops_the_hit_branch(self):
+        from repro.dynamic.slicer import dynamic_slice
+
+        entry = EXTRA_PROGRAMS["search"]
+        result = dynamic_slice(
+            analysis_of("search"),
+            SlicingCriterion(*entry.criterion),
+            inputs=[1, 2, 3],  # n=1, values 2 and 3: no match
+        )
+        assert 10 not in result.statement_nodes()  # index = i never ran

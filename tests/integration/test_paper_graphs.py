@@ -1,0 +1,221 @@
+"""Integration tests: the paper's graph figures (2, 4, 6, 9, 11, 15).
+
+For each example program the paper draws the flowgraph, postdominator
+tree, control-dependence graph, and lexical successor tree.  These tests
+pin the structures (transcribed from the figures and the prose) node by
+node, using the paper's own statement numbering (== our node ids).
+"""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from tests.conftest import corpus_analysis
+
+
+def lst_chain(analysis, start):
+    chain = [start]
+    while True:
+        parent = analysis.lst.parent_of(chain[-1])
+        if parent is None:
+            return chain
+        chain.append(parent)
+
+
+class TestFig2GraphsOfFig1a:
+    """Fig. 2: DDG/CDG/PDG of the jump-free running example."""
+
+    @pytest.fixture
+    def analysis(self):
+        return corpus_analysis("fig1a")
+
+    def test_flowgraph_shape(self, analysis):
+        cfg = analysis.cfg
+        # while-loop back edges and exits.
+        assert set(cfg.succ_ids(3)) == {4, 11}
+        assert set(cfg.succ_ids(5)) == {6, 7}
+        assert set(cfg.succ_ids(8)) == {9, 10}
+        assert cfg.succ_ids(6) == [3]
+        assert cfg.succ_ids(9) == [3]
+        assert cfg.succ_ids(10) == [3]
+
+    def test_data_dependences_of_node12(self, analysis):
+        # "Node 12 is data dependent on nodes 2 and 7."
+        assert analysis.ddg.defs_reaching(12) == [2, 7]
+
+    def test_control_dependence_of_node7(self, analysis):
+        # "Node 7 is control dependent on node 5."
+        assert 5 in analysis.cdg.parents_of(7)
+
+    def test_loop_body_control_dependences(self, analysis):
+        for node in (4, 5):
+            assert 3 in analysis.cdg.parents_of(node)
+        assert 3 in analysis.cdg.parents_of(3)  # loop self-dependence
+
+    def test_lexical_successor_equals_postdominator_for_jump_free_code(
+        self, analysis
+    ):
+        # §3: for programs without jumps the two trees coincide on the
+        # "next statement" structure; specifically every immediate
+        # lexical successor postdominates its statement.
+        for node, parent in analysis.lst.as_parent_map().items():
+            assert analysis.pdt.is_ancestor(parent, node), (node, parent)
+
+    def test_pdg_is_union_of_cdg_and_ddg(self, analysis):
+        control = {
+            (s, d) for s, d, k, _ in analysis.pdg.edges() if k == "control"
+        }
+        data = {(s, d) for s, d, k, _ in analysis.pdg.edges() if k == "data"}
+        assert control == analysis.cdg.edge_pairs()
+        assert data == analysis.ddg.edge_pairs()
+
+
+class TestFig4GraphsOfFig3a:
+    @pytest.fixture
+    def analysis(self):
+        return corpus_analysis("fig3a")
+
+    def test_postdominator_tree(self, analysis):
+        expected = {
+            1: 2, 2: 3, 3: 14, 4: 5, 5: 13, 6: 7, 7: 13, 8: 9, 9: 13,
+            10: 11, 11: 13, 12: 13, 13: 3, 14: 15,
+        }
+        for node, parent in expected.items():
+            assert analysis.pdt.parent_of(node) == parent, node
+
+    def test_lexical_successor_tree_is_the_line_chain(self, analysis):
+        assert lst_chain(analysis, 1)[:15] == list(range(1, 16))
+
+    def test_control_dependences(self, analysis):
+        pairs = analysis.cdg.edge_pairs()
+        assert {(3, 4), (3, 5), (3, 13), (5, 7), (5, 8), (9, 11), (9, 12)} <= pairs
+        # Node 3 is control dependent on itself (loop via goto 13).
+        assert (3, 3) in pairs
+
+    def test_flowgraph_jump_edges(self, analysis):
+        cfg = analysis.cfg
+        assert cfg.succ_ids(7) == [13]
+        assert cfg.succ_ids(11) == [13]
+        assert cfg.succ_ids(13) == [3]
+        assert set(cfg.succ_ids(3)) == {4, 14}
+
+
+class TestFig6GraphsOfFig5a:
+    @pytest.fixture
+    def analysis(self):
+        return corpus_analysis("fig5a")
+
+    def test_continues_jump_to_loop_test(self, analysis):
+        cfg = analysis.cfg
+        assert cfg.succ_ids(7) == [3]
+        assert cfg.succ_ids(11) == [3]
+
+    def test_postdominators_of_continues(self, analysis):
+        assert analysis.pdt.parent_of(7) == 3
+        assert analysis.pdt.parent_of(11) == 3
+
+    def test_lexical_successors_differ_from_postdominators(self, analysis):
+        # continue 7's immediate lexical successor is statement 8,
+        # not its immediate postdominator 3 — the crux of Fig. 5.
+        assert analysis.lst.parent_of(7) == 8
+        assert analysis.lst.parent_of(11) == 12
+        assert analysis.lst.parent_of(12) == 3  # body tail -> loop
+
+    def test_control_dependences(self, analysis):
+        pairs = analysis.cdg.edge_pairs()
+        # Because the continue on 7 can divert control, statements 8 and
+        # 9 hang below the `if (x <= 0)` (node 5), not below the while —
+        # which is exactly why the conventional slice (Fig. 5b) keeps
+        # the if.
+        assert {(5, 6), (5, 7), (5, 8), (5, 9), (9, 11), (9, 12)} <= pairs
+        assert {(3, 4), (3, 5), (3, 3)} <= pairs
+
+
+class TestFig9GraphsOfFig8a:
+    @pytest.fixture
+    def analysis(self):
+        return corpus_analysis("fig8a")
+
+    def test_direct_jumps_to_loop_head(self, analysis):
+        cfg = analysis.cfg
+        for jump in (7, 11, 13):
+            assert cfg.succ_ids(jump) == [3]
+
+    def test_jumps_control_dependent_on_their_predicates(self, analysis):
+        # §3: "node 9 ... as both nodes 11 and 13 are control dependent
+        # on it, as shown in Figure 9-c."
+        assert 9 in analysis.cdg.parents_of(11)
+        assert 9 in analysis.cdg.parents_of(13)
+        assert 5 in analysis.cdg.parents_of(7)
+
+    def test_postdominator_parents(self, analysis):
+        assert analysis.pdt.parent_of(7) == 3
+        assert analysis.pdt.parent_of(11) == 3
+        assert analysis.pdt.parent_of(13) == 3
+
+
+class TestFig11GraphsOfFig10a:
+    @pytest.fixture
+    def analysis(self):
+        return corpus_analysis("fig10a")
+
+    def test_node4_postdominates_node7(self, analysis):
+        assert analysis.pdt.is_ancestor(4, 7, strict=True)
+
+    def test_node7_lexically_succeeds_node4(self, analysis):
+        assert analysis.lst.is_ancestor(7, 4, strict=True)
+
+    def test_nearest_relations_during_first_traversal(self, analysis):
+        # "node 4 is not added to the slice as its nearest postdominator
+        # and the nearest lexical successor are the same, viz., node 9"
+        # w.r.t. the conventional slice {3, 9}.
+        from repro.slicing.common import nearest_in_slice
+
+        base = {3, 9}
+        exit_id = analysis.cfg.exit_id
+        assert nearest_in_slice(analysis.pdt, 4, base, exit_id) == 9
+        assert nearest_in_slice(analysis.lst, 4, base, exit_id) == 9
+        # whereas node 7 diverges (3 vs 9):
+        assert nearest_in_slice(analysis.pdt, 7, base, exit_id) == 3
+        assert nearest_in_slice(analysis.lst, 7, base, exit_id) == 9
+
+    def test_node2_control_dependent_on_node1(self, analysis):
+        assert analysis.cdg.parents_of(2) == [1]
+
+    def test_footnote_4_pair_does_not_force_multiple_traversals(
+        self, analysis
+    ):
+        """Footnote 4: "This is not to say that multiple traversals are
+        always required whenever a program contains such pairs" — the
+        same program, sliced on z or x instead of y, finishes in one
+        productive traversal despite the (4, 7) pair."""
+        from repro.slicing.agrawal import agrawal_slice
+        from repro.slicing.criterion import SlicingCriterion
+
+        for line, var in [(10, "z"), (8, "x")]:
+            result = agrawal_slice(analysis, SlicingCriterion(line, var))
+            assert result.traversals == 1, (line, var)
+
+
+class TestFig15GraphsOfFig14a:
+    @pytest.fixture
+    def analysis(self):
+        return corpus_analysis("fig14a")
+
+    def test_switch_dispatch_edges(self, analysis):
+        cfg = analysis.cfg
+        targets = {label: dst for dst, label in cfg.successors(1)}
+        assert targets["case 1"] == 2
+        assert targets["case 2"] == 4
+        assert targets["case 3"] == 6
+        assert targets["default"] == 8
+
+    def test_arm_statements_control_dependent_on_switch(self, analysis):
+        for node in (2, 3, 4, 5, 6, 7):
+            assert 1 in analysis.cdg.parents_of(node)
+
+    def test_lexical_fall_through_chain(self, analysis):
+        assert lst_chain(analysis, 2)[:7] == [2, 3, 4, 5, 6, 7, 8]
+
+    def test_break_postdominators(self, analysis):
+        for node in (3, 5, 7):
+            assert analysis.pdt.parent_of(node) == 8

@@ -1,0 +1,189 @@
+"""Hypothesis strategies for SL programs and expressions.
+
+Two layers:
+
+* genuinely recursive strategies (:func:`expressions`,
+  :func:`statement_blocks`) that build arbitrary ASTs — used by the
+  parser/printer round-trip properties;
+* seeded bridges to the :mod:`repro.gen` generators
+  (:func:`structured_programs`, :func:`unstructured_programs`) — used by
+  the algorithm-level properties, where the generators' termination and
+  liveness guarantees matter.  Hypothesis shrinks the seed, which in
+  practice walks towards smaller generated programs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.gen.generator import (
+    GeneratorConfig,
+    generate_structured,
+    generate_unstructured,
+    realize,
+)
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    DoWhile,
+    For,
+    If,
+    Num,
+    Program,
+    Read,
+    Return,
+    Skip,
+    Switch,
+    SwitchCase,
+    Unary,
+    Var,
+    While,
+    Write,
+)
+
+_NAMES = st.sampled_from(["x", "y", "z", "total", "n0", "_tmp"])
+_OPS = st.sampled_from(["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"])
+
+
+def expressions(max_depth: int = 4):
+    """Arbitrary SL expressions."""
+    base = st.one_of(
+        st.integers(min_value=0, max_value=999).map(Num),
+        _NAMES.map(Var),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(_OPS, children, children).map(
+                lambda t: Binary(op=t[0], left=t[1], right=t[2])
+            ),
+            st.tuples(st.sampled_from(["-", "!"]), children).map(
+                lambda t: Unary(op=t[0], operand=t[1])
+            ),
+            st.tuples(
+                st.sampled_from(["f1", "g2", "max"]),
+                st.lists(children, min_size=0, max_size=2),
+            ).map(lambda t: Call(name=t[0], args=tuple(t[1]))),
+        )
+
+    return st.recursive(base, extend, max_leaves=2 ** max_depth)
+
+
+def _simple_statements():
+    return st.one_of(
+        st.tuples(_NAMES, expressions(2)).map(
+            lambda t: Assign(target=t[0], value=t[1])
+        ),
+        _NAMES.map(lambda name: Read(target=name)),
+        expressions(2).map(lambda e: Write(value=e)),
+        st.just(Skip()),
+    )
+
+
+def statements(max_depth: int = 3, in_loop: bool = False):
+    """Arbitrary (syntactically valid) SL statements.
+
+    Jump placement honours the validator's rules: break/continue only
+    under a loop or switch.  Goto is excluded (labels need whole-program
+    coordination; the seeded generator covers gotos).
+    """
+    simple = _simple_statements()
+    if in_loop:
+        simple = st.one_of(
+            simple,
+            st.just(Break()),
+            st.just(Continue()),
+            expressions(1).map(lambda e: Return(value=e)),
+        )
+    if max_depth <= 0:
+        return simple
+
+    inner = statements(max_depth - 1, in_loop)
+    loop_inner = statements(max_depth - 1, True)
+    block = st.lists(inner, min_size=0, max_size=3).map(
+        lambda items: Block(stmts=items)
+    )
+    loop_block = st.lists(loop_inner, min_size=0, max_size=3).map(
+        lambda items: Block(stmts=items)
+    )
+    compound = st.one_of(
+        st.tuples(expressions(2), block, st.none() | block).map(
+            lambda t: If(cond=t[0], then_branch=t[1], else_branch=t[2])
+        ),
+        st.tuples(expressions(2), loop_block).map(
+            lambda t: While(cond=t[0], body=t[1])
+        ),
+        st.tuples(loop_block, expressions(2)).map(
+            lambda t: DoWhile(body=t[0], cond=t[1])
+        ),
+        st.tuples(expressions(2), loop_block).map(
+            lambda t: For(
+                init=Assign(target="i", value=Num(0)),
+                cond=t[0],
+                step=Assign(
+                    target="i", value=Binary("+", Var("i"), Num(1))
+                ),
+                body=t[1],
+            )
+        ),
+        st.tuples(
+            expressions(1),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=-3, max_value=6),
+                    st.lists(inner, min_size=1, max_size=2),
+                ),
+                min_size=1,
+                max_size=3,
+                unique_by=lambda arm: arm[0],
+            ),
+        ).map(
+            lambda t: Switch(
+                subject=t[0],
+                cases=[
+                    SwitchCase(matches=[value], stmts=list(stmts))
+                    for value, stmts in t[1]
+                ],
+            )
+        ),
+    )
+    return st.one_of(simple, compound)
+
+
+def programs(max_depth: int = 3):
+    """Arbitrary goto-free SL programs."""
+    return st.lists(statements(max_depth), min_size=1, max_size=6).map(
+        lambda body: Program(body=body)
+    )
+
+
+def structured_programs(**config_kwargs):
+    """Seed-driven terminating structured programs."""
+    config = GeneratorConfig(**config_kwargs) if config_kwargs else None
+    return st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda seed: realize(
+            generate_structured(random.Random(seed), config)
+        )
+    )
+
+
+def unstructured_programs(**config_kwargs):
+    """Seed-driven flat goto programs (dead-code free, EXIT-reaching)."""
+    config = GeneratorConfig(**config_kwargs) if config_kwargs else None
+    return st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda seed: realize(
+            generate_unstructured(random.Random(seed), config)
+        )
+    )
+
+
+def input_streams():
+    return st.lists(
+        st.integers(min_value=-9, max_value=9), min_size=0, max_size=10
+    )

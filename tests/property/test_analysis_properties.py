@@ -1,0 +1,121 @@
+"""Properties of the analysis substrate on random programs:
+
+* the two dominator algorithms agree (and match networkx);
+* the two LST constructions agree;
+* CFG well-formedness invariants hold;
+* §4 Property 1: structured programs have no jump conflicting pairs.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lexical import (
+    build_lst,
+    build_lst_syntactic,
+    is_structured_program,
+    jump_conflicting_pairs,
+)
+from repro.analysis.postdominance import build_postdominator_tree
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from tests.property.strategies import (
+    structured_programs,
+    unstructured_programs,
+)
+
+EITHER = st.one_of(structured_programs(), unstructured_programs())
+
+
+class TestDominatorAgreement:
+    @given(EITHER)
+    @settings(max_examples=60, deadline=None)
+    def test_iterative_equals_lengauer_tarjan(self, program):
+        cfg = build_cfg(program)
+        iterative = build_postdominator_tree(cfg, algorithm="iterative")
+        tarjan = build_postdominator_tree(cfg, algorithm="lengauer-tarjan")
+        assert iterative.as_parent_map() == tarjan.as_parent_map()
+
+    @given(EITHER)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx_on_reverse_graph(self, program):
+        cfg = build_cfg(program)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(cfg.nodes)
+        for src, dst, _ in cfg.edges():
+            graph.add_edge(dst, src)  # reversed
+        graph.add_edge(cfg.exit_id, cfg.entry_id)  # virtual edge, reversed
+        reference = dict(nx.immediate_dominators(graph, cfg.exit_id))
+        reference[cfg.exit_id] = cfg.exit_id
+        tree = build_postdominator_tree(cfg)
+        ours = tree.as_parent_map()
+        ours[cfg.exit_id] = cfg.exit_id
+        assert ours == reference
+
+
+class TestLstAgreement:
+    @given(EITHER)
+    @settings(max_examples=60, deadline=None)
+    def test_wired_equals_syntactic(self, program):
+        cfg = build_cfg(program)
+        assert (
+            build_lst(cfg).as_parent_map()
+            == build_lst_syntactic(program, cfg).as_parent_map()
+        )
+
+    @given(EITHER)
+    @settings(max_examples=60, deadline=None)
+    def test_lst_covers_every_statement_node(self, program):
+        cfg = build_cfg(program)
+        lst = build_lst(cfg)
+        for node in cfg.statement_nodes():
+            assert node.id in lst
+
+
+class TestCfgInvariants:
+    @given(EITHER)
+    @settings(max_examples=60, deadline=None)
+    def test_predicates_have_two_labelled_successors(self, program):
+        cfg = build_cfg(program)
+        for node in cfg.statement_nodes():
+            if node.kind in (NodeKind.PREDICATE, NodeKind.CONDGOTO):
+                labels = sorted(label for _, label in cfg.successors(node.id))
+                assert labels == ["false", "true"]
+
+    @given(EITHER)
+    @settings(max_examples=60, deadline=None)
+    def test_jumps_have_exactly_one_successor(self, program):
+        cfg = build_cfg(program)
+        for node in cfg.jump_nodes():
+            assert len(cfg.succ_ids(node.id)) == 1
+
+    @given(EITHER)
+    @settings(max_examples=60, deadline=None)
+    def test_exit_has_no_successors_entry_no_predecessors(self, program):
+        cfg = build_cfg(program)
+        assert cfg.succ_ids(cfg.exit_id) == []
+        assert cfg.pred_ids(cfg.entry_id) == []
+
+
+class TestStructuredProperties:
+    @given(structured_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_generator_output_is_structured(self, program):
+        cfg = build_cfg(program)
+        assert is_structured_program(cfg)
+
+    @given(structured_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_property_1_no_conflicting_jump_pairs(self, program):
+        """§4 Property 1, the single-traversal precondition."""
+        cfg = build_cfg(program)
+        pdt = build_postdominator_tree(cfg)
+        lst = build_lst(cfg)
+        assert jump_conflicting_pairs(cfg, pdt, lst) == []
+
+    @given(unstructured_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_unstructured_generator_keeps_exit_reachable(self, program):
+        cfg = build_cfg(program)
+        build_postdominator_tree(cfg)  # strict; raises if violated
+        assert cfg.unreachable_statements() == []

@@ -1,0 +1,119 @@
+"""Property C1: Agrawal's Fig. 7 algorithm is equivalent to Ball–Horwitz.
+
+The paper claims exact statement-set equality.  Property-based testing
+refined that claim (erratum E2, EXPERIMENTS.md): because the paper leaves
+the *sibling order* of the pre-order traversal unspecified, the raw
+algorithm can retain jumps that are redundant at the fixed point.  The
+relationship that actually holds — and is asserted here on hundreds of
+random programs — is:
+
+* ``ball_horwitz ⊆ agrawal`` (never misses);
+* every extra node is a transiently-added unconditional jump or part of
+  one's dependence closure, and the extra jumps are removable *as a
+  group* by iterated application of the paper's own §3 omission
+  criterion (one at a time, re-evaluating after each removal — one extra
+  break can be another's nearest lexical successor);
+* with ``prune_redundant=True`` (which performs exactly that iteration)
+  the two are exactly equal.
+
+Programs with unreachable code are excluded: there the two algorithms
+legitimately disagree (the augmented graph makes dead code reachable),
+though both remain sound.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gen.generator import random_criterion
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.ball_horwitz import ball_horwitz_slice
+from repro.slicing.criterion import SlicingCriterion
+from tests.property.strategies import (
+    structured_programs,
+    unstructured_programs,
+)
+
+EITHER = st.one_of(structured_programs(), unstructured_programs())
+
+
+def pick_criterion(program, salt):
+    line, var = random_criterion(random.Random(salt), program)
+    return SlicingCriterion(line, var)
+
+
+def assert_bh_relation(analysis, agrawal_result, bh_result):
+    """Ball–Horwitz ⊆ Agrawal, and the surplus is only transiently-added
+    jumps plus their dependence closures.
+
+    The surplus jumps are redundant *as a group* — removable one at a
+    time by the paper's §3 criterion, re-evaluating after each removal
+    (one extra break can be another's nearest lexical successor, so the
+    fixed-point test may not certify them individually).  That group
+    redundancy is asserted exactly by the companion property
+    ``test_pruned_is_exactly_ball_horwitz``.
+    """
+    ours = set(agrawal_result.statement_nodes())
+    theirs = set(bh_result.statement_nodes())
+    assert theirs <= ours, f"Ball–Horwitz found more: {sorted(theirs - ours)}"
+    cfg = analysis.cfg
+    extras = ours - theirs
+    extra_jumps = {extra for extra in extras if cfg.nodes[extra].is_jump}
+    closure = set()
+    for jump in extra_jumps:
+        closure |= analysis.pdg.backward_closure([jump])
+    assert extras <= extra_jumps | closure, (
+        f"difference beyond transient jumps+closures: "
+        f"{sorted(extras - extra_jumps - closure)}"
+    )
+
+
+class TestEquivalence:
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=120, deadline=None)
+    def test_subset_plus_redundant_jumps(self, program, salt):
+        analysis = analyze_program(program)
+        assume(not analysis.cfg.unreachable_statements())
+        criterion = pick_criterion(program, salt)
+        ours = agrawal_slice(analysis, criterion)
+        theirs = ball_horwitz_slice(analysis, criterion)
+        assert_bh_relation(analysis, ours, theirs)
+
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=120, deadline=None)
+    def test_pruned_is_exactly_ball_horwitz(self, program, salt):
+        analysis = analyze_program(program)
+        assume(not analysis.cfg.unreachable_statements())
+        criterion = pick_criterion(program, salt)
+        pruned = agrawal_slice(analysis, criterion, prune_redundant=True)
+        theirs = ball_horwitz_slice(analysis, criterion)
+        assert pruned.same_statements_as(theirs)
+
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_lst_driven_variant_same_relation(self, program, salt):
+        analysis = analyze_program(program)
+        assume(not analysis.cfg.unreachable_statements())
+        criterion = pick_criterion(program, salt)
+        ours = agrawal_slice(analysis, criterion, drive_tree="lexical")
+        theirs = ball_horwitz_slice(analysis, criterion)
+        assert_bh_relation(analysis, ours, theirs)
+
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_drive_trees_agree_after_pruning(self, program, salt):
+        """§3 claims the drive-tree choice never changes the final slice;
+        erratum E2 shows that is only true modulo redundant jumps — i.e.
+        after pruning."""
+        analysis = analyze_program(program)
+        assume(not analysis.cfg.unreachable_statements())
+        criterion = pick_criterion(program, salt)
+        by_pdt = agrawal_slice(
+            analysis, criterion, prune_redundant=True
+        )
+        by_lst = agrawal_slice(
+            analysis, criterion, drive_tree="lexical", prune_redundant=True
+        )
+        assert by_pdt.same_statements_as(by_lst)

@@ -1,0 +1,64 @@
+"""Property: dead-code elimination preserves observable behaviour.
+
+For random programs and inputs, the cleaned program must produce the
+same output stream and return value as the original — over structured
+programs and flat goto programs alike."""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.deadcode import eliminate_dead_code
+from repro.interp.interpreter import run_program
+from repro.lang.errors import InterpreterError, SlangError
+from tests.property.strategies import (
+    input_streams,
+    structured_programs,
+    unstructured_programs,
+)
+
+EITHER = st.one_of(structured_programs(), unstructured_programs())
+
+
+class TestDeadCodeElimination:
+    @given(EITHER, input_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_outputs_preserved(self, program, inputs):
+        try:
+            before = run_program(program, inputs, step_limit=50_000)
+        except InterpreterError:
+            assume(False)
+        try:
+            report = eliminate_dead_code(program)
+        except SlangError:
+            assume(False)
+        after = run_program(report.program, inputs, step_limit=50_000)
+        assert before.outputs == after.outputs
+        assert before.returned == after.returned
+
+    @given(EITHER)
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_point(self, program):
+        """Running elimination twice removes nothing more."""
+        try:
+            first = eliminate_dead_code(program)
+        except SlangError:
+            assume(False)
+        second = eliminate_dead_code(first.program)
+        assert second.removed_count == 0
+
+    @given(EITHER)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_shrinking(self, program):
+        from repro.cfg.builder import build_cfg
+
+        try:
+            report = eliminate_dead_code(program)
+        except SlangError:
+            assume(False)
+        before_count = len(build_cfg(program).statement_nodes())
+        after_count = len(build_cfg(report.program).statement_nodes())
+        # Extraction may drop emptied compounds beyond the counted
+        # removals, but never grows the program.
+        assert after_count <= before_count

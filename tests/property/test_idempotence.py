@@ -1,0 +1,71 @@
+"""Property: slicing is idempotent modulo extraction artifacts.
+
+Slicing the *extracted* slice again, w.r.t. the same criterion, returns
+every statement of the extracted program except the SKIP statements the
+extractor synthesises (dangling-label carriers ``L: ;`` and ``;``
+placeholders for emptied branches).  In other words: the slice is a
+fixed point — the algorithm never discovers that some retained statement
+was unnecessary once the program has been cut down.
+
+(The inserted SKIPs are legitimately droppable by a re-slice: they carry
+no dependences; their labels get re-associated once more.)
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.graph import NodeKind
+from repro.corpus import PAPER_PROGRAMS
+from repro.gen.generator import random_criterion
+from repro.lang.errors import SlangError
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.extract import extract_slice
+from tests.property.strategies import (
+    structured_programs,
+    unstructured_programs,
+)
+
+EITHER = st.one_of(structured_programs(), unstructured_programs())
+
+
+def reslice_covers_non_skips(program, line, var):
+    analysis = analyze_program(program)
+    result = agrawal_slice(analysis, SlicingCriterion(line, var))
+    extracted = extract_slice(result)
+    criterion_stmt = extracted.find(
+        analysis.cfg.nodes[result.resolved.node_id].stmt
+    )
+    assert criterion_stmt is not None
+    second = analyze_program(extracted.program)
+    node = second.cfg.node_of(criterion_stmt)
+    resliced = agrawal_slice(
+        second, SlicingCriterion(second.cfg.nodes[node].line, var)
+    )
+    non_skips = {
+        n.id
+        for n in second.cfg.statement_nodes()
+        if n.kind is not NodeKind.SKIP
+    }
+    return non_skips <= set(resliced.statement_nodes())
+
+
+class TestIdempotence:
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_reslice_is_fixed_point_modulo_skips(self, program, salt):
+        line, var = random_criterion(random.Random(salt), program)
+        try:
+            assert reslice_covers_non_skips(program, line, var)
+        except SlangError:
+            assume(False)
+
+    def test_corpus(self):
+        for entry in PAPER_PROGRAMS.values():
+            line, var = entry.criterion
+            assert reslice_covers_non_skips(
+                analyze_program(entry.source).program, line, var
+            ), entry.name

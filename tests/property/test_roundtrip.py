@@ -1,0 +1,39 @@
+"""Property: the pretty-printer and parser are mutual inverses."""
+
+from hypothesis import given, settings
+
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import pretty, pretty_expr
+from tests.property.strategies import (
+    expressions,
+    programs,
+    structured_programs,
+    unstructured_programs,
+)
+
+
+class TestExpressionRoundtrip:
+    @given(expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_of_pretty_is_identity(self, expr):
+        assert parse_expression(pretty_expr(expr)) == expr
+
+
+class TestProgramRoundtrip:
+    @given(programs())
+    @settings(max_examples=100, deadline=None)
+    def test_pretty_is_canonical_fixed_point(self, program):
+        text = pretty(program)
+        assert pretty(parse_program(text)) == text
+
+    @given(structured_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_structured_generator_programs(self, program):
+        text = pretty(program)
+        assert pretty(parse_program(text)) == text
+
+    @given(unstructured_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_goto_programs(self, program):
+        text = pretty(program)
+        assert pretty(parse_program(text)) == text

@@ -1,0 +1,108 @@
+"""Property C6: extracted slices preserve the criterion trajectory.
+
+The strongest oracle in the suite: for random programs (structured and
+goto-ridden alike), random criteria, and random inputs, the extracted
+slice must produce *exactly* the sequence of criterion-variable values
+the original produces at the criterion location (paper §1's definition
+of a slice).
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gen.generator import random_criterion
+from repro.interp.oracle import check_slice_correctness
+from repro.lang.errors import InterpreterError
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.ball_horwitz import ball_horwitz_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.lyle import lyle_slice
+from tests.property.strategies import (
+    structured_programs,
+    unstructured_programs,
+)
+
+EITHER = st.one_of(structured_programs(), unstructured_programs())
+
+
+def run_oracle(slicer, program, salt, **slicer_kwargs):
+    analysis = analyze_program(program)
+    line, var = random_criterion(random.Random(salt), program)
+    result = slicer(analysis, SlicingCriterion(line, var), **slicer_kwargs)
+    rng = random.Random(salt ^ 0xABCDEF)
+    inputs = [
+        [rng.randint(-9, 9) for _ in range(rng.randint(0, 10))]
+        for _ in range(4)
+    ]
+    try:
+        return check_slice_correctness(result, inputs, step_limit=50_000)
+    except InterpreterError:
+        assume(False)  # the original timed out; not a slicing failure
+
+
+class TestAgrawalCorrectness:
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_general_algorithm(self, program, salt):
+        assert run_oracle(agrawal_slice, program, salt) == 4
+
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_variant(self, program, salt):
+        assert (
+            run_oracle(agrawal_slice, program, salt, prune_redundant=True)
+            == 4
+        )
+
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_lst_driven_variant(self, program, salt):
+        assert (
+            run_oracle(agrawal_slice, program, salt, drive_tree="lexical")
+            == 4
+        )
+
+
+class TestBaselineCorrectness:
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_ball_horwitz(self, program, salt):
+        analysis = analyze_program(program)
+        assume(not analysis.cfg.unreachable_statements())
+        assert run_oracle(ball_horwitz_slice, program, salt) == 4
+
+    @given(EITHER, st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_lyle_contains_conventional_and_matches_its_verdict(
+        self, program, salt
+    ):
+        # The literal Lyle reconstruction is NOT sound in general
+        # (finding E3): a jump needed for control flow may precede every
+        # slice statement (Fig. 10), follow from a guarding `return`, or
+        # even be a `break` no slice statement reaches.  What does hold,
+        # and is pinned here: Lyle ⊇ conventional, and its additions are
+        # exactly jumps plus their dependence closures.  Its paper-level
+        # behaviours (Figs. 3/5, and its Fig. 10 degeneracy) are pinned
+        # by the integration suite.
+        from repro.slicing.conventional import conventional_slice
+
+        analysis = analyze_program(program)
+        line, var = random_criterion(random.Random(salt), program)
+        criterion = SlicingCriterion(line, var)
+        conventional = conventional_slice(analysis, criterion)
+        lyle = lyle_slice(analysis, criterion)
+        assert set(conventional.statement_nodes()) <= set(
+            lyle.statement_nodes()
+        )
+        # Every Lyle addition is a jump or part of a jump's closure.
+        extras = set(lyle.statement_nodes()) - set(
+            conventional.statement_nodes()
+        )
+        jumps = {n for n in extras if analysis.cfg.nodes[n].is_jump}
+        closure = set()
+        for jump in jumps:
+            closure |= analysis.pdg.backward_closure([jump])
+        assert extras <= jumps | closure

@@ -1,0 +1,144 @@
+"""Properties of the Fig. 12 / Fig. 13 simplifications (paper §4).
+
+On structured programs passing the documented preconditions (no dead
+code, no all-branches-leave predicate — erratum E1):
+
+* the Fig. 12 slice never exceeds Fig. 7's and any difference consists of
+  jumps redundant at Fig. 7's fixed point (erratum E2's traversal-order
+  artefact; in the overwhelming majority of cases the two are equal);
+* a single traversal suffices for Fig. 7 in all but the rare E2 cases
+  (we assert a bound of 2 productive traversals, measured max over tens
+  of thousands of programs);
+* Fig. 13's conservative slice contains Fig. 12's;
+* both extracted slices are semantically correct.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gen.generator import random_criterion
+from repro.interp.oracle import check_slice_correctness
+from repro.lang.errors import InterpreterError, SliceError
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.conservative import conservative_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.structured import structured_slice
+from tests.property.strategies import input_streams, structured_programs
+
+
+def prepared(program, salt):
+    analysis = analyze_program(program)
+    line, var = random_criterion(random.Random(salt), program)
+    return analysis, SlicingCriterion(line, var)
+
+
+class TestFig12:
+    @given(structured_programs(), st.integers(0, 2**16))
+    @settings(max_examples=120, deadline=None)
+    def test_structured_within_general(self, program, salt):
+        analysis, criterion = prepared(program, salt)
+        try:
+            simplified = structured_slice(analysis, criterion)
+        except SliceError:
+            assume(False)  # guarded precondition (dead code / E1)
+        general = agrawal_slice(analysis, criterion)
+        simple_set = set(simplified.statement_nodes())
+        general_set = set(general.statement_nodes())
+        assert simple_set <= general_set
+        # Any surplus in Fig. 7's result comes from transiently-added
+        # jumps (erratum E2) together with their dependence closures.
+        extras = general_set - simple_set
+        extra_jumps = {
+            n for n in extras if analysis.cfg.nodes[n].is_jump
+        }
+        closure = set()
+        for jump in extra_jumps:
+            closure |= analysis.pdg.backward_closure([jump])
+        assert extras <= extra_jumps | closure
+
+    @given(structured_programs(), st.integers(0, 2**16))
+    @settings(max_examples=120, deadline=None)
+    def test_single_traversal_nearly_always(self, program, salt):
+        analysis, criterion = prepared(program, salt)
+        try:
+            structured_slice(analysis, criterion)
+        except SliceError:
+            assume(False)
+        general = agrawal_slice(analysis, criterion)
+        assert general.traversals <= 2
+
+    @given(structured_programs(), st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_semantically_correct(self, program, salt):
+        analysis, criterion = prepared(program, salt)
+        try:
+            simplified = structured_slice(analysis, criterion)
+        except SliceError:
+            assume(False)
+        rng = random.Random(salt ^ 0xBEEF)
+        inputs = [
+            [rng.randint(-9, 9) for _ in range(rng.randint(0, 8))]
+            for _ in range(3)
+        ]
+        try:
+            check_slice_correctness(simplified, inputs, step_limit=50_000)
+        except InterpreterError:
+            assume(False)
+
+
+class TestFig13:
+    @given(structured_programs(), st.integers(0, 2**16))
+    @settings(max_examples=120, deadline=None)
+    def test_contains_fig12_slice(self, program, salt):
+        analysis, criterion = prepared(program, salt)
+        try:
+            simplified = structured_slice(analysis, criterion)
+            conservative = conservative_slice(analysis, criterion)
+        except SliceError:
+            assume(False)
+        assert set(simplified.statement_nodes()) <= set(
+            conservative.statement_nodes()
+        )
+
+    @given(structured_programs(), st.integers(0, 2**16))
+    @settings(max_examples=120, deadline=None)
+    def test_extra_jumps_only(self, program, salt):
+        analysis, criterion = prepared(program, salt)
+        try:
+            simplified = structured_slice(analysis, criterion)
+            conservative = conservative_slice(analysis, criterion)
+        except SliceError:
+            assume(False)
+        extras = set(conservative.statement_nodes()) - set(
+            simplified.statement_nodes()
+        )
+        # Every extra is a jump, or a dependence of an extra jump
+        # (the defensive closure).
+        jump_extras = {
+            n for n in extras if analysis.cfg.nodes[n].is_jump
+        }
+        closure = set()
+        for jump in jump_extras:
+            closure |= analysis.pdg.backward_closure([jump])
+        assert extras <= jump_extras | closure
+
+    @given(structured_programs(), st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_semantically_correct(self, program, salt):
+        analysis, criterion = prepared(program, salt)
+        try:
+            conservative = conservative_slice(analysis, criterion)
+        except SliceError:
+            assume(False)
+        rng = random.Random(salt ^ 0xF00D)
+        inputs = [
+            [rng.randint(-9, 9) for _ in range(rng.randint(0, 8))]
+            for _ in range(3)
+        ]
+        try:
+            check_slice_correctness(conservative, inputs, step_limit=50_000)
+        except InterpreterError:
+            assume(False)

@@ -1,0 +1,95 @@
+"""Unit tests for the tree-walking interpreter (the differential
+reference for the CFG interpreter)."""
+
+import pytest
+
+from repro.interp.ast_interpreter import run_ast
+from repro.interp.interpreter import run_program
+from repro.lang.errors import InterpreterError
+from repro.lang.parser import parse_program
+
+
+def both(source, inputs=(), env=None):
+    program = parse_program(source)
+    return (
+        run_program(program, inputs, initial_env=env),
+        run_ast(program, inputs, initial_env=env),
+    )
+
+
+class TestAgreementWithCfgInterpreter:
+    @pytest.mark.parametrize(
+        "source,inputs",
+        [
+            ("x = 1;\nwrite(x + 2);", ()),
+            ("read(a);\nread(b);\nwrite(a * b);", (3, 4)),
+            ("if (c)\nwrite(1);\nelse\nwrite(2);", ()),
+            (
+                "s = 0;\nwhile (!eof()) {\nread(x);\ns = s + x;\n}\nwrite(s);",
+                (1, 2, 3),
+            ),
+            ("do\nwrite(1);\nwhile (0);", ()),
+            (
+                "for (i = 0; i < 4; i = i + 1) {\nif (i == 2)\ncontinue;\n"
+                "write(i);\n}",
+                (),
+            ),
+            (
+                "while (1) {\nread(x);\nif (eof())\nbreak;\n}\nwrite(x);",
+                (9, 8),
+            ),
+            ("return 5;\nwrite(1);", ()),
+            (
+                "switch (c) {\ncase 1: write(10);\ncase 2: write(20);\n"
+                "break;\ndefault: write(99);\n}",
+                (),
+            ),
+        ],
+    )
+    def test_outputs_env_and_return_agree(self, source, inputs):
+        cfg_result, ast_result = both(source, inputs)
+        assert cfg_result.outputs == ast_result.outputs
+        assert cfg_result.returned == ast_result.returned
+        assert cfg_result.env == ast_result.env
+
+    def test_switch_dispatch_per_value(self):
+        source = (
+            "switch (c) {\ncase 1: write(10);\nbreak;\ncase 2: write(20);\n"
+            "case 3: write(30);\nbreak;\ndefault: write(99);\n}"
+        )
+        for value in range(-1, 5):
+            cfg_result, ast_result = both(source, env={"c": value})
+            assert cfg_result.outputs == ast_result.outputs, value
+
+    def test_corpus_structured_goto_free_program(self):
+        from repro.corpus import PAPER_PROGRAMS
+
+        for name in ("fig1a", "fig5a", "fig14a"):
+            source = PAPER_PROGRAMS[name].source
+            for inputs in ((), (3, -1, 4, 0, 7), (1, 2)):
+                for c in (0, 1, 2, 3):
+                    cfg_result, ast_result = both(
+                        source, inputs, env={"c": c}
+                    )
+                    assert cfg_result.outputs == ast_result.outputs
+
+
+class TestLimits:
+    def test_goto_rejected(self):
+        program = parse_program("goto L;\nL: x = 1;")
+        with pytest.raises(InterpreterError) as info:
+            run_ast(program)
+        assert "goto" in str(info.value)
+
+    def test_step_limit(self):
+        program = parse_program("i = 0;\nwhile (i < 100)\ni = i - 1;")
+        with pytest.raises(InterpreterError):
+            run_ast(program, step_limit=50)
+
+    def test_break_inside_switch_inside_loop(self):
+        source = (
+            "n = 0;\nwhile (n < 3) {\nswitch (n) {\ncase 1: break;\n"
+            "default: write(n);\n}\nn = n + 1;\n}"
+        )
+        cfg_result, ast_result = both(source)
+        assert cfg_result.outputs == ast_result.outputs == [0, 2]

@@ -1,0 +1,68 @@
+"""Unit tests for the Ball–Horwitz augmented CFG."""
+
+from repro.cfg.augmented import NOT_TAKEN, build_augmented_cfg
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.corpus import PAPER_PROGRAMS
+from repro.lang.parser import parse_program
+
+
+def both(source):
+    cfg = build_cfg(parse_program(source))
+    return cfg, build_augmented_cfg(cfg)
+
+
+class TestAugmentation:
+    def test_goto_gets_not_taken_edge_to_lexical_successor(self):
+        cfg, aug = both("goto L;\nx = 1;\nL: y = 2;")
+        goto_id = 1
+        labels = {label for _, label in aug.successors(goto_id)}
+        assert NOT_TAKEN in labels
+        targets = dict(
+            (label, dst) for dst, label in aug.successors(goto_id)
+        )
+        assert targets[NOT_TAKEN] == 2  # the next statement, not L
+
+    def test_break_gets_not_taken_edge(self):
+        cfg, aug = both("while (c) {\nbreak;\nx = 1;\n}")
+        break_id = 2
+        targets = dict(
+            (label, dst) for dst, label in aug.successors(break_id)
+        )
+        assert targets[NOT_TAKEN] == 3
+
+    def test_return_not_taken_edge(self):
+        cfg, aug = both("return;\nx = 1;")
+        targets = dict((label, dst) for dst, label in aug.successors(1))
+        assert targets[NOT_TAKEN] == 2
+
+    def test_base_graph_untouched(self):
+        cfg, aug = both("goto L;\nL: x = 1;")
+        base_edges = list(cfg.edges())
+        assert all(label != NOT_TAKEN for _, _, label in base_edges)
+
+    def test_non_jump_nodes_unchanged(self):
+        cfg, aug = both("x = 1;\ny = 2;")
+        assert list(aug.edges()) == list(cfg.edges())
+
+    def test_conditional_goto_not_augmented(self):
+        # CONDGOTO is already a branch; only unconditional jumps get the
+        # pseudo-edge.
+        cfg, aug = both("if (c) goto L;\nL: x = 1;")
+        condgoto = aug.nodes[1]
+        assert condgoto.kind is NodeKind.CONDGOTO
+        labels = {label for _, label in aug.successors(1)}
+        assert NOT_TAKEN not in labels
+
+    def test_every_jump_becomes_a_multi_successor_node(self):
+        for name, entry in sorted(PAPER_PROGRAMS.items()):
+            cfg, aug = both(entry.source)
+            for jump in cfg.jump_nodes():
+                assert len(aug.succ_ids(jump.id)) >= 2, (name, jump.id)
+
+    def test_shared_metadata_copied(self):
+        cfg, aug = both("goto L;\nL: x = 1;")
+        assert aug.entry_id == cfg.entry_id
+        assert aug.exit_id == cfg.exit_id
+        assert aug.label_entry == cfg.label_entry
+        assert aug.lexical_parent == cfg.lexical_parent

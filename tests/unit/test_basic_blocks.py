@@ -1,0 +1,61 @@
+"""Unit tests for the basic-block partition."""
+
+from repro.cfg.basic_blocks import compute_basic_blocks
+from repro.cfg.builder import build_cfg
+from repro.lang.parser import parse_program
+
+
+def blocks_of(source):
+    cfg = build_cfg(parse_program(source))
+    return cfg, compute_basic_blocks(cfg)
+
+
+class TestPartition:
+    def test_every_node_assigned(self):
+        cfg, by_node = blocks_of("x = 1;\nif (c)\ny = 2;\nz = 3;")
+        assert set(by_node) == set(cfg.nodes)
+
+    def test_straight_line_grouped(self):
+        cfg, by_node = blocks_of("x = 1;\ny = 2;\nz = 3;")
+        assert by_node[1] is by_node[2]
+        assert by_node[2] is by_node[3]
+
+    def test_branch_splits_blocks(self):
+        cfg, by_node = blocks_of("if (c)\nx = 1;\ny = 2;")
+        assert by_node[1] is not by_node[2]
+        assert by_node[2] is not by_node[3]
+
+    def test_branch_targets_lead_blocks(self):
+        cfg, by_node = blocks_of("if (c)\nx = 1;\ny = 2;")
+        assert by_node[2].leader == 2
+        assert by_node[3].leader == 3
+
+    def test_label_target_leads_block(self):
+        cfg, by_node = blocks_of("goto L;\nL: x = 1;\ny = 2;")
+        # The labelled statement has two predecessors (fall + jump)...
+        # actually the goto jumps to it and nothing falls in, but the
+        # goto itself ends a block.
+        assert by_node[2].leader == 2
+        assert by_node[2].node_ids == [2, 3]
+
+    def test_jump_ends_block(self):
+        cfg, by_node = blocks_of("while (c) {\nx = 1;\nbreak;\n}\ny = 2;")
+        break_block = by_node[3]
+        assert break_block.node_ids[-1] == 3
+
+    def test_nodes_within_block_are_consecutive_flow(self):
+        cfg, by_node = blocks_of("x = 1;\ny = 2;\nz = 3;")
+        block = by_node[1]
+        for first, second in zip(block.node_ids, block.node_ids[1:]):
+            assert second in cfg.succ_ids(first)
+
+    def test_entry_and_exit_isolated(self):
+        cfg, by_node = blocks_of("x = 1;")
+        assert by_node[cfg.entry_id].node_ids == [cfg.entry_id]
+        assert by_node[cfg.exit_id].node_ids[0] == cfg.exit_id
+
+    def test_block_indices_unique(self):
+        cfg, by_node = blocks_of("if (c)\nx = 1;\nelse\ny = 2;\nz = 3;")
+        indices = {block.index for block in by_node.values()}
+        leaders = {block.leader for block in by_node.values()}
+        assert len(indices) == len(leaders)

@@ -1,0 +1,109 @@
+"""Unit tests for the ControlFlowGraph structure itself."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import ControlFlowGraph, EdgeLabel, NodeKind
+from repro.lang.parser import parse_program
+
+
+def cfg_of(source):
+    return build_cfg(parse_program(source))
+
+
+class TestConstructionPrimitives:
+    def test_new_node_ids_are_dense(self):
+        cfg = ControlFlowGraph()
+        a = cfg.new_node(NodeKind.ENTRY)
+        b = cfg.new_node(NodeKind.EXIT)
+        assert (a.id, b.id) == (0, 1)
+
+    def test_add_edge_unknown_node_rejected(self):
+        cfg = ControlFlowGraph()
+        cfg.new_node(NodeKind.ENTRY)
+        with pytest.raises(KeyError):
+            cfg.add_edge(0, 99, EdgeLabel.FALL)
+
+    def test_parallel_edges_allowed(self):
+        cfg = ControlFlowGraph()
+        cfg.new_node(NodeKind.ENTRY)
+        cfg.new_node(NodeKind.EXIT)
+        cfg.add_edge(0, 1, "case 1")
+        cfg.add_edge(0, 1, "case 2")
+        assert len(cfg.successors(0)) == 2
+
+
+class TestQueries:
+    def test_successors_and_predecessors(self):
+        cfg = cfg_of("if (c)\nx = 1;\ny = 2;")
+        assert set(cfg.succ_ids(1)) == {2, 3}
+        assert set(cfg.pred_ids(3)) == {1, 2}
+
+    def test_edges_iteration_complete(self):
+        cfg = cfg_of("x = 1;\ny = 2;")
+        assert len(list(cfg.edges())) == 3
+
+    def test_statement_nodes_excludes_entry_exit(self):
+        cfg = cfg_of("x = 1;")
+        kinds = {node.kind for node in cfg.statement_nodes()}
+        assert NodeKind.ENTRY not in kinds
+        assert NodeKind.EXIT not in kinds
+
+    def test_jump_nodes_in_order(self):
+        cfg = cfg_of("while (c) {\nbreak;\n}\nreturn;")
+        assert [n.kind for n in cfg.jump_nodes()] == [
+            NodeKind.BREAK,
+            NodeKind.RETURN,
+        ]
+
+    def test_node_of_and_entry_of(self):
+        program = parse_program("while (c)\nx = 1;")
+        cfg = build_cfg(program)
+        loop = program.body[0]
+        assert cfg.node_of(loop) == 1
+        assert cfg.entry_of(loop) == 1
+        assert cfg.has_node_for(loop)
+
+    def test_block_has_no_node_but_has_entry(self):
+        program = parse_program("{ x = 1; }")
+        cfg = build_cfg(program)
+        block = program.body[0]
+        assert not cfg.has_node_for(block)
+        assert cfg.entry_of(block) == 1
+
+    def test_label_entry(self):
+        cfg = cfg_of("goto L;\nL: x = 1;")
+        assert cfg.label_entry["L"] == 2
+
+    def test_len(self):
+        cfg = cfg_of("x = 1;")
+        assert len(cfg) == 3
+
+
+class TestReachability:
+    def test_reachable_from_entry(self):
+        cfg = cfg_of("if (c)\nreturn;\nx = 1;")
+        reachable = cfg.reachable_from(cfg.entry_id)
+        assert set(range(len(cfg))) == set(reachable)
+
+    def test_reaches(self):
+        cfg = cfg_of("x = 1;\ny = 2;")
+        assert cfg.reaches(1, 2)
+        assert not cfg.reaches(2, 1)
+
+    def test_reachable_is_inclusive(self):
+        cfg = cfg_of("x = 1;")
+        assert 1 in cfg.reachable_from(1)
+
+
+class TestInterop:
+    def test_to_networkx(self):
+        graph = cfg_of("if (c)\nx = 1;").to_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.has_edge(1, 2)
+
+    def test_describe_mentions_every_node(self):
+        cfg = cfg_of("x = 1;\ny = 2;")
+        text = cfg.describe()
+        assert "x = 1" in text and "y = 2" in text
+        assert "ENTRY" in text and "EXIT" in text

@@ -1,0 +1,91 @@
+"""Unit tests for SliceResult, nearest-in-slice, and label re-association."""
+
+import pytest
+
+from repro.analysis.tree import Tree
+from repro.corpus import PAPER_PROGRAMS
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.common import nearest_in_slice, reassociate_labels
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+
+
+class TestNearestInSlice:
+    def setup_method(self):
+        #   3 <- 2 <- 1 <- 0 (parent chain towards root 3)
+        self.tree = Tree({0: 1, 1: 2, 2: 3}, root=3)
+
+    def test_picks_nearest_member(self):
+        assert nearest_in_slice(self.tree, 0, {1, 2}, exit_id=3) == 1
+
+    def test_skips_non_members(self):
+        assert nearest_in_slice(self.tree, 0, {2}, exit_id=3) == 2
+
+    def test_exit_always_counts(self):
+        assert nearest_in_slice(self.tree, 0, set(), exit_id=3) == 3
+
+    def test_self_not_considered(self):
+        assert nearest_in_slice(self.tree, 1, {1}, exit_id=3) == 3
+
+
+class TestReassociation:
+    def test_dangling_label_mapped_to_postdominator(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        criterion = SlicingCriterion(15, "positives")
+        result = agrawal_slice(analysis, criterion)
+        assert result.label_map == {"L14": 15}
+
+    def test_label_in_slice_not_reassociated(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        criterion = SlicingCriterion(15, "positives")
+        result = agrawal_slice(analysis, criterion)
+        assert "L8" not in result.label_map
+        assert "L3" not in result.label_map
+
+    def test_direct_call(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig8a"].source)
+        result = agrawal_slice(analysis, SlicingCriterion(15, "positives"))
+        mapping = reassociate_labels(analysis, result.nodes)
+        assert mapping == {"L14": 15, "L12": 13}
+
+
+class TestSliceResult:
+    @pytest.fixture
+    def result(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        return agrawal_slice(analysis, SlicingCriterion(15, "positives"))
+
+    def test_statement_nodes_strips_entry(self, result):
+        assert result.analysis.cfg.entry_id not in result.statement_nodes()
+        assert result.analysis.cfg.entry_id in result.nodes
+
+    def test_lines(self, result):
+        assert result.lines() == [2, 3, 4, 5, 7, 8, 13, 15]
+
+    def test_contains(self, result):
+        assert 13 in result
+        assert 11 not in result
+
+    def test_jump_nodes(self, result):
+        assert result.jump_nodes() == [7, 13]
+
+    def test_same_statements_as(self, result):
+        other = agrawal_slice(
+            result.analysis, SlicingCriterion(15, "positives")
+        )
+        assert result.same_statements_as(other)
+        conv = conventional_slice(
+            result.analysis, SlicingCriterion(15, "positives")
+        )
+        assert not result.same_statements_as(conv)
+
+    def test_describe_mentions_algorithm_and_labels(self, result):
+        text = result.describe()
+        assert "agrawal" in text
+        assert "L14" in text
+        assert "positives" in text
+
+    def test_criterion_accessor(self, result):
+        assert result.criterion.line == 15
+        assert result.criterion.var == "positives"

@@ -1,0 +1,125 @@
+"""Unit tests for Ferrante–Ottenstein–Warren control dependence."""
+
+import pytest
+
+from repro.analysis.control_dependence import compute_control_dependence
+from repro.analysis.postdominance import build_postdominator_tree
+from repro.cfg.builder import build_cfg
+from repro.lang.errors import AnalysisError
+from repro.lang.parser import parse_program
+
+
+def cdg_of(source):
+    cfg = build_cfg(parse_program(source))
+    pdt = build_postdominator_tree(cfg)
+    return cfg, compute_control_dependence(cfg, pdt)
+
+
+class TestBasics:
+    def test_then_branch_depends_on_if(self):
+        cfg, cdg = cdg_of("if (c)\nx = 1;\ny = 2;")
+        assert cdg.parents_of(2) == [1]
+
+    def test_join_does_not_depend_on_if(self):
+        cfg, cdg = cdg_of("if (c)\nx = 1;\ny = 2;")
+        assert 1 not in cdg.parents_of(3)
+
+    def test_both_branches_depend_with_labels(self):
+        cfg, cdg = cdg_of("if (c)\nx = 1;\nelse\ny = 2;")
+        assert (1, 2, "true") in set(cdg.edges())
+        assert (1, 3, "false") in set(cdg.edges())
+
+    def test_top_level_depends_on_entry(self):
+        cfg, cdg = cdg_of("x = 1;\ny = 2;")
+        assert cdg.parents_of(1) == [cfg.entry_id]
+        assert cdg.parents_of(2) == [cfg.entry_id]
+
+    def test_loop_body_depends_on_loop(self):
+        cfg, cdg = cdg_of("while (c)\nx = 1;")
+        assert 1 in cdg.parents_of(2)
+
+    def test_loop_predicate_self_dependence(self):
+        cfg, cdg = cdg_of("while (c)\nx = 1;")
+        assert 1 in cdg.parents_of(1)
+
+    def test_nothing_depends_on_unconditional_jump(self):
+        cfg, cdg = cdg_of("while (c) {\nx = 1;\nbreak;\n}")
+        break_node = 3
+        assert cdg.children_of(break_node) == []
+
+    def test_statement_after_conditional_break_depends_on_its_if(self):
+        source = (
+            "while (c) {\n"
+            "if (d)\n"
+            "break;\n"
+            "x = 1;\n"
+            "}"
+        )
+        cfg, cdg = cdg_of(source)
+        # x = 1 (node 4) runs only when the `if (d)` (node 2) is false.
+        assert 2 in cdg.parents_of(4)
+
+    def test_switch_arms_depend_on_switch_with_case_labels(self):
+        cfg, cdg = cdg_of(
+            "switch (c) {\ncase 1: x = 1;\nbreak;\ncase 2: y = 2;\n}"
+        )
+        edges = set(cdg.edges())
+        assert (1, 2, "case 1") in edges
+        assert (1, 4, "case 2") in edges
+
+
+class TestAccessors:
+    def test_children_sorted_dedup(self):
+        cfg, cdg = cdg_of("if (c) {\nx = 1;\ny = 2;\n}")
+        assert cdg.children_of(1) == [2, 3]
+
+    def test_parent_edges(self):
+        cfg, cdg = cdg_of("if (c)\nx = 1;")
+        assert cdg.parent_edges_of(2) == [(1, "true")]
+
+    def test_edge_pairs(self):
+        cfg, cdg = cdg_of("if (c)\nx = 1;")
+        assert (1, 2) in cdg.edge_pairs()
+
+    def test_len_counts_labelled_edges(self):
+        cfg, cdg = cdg_of("if (c)\nx = 1;")
+        assert len(cdg) == len(list(cdg.edges()))
+
+
+class TestPreconditions:
+    def test_mismatched_tree_rejected(self):
+        cfg = build_cfg(parse_program("x = 1;"))
+        tree = build_postdominator_tree(cfg, virtual_entry_exit_edge=False)
+        with pytest.raises(AnalysisError):
+            compute_control_dependence(cfg, tree)
+
+    def test_can_skip_virtual_edge_consistently(self):
+        cfg = build_cfg(parse_program("x = 1;"))
+        tree = build_postdominator_tree(cfg, virtual_entry_exit_edge=False)
+        cdg = compute_control_dependence(
+            cfg, tree, include_virtual_entry_edge=False
+        )
+        # Without the dummy edge nothing is control dependent at all in a
+        # straight-line program.
+        assert len(cdg) == 0
+
+
+class TestPaperFig4c:
+    """Control dependences of Fig. 3a per the paper's Fig. 4c."""
+
+    def test_key_dependences(self):
+        from repro.corpus import PAPER_PROGRAMS
+
+        cfg, cdg = cdg_of(PAPER_PROGRAMS["fig3a"].source)
+        pairs = cdg.edge_pairs()
+        # Top-level statements hang off the dummy node 0.
+        for top in (1, 2, 3, 14, 15):
+            assert (0, top) in pairs
+        # The loop structure.
+        for dependent in (4, 5, 13):
+            assert (3, dependent) in pairs
+        assert (5, 7) in pairs and (5, 8) in pairs
+        assert (9, 11) in pairs and (9, 12) in pairs
+        # Nothing depends on the unconditional gotos.
+        for jump in (7, 11, 13):
+            assert cdg.children_of(jump) == []

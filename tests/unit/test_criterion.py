@@ -1,0 +1,55 @@
+"""Unit tests for slicing-criterion resolution."""
+
+import pytest
+
+from repro.lang.errors import SliceError
+from repro.pdg.builder import analyze_program
+from repro.slicing.criterion import SlicingCriterion, resolve_criterion
+
+
+class TestResolution:
+    def test_use_site_is_its_own_seed(self):
+        analysis = analyze_program("x = 1;\nwrite(x);")
+        resolved = resolve_criterion(analysis, SlicingCriterion(2, "x"))
+        assert resolved.node_id == 2
+        assert resolved.seeds == {2}
+
+    def test_def_site_is_its_own_seed(self):
+        analysis = analyze_program("x = y + 1;")
+        resolved = resolve_criterion(analysis, SlicingCriterion(1, "x"))
+        assert resolved.seeds == {1}
+
+    def test_unrelated_statement_pulls_reaching_defs(self):
+        analysis = analyze_program("x = 1;\nif (c)\nx = 2;\nwrite(q);")
+        resolved = resolve_criterion(analysis, SlicingCriterion(4, "x"))
+        assert resolved.node_id == 4
+        assert resolved.seeds == {4, 1, 3}
+
+    def test_unrelated_statement_no_defs(self):
+        analysis = analyze_program("write(q);")
+        resolved = resolve_criterion(analysis, SlicingCriterion(1, "x"))
+        assert resolved.seeds == {1}
+
+    def test_unknown_line_raises_with_hint(self):
+        analysis = analyze_program("x = 1;")
+        with pytest.raises(SliceError) as info:
+            resolve_criterion(analysis, SlicingCriterion(99, "x"))
+        assert "99" in str(info.value)
+
+    def test_prefers_use_over_def_on_same_line(self):
+        # Two statements on one line: a def of x and a use of x.
+        analysis = analyze_program("x = 1; write(x);")
+        resolved = resolve_criterion(analysis, SlicingCriterion(1, "x"))
+        assert analysis.cfg.nodes[resolved.node_id].text == "write(x)"
+
+    def test_falls_back_to_def_then_first(self):
+        analysis = analyze_program("x = 1; y = 2;")
+        resolved = resolve_criterion(analysis, SlicingCriterion(1, "y"))
+        assert analysis.cfg.nodes[resolved.node_id].text == "y = 2"
+        resolved = resolve_criterion(analysis, SlicingCriterion(1, "zz"))
+        assert analysis.cfg.nodes[resolved.node_id].text == "x = 1"
+
+    def test_str_format(self):
+        assert str(SlicingCriterion(12, "positives")) == (
+            "<positives, line 12>"
+        )

@@ -1,0 +1,132 @@
+"""Unit tests for dead-code elimination."""
+
+import pytest
+
+from repro.apps.deadcode import eliminate_dead_code
+from repro.interp.interpreter import run_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+
+
+def cleaned(source, **kwargs):
+    report = eliminate_dead_code(source, **kwargs)
+    return report, pretty(report.program)
+
+
+class TestDeadAssignments:
+    def test_simple_dead_store_removed(self):
+        report, text = cleaned("x = 1;\nx = 2;\nwrite(x);")
+        assert "x = 1" not in text
+        assert "x = 2" in text
+        assert report.removed_assignments == [(1, "x = 1")]
+
+    def test_unused_variable_removed(self):
+        report, text = cleaned("x = 1;\ny = 2;\nwrite(y);")
+        assert "x = 1" not in text
+
+    def test_cascading_removal_iterates(self):
+        # b depends only on a; both die once write(b) is absent.
+        report, text = cleaned("a = 1;\nb = a + 1;\nwrite(q);")
+        assert "a = 1" not in text and "b = a" not in text
+        assert report.iterations >= 2
+
+    def test_live_through_loop_kept(self):
+        report, text = cleaned(
+            "s = 0;\nwhile (!eof()) {\nread(x);\ns = s + x;\n}\nwrite(s);"
+        )
+        assert report.removed_count == 0
+
+    def test_read_not_removed_when_stream_matters(self):
+        # The read's value is dead but its stream effect is not: a later
+        # eof() observes the cursor.
+        source = "read(x);\nif (eof())\nwrite(1);\nelse\nwrite(2);"
+        report, text = cleaned(source)
+        assert "read(x)" in text
+
+    def test_dead_assign_in_branch(self):
+        source = "read(c);\nif (c)\nx = 1;\nelse\ny = 2;\nwrite(y);"
+        report, text = cleaned(source)
+        assert "x = 1" not in text
+        assert "y = 2" in text
+
+
+class TestUnreachable:
+    def test_code_after_return_removed(self):
+        report, text = cleaned("return 1;\nx = 2;\nwrite(x);")
+        assert "write" not in text
+        assert any("x = 2" in entry[1] for entry in report.removed_unreachable) or (
+            "x = 2" not in text
+        )
+
+    def test_unreachable_kept_when_disabled(self):
+        report, text = cleaned(
+            "return 1;\nwrite(5);", remove_unreachable=False
+        )
+        assert "write(5)" in text
+
+    def test_goto_skipped_region(self):
+        source = "goto L;\nx = 1;\nL: write(2);"
+        report, text = cleaned(source)
+        assert "x = 1" not in text
+        assert "write(2)" in text
+        assert "goto L" in text
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize(
+        "source,inputs",
+        [
+            ("x = 1;\nx = 2;\nwrite(x);", ()),
+            ("a = 1;\nb = a;\nwrite(q);\nreturn b - b;", ()),
+            (
+                "s = 0;\nd = 9;\nwhile (!eof()) {\nread(x);\nd = x;\n"
+                "s = s + x;\n}\nwrite(s);",
+                (1, 2, 3),
+            ),
+            (
+                "read(c);\nswitch (c) {\ncase 1: u = 1;\ncase 2: "
+                "write(20);\nbreak;\ncase 3: write(30);\n}",
+                (1,),
+            ),
+            ("goto L;\nx = 5;\nL: write(7);", ()),
+        ],
+    )
+    def test_outputs_and_return_unchanged(self, source, inputs):
+        program = parse_program(source)
+        before = run_program(program, inputs)
+        report = eliminate_dead_code(source)
+        after = run_program(report.program, inputs)
+        assert before.outputs == after.outputs
+        assert before.returned == after.returned
+
+    def test_switch_case_label_reassociated_on_dead_arm(self):
+        # case 1's only statement is dead; its label must fall through to
+        # case 2's arm, preserving dispatch.
+        source = (
+            "read(c);\nswitch (c) {\ncase 1: u = 1;\ncase 2: "
+            "write(20);\nbreak;\ncase 3: write(30);\n}"
+        )
+        report = eliminate_dead_code(source)
+        text = pretty(report.program)
+        assert "u = 1" not in text
+        for value, expected in [(1, [20]), (2, [20]), (3, [30]), (4, [])]:
+            result = run_program(report.program, [value])
+            assert result.outputs == expected, value
+
+
+class TestReport:
+    def test_counts(self):
+        report = eliminate_dead_code("x = 1;\nreturn 0;\ny = 2;")
+        assert report.removed_count == 2
+
+    def test_clean_program_untouched(self):
+        source = "read(x);\nwrite(x);"
+        report = eliminate_dead_code(source)
+        assert report.removed_count == 0
+        assert report.iterations == 0
+        assert pretty(report.program) == pretty(parse_program(source))
+
+    def test_accepts_ast(self):
+        program = parse_program("x = 1;\nwrite(q);")
+        report = eliminate_dead_code(program)
+        assert report.removed_count == 1

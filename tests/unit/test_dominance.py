@@ -1,0 +1,127 @@
+"""Unit tests for the dominator computations (iterative and
+Lengauer–Tarjan), cross-checked against each other and networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.analysis.dominance import immediate_dominators
+from repro.analysis.lengauer_tarjan import lengauer_tarjan
+
+
+def adjacency(edges, nodes=None):
+    node_set = set(nodes or [])
+    for src, dst in edges:
+        node_set.add(src)
+        node_set.add(dst)
+    succ = {node: [] for node in node_set}
+    pred = {node: [] for node in node_set}
+    for src, dst in edges:
+        succ[src].append(dst)
+        pred[dst].append(src)
+    return succ, pred
+
+
+def networkx_idom(edges, root):
+    graph = nx.DiGraph()
+    graph.add_edges_from(edges)
+    graph.add_node(root)
+    idom = dict(nx.immediate_dominators(graph, root))
+    # Some networkx versions omit the root's self-entry; normalise.
+    idom[root] = root
+    return idom
+
+
+BOTH = [immediate_dominators, lengauer_tarjan]
+
+
+@pytest.mark.parametrize("compute", BOTH)
+class TestSmallGraphs:
+    def test_chain(self, compute):
+        succ, pred = adjacency([(0, 1), (1, 2), (2, 3)])
+        assert compute(succ, pred, 0) == {0: 0, 1: 0, 2: 1, 3: 2}
+
+    def test_diamond(self, compute):
+        succ, pred = adjacency([(0, 1), (0, 2), (1, 3), (2, 3)])
+        idom = compute(succ, pred, 0)
+        assert idom[3] == 0
+        assert idom[1] == 0 and idom[2] == 0
+
+    def test_loop(self, compute):
+        succ, pred = adjacency([(0, 1), (1, 2), (2, 1), (1, 3)])
+        idom = compute(succ, pred, 0)
+        assert idom == {0: 0, 1: 0, 2: 1, 3: 1}
+
+    def test_unreachable_node_absent(self, compute):
+        succ, pred = adjacency([(0, 1)], nodes=[0, 1, 9])
+        idom = compute(succ, pred, 0)
+        assert 9 not in idom
+
+    def test_self_loop(self, compute):
+        succ, pred = adjacency([(0, 1), (1, 1), (1, 2)])
+        idom = compute(succ, pred, 0)
+        assert idom[1] == 0 and idom[2] == 1
+
+    def test_parallel_edges(self, compute):
+        succ, pred = adjacency([(0, 1), (0, 1), (1, 2)])
+        assert compute(succ, pred, 0)[2] == 1
+
+    def test_single_node(self, compute):
+        succ, pred = adjacency([], nodes=[0])
+        assert compute(succ, pred, 0) == {0: 0}
+
+    def test_classic_lengauer_tarjan_figure(self, compute):
+        # The irreducible example from the Lengauer–Tarjan paper.
+        edges = [
+            ("R", "A"), ("R", "B"), ("R", "C"), ("A", "D"), ("B", "A"),
+            ("B", "D"), ("B", "E"), ("C", "F"), ("C", "G"), ("D", "L"),
+            ("E", "H"), ("F", "I"), ("G", "I"), ("G", "J"), ("H", "E"),
+            ("H", "K"), ("I", "K"), ("J", "I"), ("K", "I"), ("K", "R"),
+            ("L", "H"),
+        ]
+        index = {name: i for i, name in enumerate("RABCDEFGHIJKL")}
+        succ, pred = adjacency([(index[a], index[b]) for a, b in edges])
+        idom = compute(succ, pred, index["R"])
+        expected = {
+            "A": "R", "B": "R", "C": "R", "D": "R", "E": "R", "F": "C",
+            "G": "C", "H": "R", "I": "R", "J": "G", "K": "R", "L": "D",
+        }
+        for node, dominator in expected.items():
+            assert idom[index[node]] == index[dominator], node
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_digraphs_match_each_other_and_networkx(self, seed):
+        rng = random.Random(seed)
+        node_count = rng.randint(2, 40)
+        nodes = list(range(node_count))
+        edges = []
+        # A random spine guarantees some reachability, plus random noise.
+        for index in range(1, node_count):
+            edges.append((rng.randrange(index), index))
+        for _ in range(rng.randint(0, 3 * node_count)):
+            edges.append((rng.randrange(node_count), rng.randrange(node_count)))
+        succ, pred = adjacency(edges, nodes=nodes)
+        iterative = immediate_dominators(succ, pred, 0)
+        tarjan = lengauer_tarjan(succ, pred, 0)
+        reference = networkx_idom(edges, 0)
+        assert iterative == tarjan
+        assert iterative == reference
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sparse_dags(self, seed):
+        rng = random.Random(1000 + seed)
+        node_count = rng.randint(2, 30)
+        edges = [
+            (src, dst)
+            for src in range(node_count)
+            for dst in range(src + 1, node_count)
+            if rng.random() < 0.15
+        ]
+        edges += [(0, dst) for dst in range(1, node_count)]
+        succ, pred = adjacency(edges, nodes=range(node_count))
+        assert immediate_dominators(succ, pred, 0) == lengauer_tarjan(
+            succ, pred, 0
+        )

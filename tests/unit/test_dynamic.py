@@ -1,0 +1,119 @@
+"""Unit tests for dynamic slicing."""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.dynamic.slicer import dynamic_slice
+from repro.dynamic.trace import record_trace
+from repro.lang.errors import SliceError
+from repro.pdg.builder import analyze_program
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+
+
+class TestTrace:
+    def test_trace_records_execution_order(self):
+        analysis = analyze_program("x = 1;\ny = 2;")
+        trace = record_trace(analysis.cfg)
+        nodes = [event.node_id for event in trace.events]
+        assert nodes == [analysis.cfg.entry_id, 1, 2]
+
+    def test_data_dependencies_point_to_last_definition(self):
+        analysis = analyze_program("x = 1;\nx = 2;\nwrite(x);")
+        trace = record_trace(analysis.cfg)
+        write_event = trace.events[-1]
+        assert dict(write_event.data_deps)["x"] == 2  # event index of x=2
+
+    def test_loop_carried_dependency(self):
+        analysis = analyze_program(
+            "s = 0;\nwhile (!eof()) {\nread(x);\ns = s + x;\n}\nwrite(s);"
+        )
+        trace = record_trace(analysis.cfg, inputs=[5, 6])
+        updates = trace.occurrences_of(4)
+        assert len(updates) == 2
+        second = trace.events[updates[1]]
+        assert dict(second.data_deps)["s"] == updates[0]
+
+    def test_outputs_recorded(self):
+        analysis = analyze_program("write(7);")
+        trace = record_trace(analysis.cfg)
+        assert trace.outputs == [7]
+
+    def test_occurrences_of(self):
+        analysis = analyze_program(
+            "while (!eof()) {\nread(x);\n}\nwrite(x);"
+        )
+        trace = record_trace(analysis.cfg, inputs=[1, 2, 3])
+        assert len(trace.occurrences_of(2)) == 3
+
+
+class TestDynamicSlice:
+    def test_subset_of_static_slice(self):
+        entry = PAPER_PROGRAMS["fig3a"]
+        analysis = analyze_program(entry.source)
+        criterion = SlicingCriterion(15, "positives")
+        dynamic = dynamic_slice(analysis, criterion, inputs=[3, -1, 4])
+        static = conventional_slice(analysis, criterion)
+        assert set(dynamic.statement_nodes()) <= set(static.statement_nodes())
+
+    def test_empty_run_shrinks_slice(self):
+        entry = PAPER_PROGRAMS["fig3a"]
+        analysis = analyze_program(entry.source)
+        criterion = SlicingCriterion(15, "positives")
+        dynamic = dynamic_slice(analysis, criterion, inputs=[])
+        # Loop never entered: only the initialisation and the write (and
+        # the loop guard via control dependence) can matter.
+        assert 8 not in dynamic.statement_nodes()  # positives += 1 not run
+
+    def test_branch_not_taken_excluded(self):
+        source = "read(c);\nif (c)\nx = 1;\nelse\nx = 2;\nwrite(x);"
+        analysis = analyze_program(source)
+        criterion = SlicingCriterion(6, "x")
+        # nodes: 1 read, 2 if, 3 x=1 (then), 4 x=2 (else), 5 write.
+        taken = dynamic_slice(analysis, criterion, inputs=[1])
+        assert 3 in taken.statement_nodes()
+        assert 4 not in taken.statement_nodes()
+        other = dynamic_slice(analysis, criterion, inputs=[0])
+        assert 4 in other.statement_nodes()
+        assert 3 not in other.statement_nodes()
+
+    def test_occurrence_selection(self):
+        source = (
+            "s = 0;\nwhile (!eof()) {\nread(x);\ns = s + x;\nwrite(s);\n}"
+        )
+        analysis = analyze_program(source)
+        criterion = SlicingCriterion(5, "s")
+        first = dynamic_slice(
+            analysis, criterion, inputs=[1, 2], occurrence=0
+        )
+        last = dynamic_slice(
+            analysis, criterion, inputs=[1, 2], occurrence=-1
+        )
+        assert len(first.events) < len(last.events)
+
+    def test_never_executed_criterion_raises(self):
+        analysis = analyze_program("if (0)\nx = 1;\nwrite(x);")
+        with pytest.raises(SliceError):
+            dynamic_slice(analysis, SlicingCriterion(2, "x"), inputs=[])
+
+    def test_bad_occurrence_raises(self):
+        analysis = analyze_program("write(x);")
+        with pytest.raises(SliceError):
+            dynamic_slice(
+                analysis, SlicingCriterion(1, "x"), inputs=[], occurrence=5
+            )
+
+    def test_lines_and_statement_nodes(self):
+        analysis = analyze_program("x = 1;\nwrite(x);")
+        dynamic = dynamic_slice(analysis, SlicingCriterion(2, "x"))
+        assert dynamic.statement_nodes() == [1, 2]
+        assert dynamic.lines() == [1, 2]
+
+    def test_dynamic_control_dependence_includes_guard(self):
+        source = "read(c);\nif (c)\nx = 1;\nwrite(x);"
+        analysis = analyze_program(source)
+        dynamic = dynamic_slice(
+            analysis, SlicingCriterion(4, "x"), inputs=[1]
+        )
+        assert 2 in dynamic.statement_nodes()  # the if
+        assert 1 in dynamic.statement_nodes()  # read feeding the if

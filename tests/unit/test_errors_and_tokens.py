@@ -1,0 +1,169 @@
+"""Unit tests for the error hierarchy, source locations, tokens, and
+AST helpers."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Goto,
+    If,
+    Num,
+    Return,
+    Skip,
+    Unary,
+    Var,
+    is_jump,
+    walk_statements,
+)
+from repro.lang.errors import (
+    AnalysisError,
+    InterpreterError,
+    LexError,
+    ParseError,
+    SlangError,
+    SliceError,
+    SourceLocation,
+    ValidationError,
+)
+from repro.lang.parser import parse_program
+from repro.lang.tokens import Token, TokenKind
+
+
+class TestSourceLocation:
+    def test_str(self):
+        assert str(SourceLocation(3, 7)) == "3:7"
+
+    def test_ordering(self):
+        assert SourceLocation(1, 9) < SourceLocation(2, 1)
+        assert SourceLocation(2, 1) < SourceLocation(2, 5)
+
+    def test_equality_and_hash(self):
+        assert SourceLocation(1, 1) == SourceLocation(1, 1)
+        assert len({SourceLocation(1, 1), SourceLocation(1, 1)}) == 1
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            LexError,
+            ParseError,
+            ValidationError,
+            AnalysisError,
+            SliceError,
+            InterpreterError,
+        ],
+    )
+    def test_all_derive_from_slang_error(self, cls):
+        assert issubclass(cls, SlangError)
+
+    def test_message_without_location(self):
+        error = SlangError("boom")
+        assert str(error) == "boom"
+        assert error.location is None
+
+    def test_message_with_location(self):
+        error = SlangError("boom", SourceLocation(2, 3))
+        assert str(error).startswith("2:3: boom")
+
+    def test_excerpt_with_caret(self):
+        source = "x = 1;\ny = @;"
+        error = SlangError("bad", SourceLocation(2, 5), source)
+        text = str(error)
+        assert "y = @;" in text
+        assert text.splitlines()[-1].strip() == "^"
+        assert text.splitlines()[-1].index("^") == 4 + 4  # indent + col-1
+
+    def test_excerpt_out_of_range_line(self):
+        error = SlangError("bad", SourceLocation(99, 1), "one line")
+        assert str(error) == "99:1: bad"
+
+
+class TestToken:
+    def test_str(self):
+        token = Token(TokenKind.IDENT, "abc", SourceLocation(1, 2))
+        assert "IDENT" in str(token)
+        assert "abc" in str(token)
+
+    def test_int_token_value(self):
+        token = Token(TokenKind.INT, "12", SourceLocation(1, 1), value=12)
+        assert token.value == 12
+
+    def test_frozen(self):
+        token = Token(TokenKind.SEMI, ";", SourceLocation(1, 1))
+        with pytest.raises(AttributeError):
+            token.text = "!"
+
+
+class TestAstHelpers:
+    def test_is_jump(self):
+        assert is_jump(Break())
+        assert is_jump(Continue())
+        assert is_jump(Return())
+        assert is_jump(Goto(target="L"))
+        assert not is_jump(Skip())
+
+    def test_walk_statements_lexical_order(self):
+        program = parse_program(
+            "a = 1;\nif (c) {\nb = 2;\nwhile (d)\ne = 3;\n}\nf = 4;"
+        )
+        lines = [
+            stmt.line
+            for top in program.body
+            for stmt in walk_statements(top)
+            if not isinstance(stmt, Block)
+        ]
+        assert lines == sorted(lines)
+
+    def test_walk_includes_switch_arms(self):
+        program = parse_program(
+            "switch (c) { case 1: x = 1; case 2: y = 2; }"
+        )
+        kinds = [type(s).__name__ for s in program.statements()]
+        assert kinds.count("Assign") == 2
+
+    def test_walk_includes_for_header_parts(self):
+        program = parse_program("for (i = 0; i < 2; i = i + 1) x = 1;")
+        assigns = [
+            s for s in program.statements() if type(s).__name__ == "Assign"
+        ]
+        assert len(assigns) == 3  # init, step, body
+
+    def test_expression_equality_is_structural(self):
+        first = Binary("+", Var("x"), Num(1))
+        second = Binary("+", Var("x"), Num(1))
+        assert first == second
+        assert Unary("-", first) == Unary("-", second)
+        assert Call("f", (first,)) == Call("f", (second,))
+
+    def test_statement_equality_ignores_line_and_label(self):
+        first = parse_program("x = 1;").body[0]
+        second = parse_program("\n\nL: x = 1;").body[0]
+        assert first == second
+
+
+class TestIntrinsicsRegistry:
+    def test_names_listed(self):
+        from repro.interp.intrinsics import DEFAULT_INTRINSICS
+
+        names = DEFAULT_INTRINSICS.names()
+        assert {"f1", "f2", "f3", "g1", "g2"} <= set(names)
+
+    def test_with_function_is_copy_on_write(self):
+        from repro.interp.intrinsics import DEFAULT_INTRINSICS
+
+        extended = DEFAULT_INTRINSICS.with_function("plus1", lambda x: x + 1)
+        assert "plus1" in extended.names()
+        assert "plus1" not in DEFAULT_INTRINSICS.names()
+
+    def test_opaque_function_deterministic_and_bounded(self):
+        from repro.interp.intrinsics import opaque_function
+
+        value = opaque_function("mystery", [1, 2])
+        assert value == opaque_function("mystery", [1, 2])
+        assert -1000 <= value <= 1000
+        assert value != opaque_function("mystery", [2, 1])

@@ -1,0 +1,148 @@
+"""Unit tests for slice extraction."""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.interp.interpreter import run_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+from repro.lang.validate import validate_program
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.conservative import conservative_slice
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.extract import extract_slice, extract_source
+from repro.slicing.structured import structured_slice
+
+
+def sliced_source(source, line, var, slicer=agrawal_slice):
+    analysis = analyze_program(source)
+    result = slicer(analysis, SlicingCriterion(line, var))
+    return extract_source(result), result
+
+
+class TestBasics:
+    def test_extracted_source_is_valid_sl(self):
+        text, _ = sliced_source("x = 1;\ny = 2;\nwrite(x);", 3, "x")
+        validate_program(parse_program(text))
+
+    def test_irrelevant_statement_dropped(self):
+        text, _ = sliced_source("x = 1;\ny = 2;\nwrite(x);", 3, "x")
+        assert "y = 2" not in text
+        assert "x = 1" in text
+
+    def test_compound_with_no_retained_content_dropped(self):
+        text, _ = sliced_source(
+            "x = 1;\nif (c)\ny = 2;\nwrite(x);", 4, "x"
+        )
+        assert "if" not in text
+
+    def test_else_branch_dropped_when_empty(self):
+        source = "read(c);\nif (c)\nx = 1;\nelse\ny = 2;\nwrite(x);"
+        text, _ = sliced_source(source, 6, "x")
+        assert "else" not in text
+
+    def test_then_branch_becomes_skip_when_else_retained(self):
+        source = "read(c);\nif (c)\ny = 2;\nelse\nx = 1;\nwrite(x);"
+        text, _ = sliced_source(source, 6, "x")
+        assert "else" in text
+        # The then side is an empty statement.
+        parsed = parse_program(text)
+        if_stmt = parsed.body[1]
+        from repro.lang.ast_nodes import Skip
+
+        assert isinstance(if_stmt.then_branch, Skip)
+
+    def test_stmt_map_tracks_criterion(self):
+        analysis = analyze_program("x = 1;\nwrite(x);")
+        result = agrawal_slice(analysis, SlicingCriterion(2, "x"))
+        extracted = extract_slice(result)
+        original = analysis.cfg.nodes[2].stmt
+        assert extracted.find(original) is not None
+        assert extracted.find(original) is not original
+
+
+class TestLabels:
+    def test_needed_label_kept(self):
+        text, _ = sliced_source(PAPER_PROGRAMS["fig3a"].source, 15, "positives")
+        assert "L8:" in text
+        assert "L3:" in text
+
+    def test_dangling_label_emitted_as_skip(self):
+        text, _ = sliced_source(PAPER_PROGRAMS["fig3a"].source, 15, "positives")
+        assert "L14: ;" in text
+
+    def test_unreferenced_label_dropped(self):
+        source = "L1: x = 1;\nwrite(x);"
+        text, _ = sliced_source(source, 2, "x")
+        assert "L1" not in text
+
+    def test_fig10_labels_on_reassociated_nodes(self):
+        text, _ = sliced_source(PAPER_PROGRAMS["fig10a"].source, 9, "y")
+        lines = text.splitlines()
+        l6_index = lines.index("L6: ;")
+        goto_l3_index = next(
+            i for i, t in enumerate(lines) if t.strip() == "goto L3;"
+        )
+        assert l6_index < goto_l3_index
+
+
+class TestSwitchExtraction:
+    def test_fig14_structured_slice_keeps_case_labels(self):
+        text, _ = sliced_source(
+            PAPER_PROGRAMS["fig14a"].source, 9, "y", structured_slice
+        )
+        assert "case 1:" in text
+        assert "case 2:" in text
+        assert "case 3:" not in text
+
+    def test_dropped_arm_disappears_entirely(self):
+        text, _ = sliced_source(
+            PAPER_PROGRAMS["fig14a"].source, 9, "y", structured_slice
+        )
+        assert "z = 33" not in text
+        assert "x = 11" not in text
+
+    def test_conservative_keeps_case3_break(self):
+        text, _ = sliced_source(
+            PAPER_PROGRAMS["fig14a"].source, 9, "y", conservative_slice
+        )
+        assert "case 3:" in text
+
+    def test_fully_dropped_switch_hoists_postdominating_tail(self):
+        source = (
+            "read(c);\n"
+            "switch (c) {\n"
+            "case 1: x = 1;\n"
+            "default: y = 2;\n"
+            "}\n"
+            "write(y);"
+        )
+        # y = 2 runs on every path through the switch (case 1 falls
+        # through), so the slice keeps y = 2 but not the switch.
+        analysis = analyze_program(source)
+        result = agrawal_slice(analysis, SlicingCriterion(6, "y"))
+        assert analysis.cfg.node_of(
+            analysis.program.body[1]
+        ) not in result.nodes
+        text = extract_source(result)
+        assert "switch" not in text
+        assert "y = 2" in text
+        # And the extraction runs correctly.
+        outputs = run_program(parse_program(text)).outputs
+        assert outputs == [2]
+
+
+class TestSemanticsOfExtraction:
+    @pytest.mark.parametrize("name", sorted(PAPER_PROGRAMS))
+    def test_extracted_corpus_slices_parse_and_validate(self, name):
+        entry = PAPER_PROGRAMS[name]
+        text, _ = sliced_source(entry.source, *entry.criterion)
+        validate_program(parse_program(text))
+
+    def test_extraction_of_full_slice_is_whole_program(self):
+        source = "read(x);\nwrite(x);"
+        analysis = analyze_program(source)
+        result = conventional_slice(analysis, SlicingCriterion(2, "x"))
+        assert pretty(parse_program(source)) == extract_source(result)

@@ -1,0 +1,110 @@
+"""Unit tests for the random program generators."""
+
+import random
+
+import pytest
+
+from repro.analysis.lexical import is_structured_program
+from repro.cfg.builder import build_cfg
+from repro.gen.generator import (
+    GeneratorConfig,
+    generate_structured,
+    generate_unstructured,
+    random_criterion,
+    realize,
+)
+from repro.interp.interpreter import run_program
+from repro.lang.ast_nodes import Write
+from repro.lang.validate import check_program
+
+
+class TestStructuredGenerator:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_generated_programs_are_valid(self, seed):
+        program = realize(generate_structured(random.Random(seed)))
+        assert check_program(program) == []
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_generated_programs_are_structured(self, seed):
+        program = realize(generate_structured(random.Random(seed)))
+        cfg = build_cfg(program)
+        assert is_structured_program(cfg)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_generated_programs_terminate(self, seed):
+        rng = random.Random(seed)
+        program = realize(generate_structured(rng))
+        inputs = [rng.randint(-9, 9) for _ in range(6)]
+        result = run_program(program, inputs, step_limit=500_000)
+        assert result.steps > 0
+
+    def test_ends_with_write_per_variable(self):
+        config = GeneratorConfig(num_vars=3)
+        program = generate_structured(random.Random(0), config)
+        tail = program.body[-3:]
+        assert all(isinstance(stmt, Write) for stmt in tail)
+
+    def test_determinism(self):
+        from repro.lang.pretty import pretty
+
+        first = pretty(generate_structured(random.Random(99)))
+        second = pretty(generate_structured(random.Random(99)))
+        assert first == second
+
+
+class TestUnstructuredGenerator:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_generated_programs_are_valid(self, seed):
+        program = realize(generate_unstructured(random.Random(seed)))
+        assert check_program(program) == []
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_every_node_reaches_exit(self, seed):
+        # Unconditional jumps are forward-only, so postdominators always
+        # exist; build_postdominator_tree(strict=True) would raise if not.
+        from repro.analysis.postdominance import build_postdominator_tree
+
+        program = realize(generate_unstructured(random.Random(seed)))
+        cfg = build_cfg(program)
+        build_postdominator_tree(cfg)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_no_dead_code(self, seed):
+        program = realize(generate_unstructured(random.Random(seed)))
+        cfg = build_cfg(program)
+        assert cfg.unreachable_statements() == []
+
+    def test_contains_gotos(self):
+        found = 0
+        for seed in range(10):
+            program = realize(generate_unstructured(random.Random(seed)))
+            cfg = build_cfg(program)
+            found += len(cfg.jump_nodes())
+        assert found > 0
+
+    def test_flat_length_respected(self):
+        config = GeneratorConfig(flat_length=8, num_vars=2)
+        program = generate_unstructured(random.Random(1), config)
+        assert len(program.body) == 8 + 2
+
+
+class TestCriterionPicker:
+    def test_picks_a_write_line(self):
+        rng = random.Random(3)
+        program = realize(generate_structured(rng))
+        line, var = random_criterion(rng, program)
+        stmt_lines = {stmt.line for stmt in program.statements()}
+        assert line in stmt_lines
+        assert var.startswith("v") or var.startswith("i")
+
+    def test_raises_without_writes(self):
+        from repro.lang.parser import parse_program
+
+        with pytest.raises(ValueError):
+            random_criterion(random.Random(0), parse_program("x = 1;"))
+
+
+class TestRealize:
+    def test_lines_assigned(self):
+        program = realize(generate_structured(random.Random(5)))
+        assert all(stmt.line > 0 for stmt in program.statements())

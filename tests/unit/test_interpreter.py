@@ -1,0 +1,211 @@
+"""Unit tests for the CFG interpreter."""
+
+import pytest
+
+from repro.interp.interpreter import Interpreter, run_program, run_source
+from repro.interp.intrinsics import DEFAULT_INTRINSICS, IntrinsicRegistry
+from repro.cfg.builder import build_cfg
+from repro.lang.errors import InterpreterError
+from repro.lang.parser import parse_program
+
+
+class TestBasics:
+    def test_straight_line(self):
+        result = run_source("x = 2;\ny = x * 3;\nwrite(y);")
+        assert result.outputs == [6]
+        assert result.env["y"] == 6
+
+    def test_uninitialised_reads_as_zero(self):
+        assert run_source("write(q);").outputs == [0]
+
+    def test_if_true_branch(self):
+        result = run_source("x = 5;\nif (x > 0)\nwrite(1);\nelse\nwrite(2);")
+        assert result.outputs == [1]
+
+    def test_if_false_branch(self):
+        result = run_source("x = -5;\nif (x > 0)\nwrite(1);\nelse\nwrite(2);")
+        assert result.outputs == [2]
+
+    def test_while_loop(self):
+        result = run_source(
+            "i = 0;\ns = 0;\nwhile (i < 4) {\ns = s + i;\ni = i + 1;\n}\n"
+            "write(s);"
+        )
+        assert result.outputs == [6]
+
+    def test_do_while_runs_at_least_once(self):
+        result = run_source("do\nwrite(1);\nwhile (0);")
+        assert result.outputs == [1]
+
+    def test_for_loop(self):
+        result = run_source(
+            "s = 0;\nfor (i = 0; i < 3; i = i + 1)\ns = s + i;\nwrite(s);"
+        )
+        assert result.outputs == [3]
+
+    def test_break(self):
+        result = run_source(
+            "i = 0;\nwhile (1) {\nif (i == 3)\nbreak;\ni = i + 1;\n}\n"
+            "write(i);"
+        )
+        assert result.outputs == [3]
+
+    def test_continue(self):
+        result = run_source(
+            "s = 0;\nfor (i = 0; i < 5; i = i + 1) {\n"
+            "if (i % 2 == 0)\ncontinue;\ns = s + i;\n}\nwrite(s);"
+        )
+        assert result.outputs == [4]
+
+    def test_return_value(self):
+        result = run_source("return 42;\nwrite(1);")
+        assert result.returned == 42
+        assert result.outputs == []
+
+    def test_goto(self):
+        result = run_source("goto L;\nwrite(1);\nL: write(2);")
+        assert result.outputs == [2]
+
+    def test_conditional_goto_loop(self):
+        source = (
+            "i = 0;\n"
+            "L: i = i + 1;\n"
+            "if (i < 3) goto L;\n"
+            "write(i);"
+        )
+        assert run_source(source).outputs == [3]
+
+
+class TestSwitch:
+    SOURCE = (
+        "switch (c) {\n"
+        "case 1: write(10);\n"
+        "break;\n"
+        "case 2: write(20);\n"
+        "case 3: write(30);\n"
+        "break;\n"
+        "default: write(99);\n"
+        "}"
+    )
+
+    def test_matching_case(self):
+        result = run_program(
+            parse_program(self.SOURCE), initial_env={"c": 1}
+        )
+        assert result.outputs == [10]
+
+    def test_fall_through(self):
+        result = run_program(
+            parse_program(self.SOURCE), initial_env={"c": 2}
+        )
+        assert result.outputs == [20, 30]
+
+    def test_default(self):
+        result = run_program(
+            parse_program(self.SOURCE), initial_env={"c": 7}
+        )
+        assert result.outputs == [99]
+
+    def test_no_default_skips(self):
+        source = "switch (c) { case 1: write(1); }\nwrite(0);"
+        result = run_program(parse_program(source), initial_env={"c": 5})
+        assert result.outputs == [0]
+
+
+class TestIO:
+    def test_read_consumes_stream(self):
+        result = run_source("read(a);\nread(b);\nwrite(a + b);", inputs=[3, 4])
+        assert result.outputs == [7]
+
+    def test_eof_flips_after_last_read(self):
+        source = (
+            "n = 0;\nwhile (!eof()) {\nread(x);\nn = n + 1;\n}\nwrite(n);"
+        )
+        assert run_source(source, inputs=[5, 6, 7]).outputs == [3]
+
+    def test_eof_true_on_empty_input(self):
+        assert run_source("write(eof());").outputs == [1]
+
+    def test_read_past_end_yields_zero(self):
+        result = run_source("read(a);\nwrite(a);", inputs=[])
+        assert result.outputs == [0]
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("7 / 2", 3),
+            ("-7 / 2", -3),  # C truncation toward zero
+            ("7 % 2", 1),
+            ("-7 % 2", -1),  # sign of dividend
+            ("7 / 0", 0),  # totalised
+            ("7 % 0", 0),
+            ("3 < 4", 1),
+            ("4 <= 4", 1),
+            ("5 == 5", 1),
+            ("5 != 5", 0),
+            ("1 && 0", 0),
+            ("1 || 0", 1),
+            ("!3", 0),
+            ("!0", 1),
+            ("-(2 + 3)", -5),
+        ],
+    )
+    def test_expression(self, expr, expected):
+        assert run_source(f"write({expr});").outputs == [expected]
+
+
+class TestIntrinsics:
+    def test_default_paper_functions(self):
+        assert run_source("write(f1(3));").outputs == [7]
+        assert run_source("write(f2(3));").outputs == [9]
+        assert run_source("write(f3(3));").outputs == [0]
+
+    def test_unknown_intrinsic_is_deterministic(self):
+        first = run_source("write(mystery(4));").outputs
+        second = run_source("write(mystery(4));").outputs
+        assert first == second
+
+    def test_custom_registry(self):
+        registry = DEFAULT_INTRINSICS.with_function("twice", lambda x: 2 * x)
+        result = run_source("write(twice(21));", intrinsics=registry)
+        assert result.outputs == [42]
+
+    def test_eof_cannot_be_registered(self):
+        with pytest.raises(InterpreterError):
+            IntrinsicRegistry({"eof": lambda: 1})
+
+    def test_wrong_arity_reported(self):
+        with pytest.raises(InterpreterError):
+            run_source("write(min(1));")
+
+
+class TestLimitsAndWatches:
+    def test_step_limit(self):
+        with pytest.raises(InterpreterError) as info:
+            run_source("L: goto M;\nM: goto L;", step_limit=100)
+        assert "step limit" in str(info.value)
+
+    def test_watch_records_trajectory(self):
+        program = parse_program(
+            "s = 0;\nfor (i = 0; i < 3; i = i + 1)\ns = s + 10;\nwrite(s);"
+        )
+        cfg = build_cfg(program)
+        body = next(n for n in cfg.statement_nodes() if n.text == "s = s + 10")
+        interp = Interpreter(cfg)
+        result = interp.run(watch={body.id: "s"})
+        # Value of s each time control REACHES the statement (before it
+        # executes).
+        assert result.trajectories[body.id] == [0, 10, 20]
+
+    def test_watch_on_unexecuted_node_is_empty(self):
+        program = parse_program("if (0)\nx = 1;")
+        cfg = build_cfg(program)
+        interp = Interpreter(cfg)
+        result = interp.run(watch={2: "x"})
+        assert result.trajectories[2] == []
+
+    def test_steps_counted(self):
+        result = run_source("x = 1;\ny = 2;")
+        assert result.steps == 3  # entry + two statements

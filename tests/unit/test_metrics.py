@@ -1,0 +1,78 @@
+"""Unit tests for the slice-based cohesion metrics."""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.lang.errors import SliceError
+from repro.metrics import output_criteria, slice_based_metrics
+from repro.pdg.builder import analyze_program
+from repro.slicing.criterion import SlicingCriterion
+
+
+class TestOutputCriteria:
+    def test_one_per_variable_write(self):
+        analysis = analyze_program("x = 1;\nwrite(x);\nwrite(x + 1);")
+        criteria = output_criteria(analysis)
+        # write(x+1) is not a plain-variable write.
+        assert criteria == [SlicingCriterion(line=2, var="x")]
+
+    def test_fig3_has_two_outputs(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        criteria = output_criteria(analysis)
+        assert [(c.line, c.var) for c in criteria] == [
+            (14, "sum"),
+            (15, "positives"),
+        ]
+
+
+class TestMetrics:
+    def test_single_output_program_is_maximally_cohesive(self):
+        analysis = analyze_program("read(x);\ny = x + 1;\nwrite(y);")
+        metrics = slice_based_metrics(analysis)
+        assert metrics.tightness == 1.0
+        assert metrics.coverage == 1.0
+        assert metrics.overlap == 1.0
+
+    def test_two_independent_computations_have_low_tightness(self):
+        analysis = analyze_program(
+            "read(a);\nread(b);\nx = a * 2;\ny = b * 3;\nwrite(x);\nwrite(y);"
+        )
+        metrics = slice_based_metrics(analysis)
+        # The two slices share only the read chain ($in links reads);
+        # neither contains the other's computation.
+        assert metrics.tightness < metrics.coverage
+        assert metrics.min_coverage < 1.0
+
+    def test_fig3_metrics_are_sane(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        metrics = slice_based_metrics(analysis)
+        assert len(metrics.criteria) == 2
+        assert 0.0 < metrics.tightness <= metrics.coverage <= 1.0
+        assert metrics.min_coverage <= metrics.max_coverage
+        assert 0.0 < metrics.overlap <= 1.0
+
+    def test_explicit_criteria(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        metrics = slice_based_metrics(
+            analysis, criteria=[SlicingCriterion(15, "positives")]
+        )
+        assert metrics.slice_sizes == (8,)  # Fig. 3-c's slice
+
+    def test_algorithm_choice_matters_for_jump_programs(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        with_jumps = slice_based_metrics(analysis, algorithm="agrawal")
+        without = slice_based_metrics(analysis, algorithm="conventional")
+        # Jump-blind slices are smaller, deflating coverage — the
+        # metrics inherit the paper's correctness point.
+        assert without.coverage < with_jumps.coverage
+
+    def test_no_outputs_raises(self):
+        analysis = analyze_program("x = 1;")
+        with pytest.raises(SliceError):
+            slice_based_metrics(analysis)
+
+    def test_describe(self):
+        analysis = analyze_program("x = 1;\nwrite(x);")
+        text = slice_based_metrics(analysis).describe()
+        assert "tightness=" in text
+        assert "program size: 2 statements" in text

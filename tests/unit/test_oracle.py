@@ -1,0 +1,74 @@
+"""Unit tests for the trajectory oracle."""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.interp.oracle import (
+    TrajectoryMismatch,
+    check_slice_correctness,
+    criterion_trajectory,
+)
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+
+
+class TestTrajectories:
+    def test_trajectory_at_write(self):
+        analysis = analyze_program(
+            "s = 0;\nwhile (!eof()) {\nread(x);\ns = s + x;\n}\nwrite(s);"
+        )
+        trajectory = criterion_trajectory(
+            analysis, SlicingCriterion(6, "s"), inputs=[1, 2, 3]
+        )
+        assert trajectory == [6]
+
+    def test_trajectory_inside_loop(self):
+        analysis = analyze_program(
+            "s = 0;\nwhile (!eof()) {\nread(x);\ns = s + x;\n}\nwrite(s);"
+        )
+        trajectory = criterion_trajectory(
+            analysis, SlicingCriterion(4, "s"), inputs=[1, 2, 3]
+        )
+        # Value of s each time control reaches the assignment.
+        assert trajectory == [0, 1, 3]
+
+    def test_initial_env(self):
+        analysis = analyze_program("write(c);")
+        trajectory = criterion_trajectory(
+            analysis, SlicingCriterion(1, "c"), inputs=[], initial_env={"c": 9}
+        )
+        assert trajectory == [9]
+
+
+class TestCorrectnessChecking:
+    def test_correct_slice_passes(self):
+        entry = PAPER_PROGRAMS["fig3a"]
+        analysis = analyze_program(entry.source)
+        result = agrawal_slice(analysis, SlicingCriterion(*entry.criterion))
+        checked = check_slice_correctness(result, entry.input_sets)
+        assert checked == len(entry.input_sets)
+
+    def test_incorrect_slice_reports_divergence(self):
+        entry = PAPER_PROGRAMS["fig3a"]
+        analysis = analyze_program(entry.source)
+        result = conventional_slice(
+            analysis, SlicingCriterion(*entry.criterion)
+        )
+        with pytest.raises(TrajectoryMismatch) as info:
+            check_slice_correctness(result, entry.input_sets)
+        error = info.value
+        assert error.expected != error.actual
+        assert "conventional" in str(error)
+        assert error.slice_source  # extracted program attached
+
+    def test_mismatch_carries_inputs(self):
+        entry = PAPER_PROGRAMS["fig16a"]
+        analysis = analyze_program(entry.source)
+        from repro.slicing.gallagher import gallagher_slice
+
+        result = gallagher_slice(analysis, SlicingCriterion(*entry.criterion))
+        with pytest.raises(TrajectoryMismatch) as info:
+            check_slice_correctness(result, entry.input_sets)
+        assert info.value.inputs in [list(i) for i in entry.input_sets]

@@ -1,0 +1,294 @@
+"""Unit tests for the SL parser."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    DoWhile,
+    For,
+    Goto,
+    If,
+    Num,
+    Read,
+    Return,
+    Skip,
+    Switch,
+    Unary,
+    Var,
+    While,
+    Write,
+)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expression, parse_program
+
+
+def single(source):
+    program = parse_program(source)
+    assert len(program.body) == 1
+    return program.body[0]
+
+
+class TestSimpleStatements:
+    def test_assignment(self):
+        stmt = single("x = 1 + 2;")
+        assert isinstance(stmt, Assign)
+        assert stmt.target == "x"
+        assert isinstance(stmt.value, Binary)
+
+    def test_read(self):
+        stmt = single("read(x);")
+        assert isinstance(stmt, Read)
+        assert stmt.target == "x"
+
+    def test_write(self):
+        stmt = single("write(x + 1);")
+        assert isinstance(stmt, Write)
+
+    def test_skip(self):
+        assert isinstance(single(";"), Skip)
+
+    def test_break(self):
+        # Placement is the validator's business; parsing succeeds.
+        assert isinstance(single("break;"), Break)
+
+    def test_continue(self):
+        assert isinstance(single("continue;"), Continue)
+
+    def test_return_with_value(self):
+        stmt = single("return x * 2;")
+        assert isinstance(stmt, Return)
+        assert stmt.value is not None
+
+    def test_return_bare(self):
+        stmt = single("return;")
+        assert isinstance(stmt, Return)
+        assert stmt.value is None
+
+    def test_goto(self):
+        stmt = single("goto L5;")
+        assert isinstance(stmt, Goto)
+        assert stmt.target == "L5"
+
+
+class TestLabels:
+    def test_label_attaches_to_statement(self):
+        stmt = single("L3: x = 1;")
+        assert stmt.label == "L3"
+        assert isinstance(stmt, Assign)
+
+    def test_label_on_conditional_goto(self):
+        stmt = single("L3: if (eof()) goto L14;")
+        assert stmt.label == "L3"
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.then_branch, Goto)
+
+    def test_label_line_is_statement_line(self):
+        program = parse_program("x = 1;\nL2: y = 2;")
+        assert program.body[1].line == 2
+
+    def test_double_label_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("A: B: x = 1;")
+
+    def test_label_on_block(self):
+        stmt = single("L: { x = 1; }")
+        assert stmt.label == "L"
+        assert isinstance(stmt, Block)
+
+
+class TestCompoundStatements:
+    def test_if_without_else(self):
+        stmt = single("if (x > 0) y = 1;")
+        assert isinstance(stmt, If)
+        assert stmt.else_branch is None
+
+    def test_if_with_else(self):
+        stmt = single("if (x > 0) y = 1; else y = 2;")
+        assert isinstance(stmt.else_branch, Assign)
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        stmt = single("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.else_branch is None
+        inner = stmt.then_branch
+        assert isinstance(inner, If)
+        assert inner.else_branch is not None
+
+    def test_while(self):
+        stmt = single("while (!eof()) read(x);")
+        assert isinstance(stmt, While)
+        assert isinstance(stmt.body, Read)
+
+    def test_do_while(self):
+        stmt = single("do { read(x); } while (!eof());")
+        assert isinstance(stmt, DoWhile)
+        assert isinstance(stmt.body, Block)
+
+    def test_for_full_header(self):
+        stmt = single("for (i = 0; i < 3; i = i + 1) x = x + i;")
+        assert isinstance(stmt, For)
+        assert isinstance(stmt.init, Assign)
+        assert isinstance(stmt.cond, Binary)
+        assert isinstance(stmt.step, Assign)
+
+    def test_for_empty_clauses(self):
+        stmt = single("for (;;) break;")
+        assert stmt.init is None
+        assert stmt.cond is None
+        assert stmt.step is None
+
+    def test_for_with_read_init(self):
+        stmt = single("for (read(x); x < 3; x = x + 1) ;")
+        assert isinstance(stmt.init, Read)
+
+    def test_nested_blocks(self):
+        stmt = single("{ { x = 1; } y = 2; }")
+        assert isinstance(stmt, Block)
+        assert isinstance(stmt.stmts[0], Block)
+
+    def test_empty_block(self):
+        stmt = single("{ }")
+        assert isinstance(stmt, Block)
+        assert stmt.stmts == []
+
+
+class TestSwitch:
+    def test_simple_switch(self):
+        stmt = single("switch (c) { case 1: x = 1; break; case 2: y = 2; }")
+        assert isinstance(stmt, Switch)
+        assert len(stmt.cases) == 2
+        assert stmt.cases[0].matches == [1]
+        assert len(stmt.cases[0].stmts) == 2
+
+    def test_merged_case_labels(self):
+        stmt = single("switch (c) { case 1: case 2: default: x = 1; }")
+        assert len(stmt.cases) == 1
+        assert stmt.cases[0].matches == [1, 2, None]
+
+    def test_negative_case_value(self):
+        stmt = single("switch (c) { case -3: x = 1; }")
+        assert stmt.cases[0].matches == [-3]
+
+    def test_empty_arm_falls_through(self):
+        stmt = single("switch (c) { case 1: case 2: x = 1; }")
+        assert stmt.cases[0].matches == [1, 2]
+
+    def test_statement_before_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("switch (c) { x = 1; }")
+
+
+class TestExpressions:
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, Binary)
+        assert expr.op == "+"
+        assert isinstance(expr.right, Binary)
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expression("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, Binary)
+        assert expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, Binary)
+
+    def test_logical_precedence(self):
+        expr = parse_expression("a || b && c")
+        assert expr.op == "||"
+        assert isinstance(expr.right, Binary)
+        assert expr.right.op == "&&"
+
+    def test_comparison_precedence(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert expr.op == "<"
+
+    def test_unary_not(self):
+        expr = parse_expression("!eof()")
+        assert isinstance(expr, Unary)
+        assert expr.op == "!"
+        assert isinstance(expr.operand, Call)
+
+    def test_unary_minus_nested(self):
+        expr = parse_expression("- -x")
+        assert isinstance(expr, Unary)
+        assert isinstance(expr.operand, Unary)
+
+    def test_call_with_arguments(self):
+        expr = parse_expression("max(a, b + 1)")
+        assert isinstance(expr, Call)
+        assert expr.name == "max"
+        assert len(expr.args) == 2
+
+    def test_call_no_arguments(self):
+        expr = parse_expression("eof()")
+        assert expr.args == ()
+
+    def test_variable(self):
+        assert parse_expression("xyz") == Var("xyz")
+
+    def test_number(self):
+        assert parse_expression("7") == Num(7)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 3")
+
+
+class TestExpressionMetadata:
+    def test_variables_collected(self):
+        expr = parse_expression("a + f(b, c * d) - a")
+        assert expr.variables() == {"a", "b", "c", "d"}
+
+    def test_calls_collected(self):
+        expr = parse_expression("f(g(x)) + h(1)")
+        assert expr.calls() == {"f", "g", "h"}
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x = ;",
+            "if x > 0 y = 1;",
+            "while () x = 1;",
+            "x = 1",
+            "goto ;",
+            "read();",
+            "read(1);",
+            "write();",
+            "{ x = 1;",
+            "do x = 1; while (c)",
+            "switch (c) { case: x = 1; }",
+            "else x = 1;",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("x = 1;\ny = ;")
+        assert info.value.location is not None
+        assert info.value.location.line == 2
+
+
+class TestLineNumbers:
+    def test_statement_lines(self):
+        program = parse_program("x = 1;\ny = 2;\n\nz = 3;")
+        assert [stmt.line for stmt in program.body] == [1, 2, 4]
+
+    def test_nested_statement_lines(self):
+        program = parse_program("if (c)\n{\nx = 1;\n}")
+        stmt = program.body[0]
+        assert stmt.line == 1
+        assert stmt.then_branch.stmts[0].line == 3

@@ -1,0 +1,108 @@
+"""Unit tests for the pretty-printer, including the re-parse round trip."""
+
+import pytest
+
+from repro.lang.ast_nodes import Binary, Num, Unary, Var
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import pretty, pretty_expr
+
+
+def roundtrip(source):
+    """pretty(parse(source)) must re-parse to the same canonical text."""
+    first = pretty(parse_program(source))
+    second = pretty(parse_program(first))
+    assert first == second
+    return first
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("1 + 2 * 3", "1 + 2 * 3"),
+            ("(1 + 2) * 3", "(1 + 2) * 3"),
+            ("10 - 4 - 3", "10 - 4 - 3"),
+            ("10 - (4 - 3)", "10 - (4 - 3)"),
+            ("a || b && c", "a || b && c"),
+            ("(a || b) && c", "(a || b) && c"),
+            ("!eof()", "!eof()"),
+            ("!(a < b)", "!(a < b)"),
+            ("-x + y", "-x + y"),
+            ("-(x + y)", "-(x + y)"),
+            ("f(a, b + 1)", "f(a, b + 1)"),
+            ("a % b / c", "a % b / c"),
+            ("a == b != c", "a == b != c"),
+        ],
+    )
+    def test_minimal_parentheses(self, source, expected):
+        assert pretty_expr(parse_expression(source)) == expected
+
+    def test_expression_roundtrip_structure(self):
+        source = "a + (b - c) * -d % f(g(), 2) <= h || !i && j"
+        expr = parse_expression(source)
+        assert parse_expression(pretty_expr(expr)) == expr
+
+    def test_double_unary_minus_does_not_lex_as_decrement(self):
+        expr = Unary(op="-", operand=Unary(op="-", operand=Var("x")))
+        text = pretty_expr(expr)
+        assert parse_expression(text) == expr
+
+
+class TestStatements:
+    def test_conditional_goto_prints_on_one_line(self):
+        text = pretty(parse_program("L3: if (eof()) goto L14;"))
+        assert text == "L3: if (eof()) goto L14;\n"
+
+    def test_if_else(self):
+        text = roundtrip("if (x > 0) y = 1; else y = 2;")
+        assert "else" in text
+
+    def test_while_with_block(self):
+        text = roundtrip("while (!eof()) { read(x); s = s + x; }")
+        assert text.startswith("while (!eof())")
+
+    def test_do_while(self):
+        roundtrip("do { read(x); } while (!eof());")
+
+    def test_for(self):
+        text = roundtrip("for (i = 0; i < 3; i = i + 1) s = s + i;")
+        assert "for (i = 0; i < 3; i = i + 1)" in text
+
+    def test_for_empty_clauses(self):
+        text = roundtrip("for (;;) break;")
+        assert "for (; ; )" in text
+
+    def test_switch(self):
+        text = roundtrip(
+            "switch (c) { case 1: x = 1; break; case 2: default: y = 2; }"
+        )
+        assert "case 1:" in text
+        assert "default:" in text
+
+    def test_labels_preserved(self):
+        text = roundtrip("L8: positives = positives + 1;")
+        assert text.startswith("L8: ")
+
+    def test_labelled_skip(self):
+        assert pretty(parse_program("L14: ;")) == "L14: ;\n"
+
+    def test_return_forms(self):
+        assert "return;" in roundtrip("return;")
+        assert "return x + 1;" in roundtrip("return x + 1;")
+
+    def test_empty_program(self):
+        assert pretty(parse_program("")) == ""
+
+
+class TestCorpusRoundtrip:
+    def test_every_paper_program_roundtrips(self):
+        from repro.corpus import PAPER_PROGRAMS
+
+        for program in PAPER_PROGRAMS.values():
+            roundtrip(program.source)
+
+
+class TestErrors:
+    def test_unknown_object_rejected(self):
+        with pytest.raises(TypeError):
+            pretty(42)

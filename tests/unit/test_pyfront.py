@@ -1,0 +1,199 @@
+"""Unit tests for the Python front end."""
+
+import pytest
+
+from repro.interp.interpreter import run_program
+from repro.pyfront.slicer import slice_python
+from repro.pyfront.translate import TranslationError, translate_source
+from repro.lang.ast_nodes import (
+    Assign,
+    Binary,
+    Break,
+    Continue,
+    For,
+    If,
+    Num,
+    Read,
+    Return,
+    Skip,
+    While,
+    Write,
+)
+
+
+class TestStatementTranslation:
+    def test_assignment(self):
+        program = translate_source("x = 1 + 2")
+        assert isinstance(program.body[0], Assign)
+
+    def test_aug_assignment(self):
+        program = translate_source("x = 1\nx += 2")
+        stmt = program.body[1]
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.value, Binary)
+        assert stmt.value.op == "+"
+
+    def test_read_idiom(self):
+        program = translate_source("x = read()")
+        assert isinstance(program.body[0], Read)
+
+    def test_print_becomes_write(self):
+        program = translate_source("print(1)")
+        assert isinstance(program.body[0], Write)
+
+    def test_pass_becomes_skip(self):
+        program = translate_source("pass")
+        assert isinstance(program.body[0], Skip)
+
+    def test_if_elif_else(self):
+        program = translate_source(
+            "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3"
+        )
+        stmt = program.body[0]
+        assert isinstance(stmt, If)
+        # elif arrives as a nested If inside the else branch.
+        assert isinstance(stmt.else_branch.stmts[0], If)
+
+    def test_while_with_jumps(self):
+        program = translate_source(
+            "while not eof():\n    x = read()\n"
+            "    if x < 0:\n        continue\n    break"
+        )
+        loop = program.body[0]
+        assert isinstance(loop, While)
+        assert isinstance(loop.body.stmts[2], Break)
+        inner_if = loop.body.stmts[1]
+        assert isinstance(inner_if.then_branch.stmts[0], Continue)
+
+    def test_for_range_one_arg(self):
+        program = translate_source("for i in range(5):\n    pass")
+        loop = program.body[0]
+        assert isinstance(loop, For)
+        assert loop.init.value == Num(0)
+        assert loop.cond.right == Num(5)
+
+    def test_for_range_three_args(self):
+        program = translate_source("for i in range(2, 10, 3):\n    pass")
+        loop = program.body[0]
+        assert loop.init.value == Num(2)
+        assert loop.step.value.right == Num(3)
+
+    def test_return(self):
+        program = translate_source("return 7")
+        assert isinstance(program.body[0], Return)
+
+    def test_function_body_unwrapped(self):
+        program = translate_source("def f():\n    x = 1\n    print(x)")
+        assert len(program.body) == 2
+
+    def test_line_numbers_preserved(self):
+        program = translate_source("x = 1\n\ny = 2")
+        assert [stmt.line for stmt in program.body] == [1, 3]
+
+
+class TestExpressionTranslation:
+    def test_bool_constants(self):
+        program = translate_source("x = True\ny = False")
+        assert program.body[0].value == Num(1)
+        assert program.body[1].value == Num(0)
+
+    def test_chained_comparison(self):
+        program = translate_source("x = 1 < y < 10")
+        value = program.body[0].value
+        assert value.op == "&&"
+
+    def test_floor_division(self):
+        program = translate_source("x = 7 // 2")
+        assert program.body[0].value.op == "/"
+
+    def test_boolean_operators(self):
+        program = translate_source("x = a and b or not c")
+        assert program.body[0].value.op == "||"
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x = 1.5",
+            "x = 'hello'",
+            "x, y = 1, 2",
+            "x = [1, 2]",
+            "for x in items:\n    pass",
+            "while c:\n    pass\nelse:\n    pass",
+            "import os",
+            "x = y ** 2",
+            "f(1)",
+            "print(1, 2)",
+            "x = obj.attr",
+        ],
+    )
+    def test_unsupported(self, source):
+        with pytest.raises(TranslationError):
+            translate_source(source)
+
+    def test_error_names_line(self):
+        with pytest.raises(TranslationError) as info:
+            translate_source("x = 1\ny = 'bad'")
+        assert "line 2" in str(info.value)
+
+
+class TestTranslationSemantics:
+    def test_translated_program_runs(self):
+        program = translate_source(
+            "total = 0\n"
+            "for i in range(5):\n"
+            "    if i % 2 == 0:\n"
+            "        continue\n"
+            "    total += i\n"
+            "print(total)\n"
+        )
+        assert run_program(program).outputs == [4]
+
+    def test_read_and_eof(self):
+        program = translate_source(
+            "n = 0\n"
+            "while not eof():\n"
+            "    x = read()\n"
+            "    n += 1\n"
+            "print(n)\n"
+        )
+        assert run_program(program, inputs=[7, 8]).outputs == [2]
+
+
+class TestPythonSlicing:
+    SOURCE = (
+        "total = 0\n"
+        "count = 0\n"
+        "while not eof():\n"
+        "    x = read()\n"
+        "    if x <= 0:\n"
+        "        total += f1(x)\n"
+        "        continue\n"
+        "    count += 1\n"
+        "print(total)\n"
+        "print(count)\n"
+    )
+
+    def test_slice_includes_relevant_continue(self):
+        report = slice_python(self.SOURCE, line=10, var="count")
+        assert 7 in report.lines  # the continue
+        assert 6 not in report.lines  # total's update
+        assert 1 not in report.lines
+
+    def test_report_lines_match_result(self):
+        report = slice_python(self.SOURCE, line=10, var="count")
+        assert report.lines == report.result.lines()
+
+    def test_annotated_marks_slice_lines(self):
+        report = slice_python(self.SOURCE, line=10, var="count")
+        annotated = report.annotated.splitlines()
+        assert annotated[6].startswith(">")  # line 7: continue
+        assert annotated[5].startswith(" ")  # line 6: total update
+
+    def test_algorithm_selectable(self):
+        conservative = slice_python(
+            self.SOURCE, line=10, var="count", algorithm="conservative"
+        )
+        structured = slice_python(self.SOURCE, line=10, var="count")
+        assert set(structured.lines) <= set(conservative.lines)

@@ -1,0 +1,213 @@
+"""Unit tests for slicer-level behaviours: guards, pruning, registry."""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.lang.errors import SliceError
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.ball_horwitz import ball_horwitz_slice
+from repro.slicing.conservative import conservative_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.registry import (
+    ALGORITHMS,
+    algorithm_names,
+    get_algorithm,
+)
+from repro.slicing.structured import (
+    exit_diverting_predicates,
+    structured_slice,
+)
+from repro.slicing import slice_program
+
+
+class TestAgrawalOptions:
+    def test_invalid_drive_tree(self):
+        analysis = analyze_program("x = 1;\nwrite(x);")
+        with pytest.raises(SliceError):
+            agrawal_slice(
+                analysis, SlicingCriterion(2, "x"), drive_tree="sideways"
+            )
+
+    def test_drive_trees_agree_on_corpus(self):
+        for entry in PAPER_PROGRAMS.values():
+            analysis = analyze_program(entry.source)
+            criterion = SlicingCriterion(*entry.criterion)
+            pdt_driven = agrawal_slice(analysis, criterion)
+            lst_driven = agrawal_slice(
+                analysis, criterion, drive_tree="lexical"
+            )
+            assert pdt_driven.same_statements_as(lst_driven), entry.name
+
+    def test_prune_is_noop_on_corpus(self):
+        for entry in PAPER_PROGRAMS.values():
+            analysis = analyze_program(entry.source)
+            criterion = SlicingCriterion(*entry.criterion)
+            plain = agrawal_slice(analysis, criterion)
+            pruned = agrawal_slice(analysis, criterion, prune_redundant=True)
+            assert plain.same_statements_as(pruned), entry.name
+
+    def test_pruned_restores_bh_equality_on_e2_example(self):
+        # The erratum-E2 counterexample: a no-op continue at the end of a
+        # while body, with an all-branches-return region after the loop.
+        source = (
+            "read(p);\n"
+            "if (p > 0) {\n"
+            "v = q - r;\n"
+            "while (!eof()) {\n"
+            "read(q);\n"
+            "continue;\n"
+            "}\n"
+            "if (q < r)\n"
+            "return 1;\n"
+            "else\n"
+            "return 2;\n"
+            "}\n"
+            "write(v);"
+        )
+        analysis = analyze_program(source)
+        criterion = SlicingCriterion(13, "v")
+        plain = agrawal_slice(analysis, criterion)
+        pruned = agrawal_slice(analysis, criterion, prune_redundant=True)
+        bh = ball_horwitz_slice(analysis, criterion)
+        assert pruned.same_statements_as(bh)
+        extras = set(plain.statement_nodes()) - set(bh.statement_nodes())
+        for node_id in extras:
+            assert analysis.cfg.nodes[node_id].is_jump
+
+    def test_traversal_count_for_fig10(self):
+        entry = PAPER_PROGRAMS["fig10a"]
+        analysis = analyze_program(entry.source)
+        result = agrawal_slice(analysis, SlicingCriterion(*entry.criterion))
+        assert result.traversals == 2
+
+    def test_explain_narrates_the_papers_walkthrough(self):
+        entry = PAPER_PROGRAMS["fig10a"]
+        analysis = analyze_program(entry.source)
+        log = []
+        agrawal_slice(
+            analysis, SlicingCriterion(*entry.criterion), explain=log
+        )
+        text = "\n".join(log)
+        # The §3 narration: node 4 skipped in traversal 1 (npd == nls ==
+        # 9), nodes 7 and 2 included, node 4 included in traversal 2.
+        assert "traversal 1: jump 4" in text and "9: skip" in text
+        assert "traversal 1: jump 7" in text
+        assert "closure adds [1]" in text
+        assert "traversal 2: jump 4" in text
+        assert "label L6" in text and "node 7" in text
+        assert "2 productive traversal(s)" in text
+
+    def test_explain_records_skips_and_final_slice(self):
+        entry = PAPER_PROGRAMS["fig3a"]
+        analysis = analyze_program(entry.source)
+        log = []
+        result = agrawal_slice(
+            analysis, SlicingCriterion(*entry.criterion), explain=log
+        )
+        text = "\n".join(log)
+        assert "jump 11" in text and "skip" in text
+        assert f"final slice after 1 productive traversal(s)" in text
+        assert str(result.statement_nodes()) in text
+
+
+class TestStructuredGuards:
+    def test_unstructured_program_refused(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        with pytest.raises(SliceError):
+            structured_slice(analysis, SlicingCriterion(15, "positives"))
+        with pytest.raises(SliceError):
+            conservative_slice(analysis, SlicingCriterion(15, "positives"))
+
+    def test_force_overrides(self):
+        analysis = analyze_program(PAPER_PROGRAMS["fig3a"].source)
+        result = structured_slice(
+            analysis, SlicingCriterion(15, "positives"), force=True
+        )
+        assert result.notes
+
+    def test_dead_code_refused(self):
+        analysis = analyze_program("return;\nwrite(x);")
+        with pytest.raises(SliceError) as info:
+            structured_slice(analysis, SlicingCriterion(2, "x"))
+        assert "unreachable" in str(info.value)
+
+    def test_exit_diverting_predicate_detected(self):
+        source = (
+            "read(p);\n"
+            "if (p) {\n"
+            "if (p > 1)\n"
+            "return 1;\n"
+            "else\n"
+            "return 2;\n"
+            "}\n"
+            "write(x);"
+        )
+        analysis = analyze_program(source)
+        diverting = exit_diverting_predicates(analysis)
+        assert diverting  # the inner if: both branches return
+        with pytest.raises(SliceError) as info:
+            structured_slice(analysis, SlicingCriterion(8, "x"))
+        assert "E1" in str(info.value)
+
+    def test_e1_counterexample_agrawal_vs_forced_structured(self):
+        # The erratum-E1 program: Fig. 12 under-slices when forced.
+        source = (
+            "read(p);\n"
+            "read(q);\n"
+            "if (p) {\n"
+            "if (q)\n"
+            "return 1;\n"
+            "return 2;\n"
+            "}\n"
+            "write(x);"
+        )
+        analysis = analyze_program(source)
+        criterion = SlicingCriterion(8, "x")
+        general = agrawal_slice(analysis, criterion)
+        forced = structured_slice(analysis, criterion, force=True)
+        returns = {
+            n.id for n in analysis.cfg.jump_nodes()
+        }
+        assert returns & set(general.statement_nodes())
+        assert not returns & set(forced.statement_nodes())
+
+    def test_benign_trailing_divergence_allowed(self):
+        # An if whose branches both return but with nothing after it is
+        # not exit-diverting (its lexical successor is EXIT).
+        source = "read(p);\nif (p)\nreturn 1;\nelse\nreturn 2;"
+        analysis = analyze_program(source)
+        assert exit_diverting_predicates(analysis) == []
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        expected = {
+            "conventional", "agrawal", "agrawal-lst", "structured",
+            "conservative", "ball-horwitz", "lyle", "gallagher", "jiang",
+            "weiser",
+        }
+        assert set(ALGORITHMS) == expected
+        assert algorithm_names() == sorted(expected)
+
+    def test_get_algorithm(self):
+        assert get_algorithm("agrawal") is ALGORITHMS["agrawal"]
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError) as info:
+            get_algorithm("quantum")
+        assert "quantum" in str(info.value)
+
+    def test_slice_program_convenience(self):
+        entry = PAPER_PROGRAMS["fig3a"]
+        result = slice_program(
+            entry.source, line=15, var="positives", algorithm="agrawal"
+        )
+        assert result.statement_nodes() == [2, 3, 4, 5, 7, 8, 13, 15]
+
+    def test_slice_program_accepts_analysis(self):
+        entry = PAPER_PROGRAMS["fig3a"]
+        analysis = analyze_program(entry.source)
+        first = slice_program(analysis, 15, "positives")
+        second = slice_program(analysis, 15, "positives")
+        assert first.analysis is second.analysis

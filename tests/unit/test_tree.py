@@ -1,0 +1,114 @@
+"""Unit tests for the rooted-tree utility."""
+
+import pytest
+
+from repro.analysis.tree import Tree
+
+
+@pytest.fixture
+def sample():
+    #        10
+    #       /  \
+    #      5    8
+    #     / \    \
+    #    1   3    7
+    #        |
+    #        2
+    return Tree({5: 10, 8: 10, 1: 5, 3: 5, 7: 8, 2: 3}, root=10)
+
+
+class TestStructure:
+    def test_nodes(self, sample):
+        assert sample.nodes == {1, 2, 3, 5, 7, 8, 10}
+
+    def test_contains(self, sample):
+        assert 7 in sample
+        assert 99 not in sample
+
+    def test_len(self, sample):
+        assert len(sample) == 7
+
+    def test_parent_of(self, sample):
+        assert sample.parent_of(2) == 3
+        assert sample.parent_of(10) is None
+
+    def test_children_sorted(self, sample):
+        assert sample.children_of(10) == [5, 8]
+        assert sample.children_of(5) == [1, 3]
+        assert sample.children_of(2) == []
+
+    def test_depths(self, sample):
+        assert sample.depth_of(10) == 0
+        assert sample.depth_of(5) == 1
+        assert sample.depth_of(2) == 3
+
+    def test_single_node_tree(self):
+        tree = Tree({}, root=0)
+        assert tree.nodes == {0}
+        assert list(tree.preorder()) == [0]
+
+
+class TestInvalidConstruction:
+    def test_root_with_parent_rejected(self):
+        with pytest.raises(ValueError):
+            Tree({1: 2, 2: 1}, root=1)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Tree({1: 2, 2: 3, 3: 1}, root=0)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            Tree({1: 42}, root=0)
+
+
+class TestAncestry:
+    def test_ancestors_nearest_first(self, sample):
+        assert list(sample.ancestors(2)) == [3, 5, 10]
+        assert list(sample.ancestors(10)) == []
+
+    def test_is_ancestor_reflexive_by_default(self, sample):
+        assert sample.is_ancestor(3, 3)
+        assert not sample.is_ancestor(3, 3, strict=True)
+
+    def test_is_ancestor_proper(self, sample):
+        assert sample.is_ancestor(10, 2, strict=True)
+        assert sample.is_ancestor(5, 1, strict=True)
+        assert not sample.is_ancestor(1, 5)
+        assert not sample.is_ancestor(8, 2)
+
+    def test_is_ancestor_unknown_nodes(self, sample):
+        assert not sample.is_ancestor(99, 2)
+        assert not sample.is_ancestor(2, 99)
+
+
+class TestNearestAncestorIn:
+    def test_nearest_picks_closest(self, sample):
+        assert sample.nearest_ancestor_in(2, {5, 10}) == 5
+        assert sample.nearest_ancestor_in(2, {3, 10}) == 3
+
+    def test_excludes_self(self, sample):
+        assert sample.nearest_ancestor_in(3, {3, 10}) == 10
+
+    def test_none_when_no_member(self, sample):
+        assert sample.nearest_ancestor_in(2, {7, 8}) is None
+
+    def test_accepts_any_iterable(self, sample):
+        assert sample.nearest_ancestor_in(2, [10]) == 10
+
+
+class TestTraversal:
+    def test_preorder_parent_before_children(self, sample):
+        order = list(sample.preorder())
+        position = {node: index for index, node in enumerate(order)}
+        for parent, child in sample.edges():
+            assert position[parent] < position[child]
+
+    def test_preorder_children_ascending(self, sample):
+        order = list(sample.preorder())
+        assert order == [10, 5, 1, 3, 2, 8, 7]
+
+    def test_edges_and_parent_map_consistent(self, sample):
+        assert dict(
+            (child, parent) for parent, child in sample.edges()
+        ) == sample.as_parent_map()

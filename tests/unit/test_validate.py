@@ -1,0 +1,114 @@
+"""Unit tests for the semantic validator."""
+
+import pytest
+
+from repro.lang.errors import ValidationError
+from repro.lang.parser import parse_program
+from repro.lang.validate import check_program, collect_labels, validate_program
+
+
+def diagnostics(source):
+    return check_program(parse_program(source))
+
+
+class TestLabels:
+    def test_resolved_goto_passes(self):
+        assert diagnostics("goto L; L: x = 1;") == []
+
+    def test_unresolved_goto(self):
+        messages = diagnostics("goto nowhere;")
+        assert len(messages) == 1
+        assert "nowhere" in messages[0]
+
+    def test_duplicate_labels(self):
+        messages = diagnostics("L: x = 1; L: y = 2; goto L;")
+        assert any("duplicate label" in message for message in messages)
+
+    def test_collect_labels_maps_statements(self):
+        program = parse_program("A: x = 1; B: y = 2;")
+        labels = collect_labels(program)
+        assert set(labels) == {"A", "B"}
+        assert labels["A"] is program.body[0]
+
+    def test_collect_labels_raises_on_duplicate(self):
+        program = parse_program("A: x = 1; A: y = 2;")
+        with pytest.raises(ValidationError):
+            collect_labels(program)
+
+    def test_forward_and_backward_gotos_resolve(self):
+        source = "A: if (c) goto B; goto A; B: x = 1;"
+        assert diagnostics(source) == []
+
+
+class TestJumpPlacement:
+    def test_break_in_while_ok(self):
+        assert diagnostics("while (c) break;") == []
+
+    def test_break_in_switch_ok(self):
+        assert diagnostics("switch (c) { case 1: break; }") == []
+
+    def test_break_at_top_level(self):
+        assert any("break" in m for m in diagnostics("break;"))
+
+    def test_break_in_if_outside_loop(self):
+        assert any("break" in m for m in diagnostics("if (c) break;"))
+
+    def test_continue_in_loop_ok(self):
+        assert diagnostics("while (c) continue;") == []
+
+    def test_continue_in_for_ok(self):
+        assert diagnostics("for (i = 0; i < 2; i = i + 1) continue;") == []
+
+    def test_continue_in_do_while_ok(self):
+        assert diagnostics("do continue; while (c);") == []
+
+    def test_continue_in_switch_outside_loop(self):
+        source = "switch (c) { case 1: continue; }"
+        assert any("continue" in m for m in diagnostics(source))
+
+    def test_continue_in_switch_inside_loop_ok(self):
+        source = "while (c) switch (d) { case 1: continue; }"
+        assert diagnostics(source) == []
+
+    def test_break_in_loop_inside_switch_targets_loop(self):
+        source = "switch (c) { case 1: while (d) break; }"
+        assert diagnostics(source) == []
+
+    def test_return_anywhere_ok(self):
+        assert diagnostics("return;") == []
+
+
+class TestSwitchArms:
+    def test_duplicate_case_value(self):
+        source = "switch (c) { case 1: x = 1; case 1: y = 2; }"
+        assert any("duplicate" in m for m in diagnostics(source))
+
+    def test_duplicate_default(self):
+        source = "switch (c) { default: x = 1; default: y = 2; }"
+        assert any("default" in m for m in diagnostics(source))
+
+    def test_distinct_values_ok(self):
+        source = "switch (c) { case 1: x = 1; case 2: default: y = 2; }"
+        assert diagnostics(source) == []
+
+    def test_duplicate_values_in_different_switches_ok(self):
+        source = (
+            "switch (a) { case 1: x = 1; } switch (b) { case 1: y = 2; }"
+        )
+        assert diagnostics(source) == []
+
+
+class TestValidateProgram:
+    def test_raises_on_any_diagnostic(self):
+        with pytest.raises(ValidationError) as info:
+            validate_program(parse_program("goto nowhere;"))
+        assert "nowhere" in str(info.value)
+
+    def test_returns_empty_list_on_success(self):
+        assert validate_program(parse_program("x = 1;")) == []
+
+    def test_multiple_diagnostics_reported_together(self):
+        with pytest.raises(ValidationError) as info:
+            validate_program(parse_program("goto a; goto b; break;"))
+        message = str(info.value)
+        assert "a" in message and "b" in message and "break" in message

@@ -1,0 +1,99 @@
+"""Unit tests for graph rendering."""
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.viz.dot import (
+    ascii_tree,
+    cdg_to_dot,
+    cfg_to_dot,
+    ddg_to_dot,
+    pdg_to_dot,
+    render_all,
+    tree_to_dot,
+)
+
+
+def analysis_fig3():
+    return analyze_program(PAPER_PROGRAMS["fig3a"].source)
+
+
+class TestDot:
+    def test_cfg_dot_contains_all_nodes_and_edges(self):
+        analysis = analysis_fig3()
+        dot = cfg_to_dot(analysis.cfg)
+        assert dot.startswith("digraph flowgraph {")
+        assert dot.rstrip().endswith("}")
+        for node in analysis.cfg.sorted_nodes():
+            assert f"n{node.id} [" in dot
+        assert "n3 -> n14" in dot  # the fused goto edge
+
+    def test_highlighting_marks_slice(self):
+        analysis = analysis_fig3()
+        result = agrawal_slice(analysis, SlicingCriterion(15, "positives"))
+        dot = cfg_to_dot(analysis.cfg, highlight=result.statement_nodes())
+        assert "fillcolor=lightgrey" in dot
+
+    def test_jump_nodes_drawn_thick(self):
+        dot = cfg_to_dot(analysis_fig3().cfg)
+        assert "penwidth=2.5" in dot
+
+    def test_tree_dot(self):
+        analysis = analysis_fig3()
+        dot = tree_to_dot(analysis.pdt, analysis.cfg, "pdt")
+        assert "digraph pdt {" in dot
+        assert "n3 -> n13" in dot  # ipdom(13) = 3
+
+    def test_cdg_dot_labels_branches(self):
+        dot = cdg_to_dot(analysis_fig3())
+        assert 'label="true"' in dot or 'label="false"' in dot
+
+    def test_ddg_dot_labels_variables(self):
+        dot = ddg_to_dot(analysis_fig3())
+        assert 'label="positives"' in dot
+
+    def test_pdg_dot_styles_edge_kinds(self):
+        analysis = analysis_fig3()
+        dot = pdg_to_dot(analysis.pdg, analysis.cfg)
+        assert "style=solid" in dot
+        assert "style=dashed" in dot
+
+    def test_quoting(self):
+        analysis = analyze_program('x = 1;')
+        dot = cfg_to_dot(analysis.cfg)
+        assert '"' in dot
+
+    def test_render_all_keys(self):
+        graphs = render_all(analysis_fig3())
+        assert set(graphs) == {
+            "flowgraph",
+            "postdominator-tree",
+            "control-dependence",
+            "lexical-successor-tree",
+            "data-dependence",
+            "pdg",
+        }
+
+
+class TestAsciiTree:
+    def test_root_first(self):
+        analysis = analysis_fig3()
+        text = ascii_tree(analysis.pdt, analysis.cfg)
+        assert text.splitlines()[0] == "EXIT"
+
+    def test_all_nodes_present(self):
+        analysis = analysis_fig3()
+        text = ascii_tree(analysis.pdt, analysis.cfg)
+        for node in analysis.cfg.statement_nodes():
+            assert f"{node.id}: " in text
+
+    def test_highlight_star(self):
+        analysis = analysis_fig3()
+        text = ascii_tree(analysis.pdt, analysis.cfg, highlight=[15])
+        assert "write(positives)*" in text
+
+    def test_without_cfg_uses_ids(self):
+        analysis = analysis_fig3()
+        text = ascii_tree(analysis.pdt)
+        assert text.splitlines()[0] == str(analysis.cfg.exit_id)
