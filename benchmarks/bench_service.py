@@ -1,0 +1,123 @@
+"""Experiment S1 — service throughput: cold per-request analysis vs the
+warm content-addressed cache (our addition; motivates the service
+subsystem).
+
+The analysis artefacts (CFG, postdominator tree, LST, control/data
+dependence, PDG) are criterion-independent, so a 100-criterion batch
+against one program should pay for them once, not 100 times.  The shape
+claim: a warm cache makes the batch at least ~5× faster than cold
+per-request analysis, because a single slice query is cheap next to the
+full front-end pipeline.
+
+Besides the pytest-benchmark timings this module doubles as a
+standalone reporter::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+writes ``BENCH_service.json`` (cold/warm seconds, speedup, cache
+counters) so a benchmark trajectory can accumulate across PRs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.pdg.builder import analyze_program
+from repro.service.cache import AnalysisCache
+from repro.service.engine import SlicingEngine, enumerate_criteria
+from repro.slicing.registry import get_algorithm
+
+PROGRAM = "fig3a"
+BATCH = 100
+ALGORITHM = "agrawal"
+
+
+def _criteria(analysis, count: int = BATCH):
+    """A *count*-criterion batch: every (line, var) pair, cycled."""
+    family = enumerate_criteria(analysis, mode="all")
+    return list(itertools.islice(itertools.cycle(family), count))
+
+
+def run_cold(source: str, criteria) -> None:
+    """Cold path: each request re-analyses the program from source."""
+    slicer = get_algorithm(ALGORITHM)
+    for criterion in criteria:
+        slicer(analyze_program(source), criterion)
+
+
+def run_warm(engine: SlicingEngine, source: str, criteria) -> None:
+    """Warm path: one cached analysis, slices fanned over the pool."""
+    engine.bulk_slice(source, algorithm=ALGORITHM, criteria=criteria)
+
+
+def test_bench_service_cold(benchmark):
+    source = PAPER_PROGRAMS[PROGRAM].source
+    criteria = _criteria(analyze_program(source))
+    benchmark.group = f"service batch n={BATCH} ({PROGRAM})"
+    benchmark(run_cold, source, criteria)
+
+
+def test_bench_service_warm(benchmark):
+    source = PAPER_PROGRAMS[PROGRAM].source
+    criteria = _criteria(analyze_program(source))
+    engine = SlicingEngine(cache=AnalysisCache(capacity=8))
+    engine.analysis_for(source)  # warm the cache outside the timer
+    benchmark.group = f"service batch n={BATCH} ({PROGRAM})"
+    benchmark(run_warm, engine, source, criteria)
+    engine.close()
+
+
+def test_warm_cache_speedup():
+    """The acceptance-criterion check: warm ≥ 5× faster than cold."""
+    cold, warm, speedup, _ = measure()
+    assert speedup >= 5.0, (
+        f"warm batch only {speedup:.1f}x faster (cold {cold:.3f}s, "
+        f"warm {warm:.3f}s); expected >= 5x"
+    )
+
+
+def measure():
+    source = PAPER_PROGRAMS[PROGRAM].source
+    criteria = _criteria(analyze_program(source))
+
+    start = time.perf_counter()
+    run_cold(source, criteria)
+    cold = time.perf_counter() - start
+
+    engine = SlicingEngine(cache=AnalysisCache(capacity=8))
+    engine.analysis_for(source)
+    start = time.perf_counter()
+    run_warm(engine, source, criteria)
+    warm = time.perf_counter() - start
+    cache_stats = engine.cache.stats()
+    engine.close()
+    return cold, warm, cold / warm if warm else float("inf"), cache_stats
+
+
+def main() -> None:
+    cold, warm, speedup, cache_stats = measure()
+    report = {
+        "bench": "service-batch-throughput",
+        "program": PROGRAM,
+        "batch_size": BATCH,
+        "algorithm": ALGORITHM,
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "speedup": round(speedup, 2),
+        "cold_rps": round(BATCH / cold, 1),
+        "warm_rps": round(BATCH / warm, 1),
+        "cache": cache_stats,
+    }
+    with open("BENCH_service.json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

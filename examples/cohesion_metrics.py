@@ -12,7 +12,8 @@ handles the jumps (compare the `agrawal` and `conventional` rows).
 Run:  python examples/cohesion_metrics.py
 """
 
-from repro import analyze_program, slice_based_metrics
+from repro import slice_based_metrics
+from repro.service.engine import SlicingEngine
 
 COHESIVE = """\
 sum = 0;
@@ -54,11 +55,19 @@ write(positives);
 """
 
 
+#: One engine for every report: each program is analysed once (the
+#: artefacts are criterion-independent) and the per-output slices fan
+#: out over the worker pool.
+ENGINE = SlicingEngine(workers=4)
+
+
 def report(title, source, algorithms=("agrawal",)):
     print(f"=== {title} ===")
-    analysis = analyze_program(source)
+    analysis = ENGINE.analysis_for(source)
     for algorithm in algorithms:
-        metrics = slice_based_metrics(analysis, algorithm=algorithm)
+        metrics = slice_based_metrics(
+            analysis, algorithm=algorithm, engine=ENGINE
+        )
         print(f"[{algorithm}]")
         print(metrics.describe())
     print()
@@ -81,4 +90,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    finally:
+        ENGINE.close()

@@ -40,6 +40,7 @@ from repro.lang import parse_program, pretty, validate_program
 from repro.pdg import ProgramAnalysis, analyze_program, build_pdg
 from repro.dynamic import dynamic_slice
 from repro.metrics import SliceMetrics, slice_based_metrics
+from repro.service import AnalysisCache, SlicingEngine
 from repro.slicing import (
     ALGORITHMS,
     SliceResult,
@@ -65,7 +66,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AnalysisCache",
     "GeneratorConfig",
+    "SlicingEngine",
     "PAPER_PROGRAMS",
     "ProgramAnalysis",
     "SliceResult",

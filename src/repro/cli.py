@@ -6,10 +6,12 @@ Subcommands::
     slang run     FILE [--input 1,2,3]    execute, print outputs
     slang graph   FILE --kind cfg|pdt|cdg|lst|ddg|pdg [--ascii]
     slang slice   FILE --line N --var V [--algorithm agrawal]
-                  [--nodes] [--explain]
-    slang compare FILE --line N --var V   every algorithm side by side
+                  [--nodes] [--explain] [--json]
+    slang compare FILE --line N --var V [--json]
     slang dynamic FILE --line N --var V --input 1,2,3   dynamic slice
     slang pyslice FILE.py --line N --var V              slice Python
+    slang serve   [--host H] [--port P]   HTTP slicing service
+    slang batch   FILE.jsonl [--stats]    run a request batch
 
 ``slang slice`` prints the extracted slice as a runnable program;
 ``--nodes`` prints the node set instead, and ``--explain`` narrates the
@@ -108,6 +110,16 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 def _cmd_slice(args: argparse.Namespace) -> int:
     analysis = analyze_program(_read_source(args.file))
     criterion = SlicingCriterion(line=args.line, var=args.var)
+    if args.json:
+        from repro.service.engine import perform_slice
+        from repro.service.protocol import dump_json, ok_envelope
+
+        if args.explain:
+            print("--explain and --json are mutually exclusive", file=sys.stderr)
+            return 2
+        payload = perform_slice(analysis, args.line, args.var, args.algorithm)
+        print(dump_json(ok_envelope("slice", payload)))
+        return 0
     if args.explain:
         if args.algorithm not in ("agrawal", "agrawal-lst"):
             print(
@@ -187,6 +199,13 @@ def _cmd_pyslice(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     analysis = analyze_program(_read_source(args.file))
     criterion = SlicingCriterion(line=args.line, var=args.var)
+    if args.json:
+        from repro.service.engine import perform_compare
+        from repro.service.protocol import dump_json, ok_envelope
+
+        payload = perform_compare(analysis, args.line, args.var)
+        print(dump_json(ok_envelope("compare", payload)))
+        return 0
     width = max(len(name) for name in algorithm_names())
     for name in algorithm_names():
         slicer = get_algorithm(name)
@@ -207,6 +226,72 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"nodes {statements}{labels}"
         )
     return 0
+
+
+def _make_engine(args: argparse.Namespace):
+    from repro.service.cache import AnalysisCache
+    from repro.service.engine import SlicingEngine
+
+    cache = AnalysisCache(capacity=args.cache_size, prewarm=True)
+    return SlicingEngine(cache=cache, workers=args.workers)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import make_server
+
+    engine = _make_engine(args)
+    server = make_server(
+        args.host, args.port, engine=engine, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"slang service listening on http://{host}:{port}", file=sys.stderr)
+    print(
+        "endpoints: POST /slice /compare /graph /metrics /batch; "
+        "GET /stats /algorithms /healthz",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        engine.close()
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.protocol import dump_json
+
+    engine = _make_engine(args)
+    payloads = []
+    text = _read_source(args.file)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payloads.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            print(
+                f"error: {args.file}:{lineno}: not valid JSON: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        responses = engine.run_batch(payloads)
+    finally:
+        engine.close()
+    failures = 0
+    for response in responses:
+        if not response.get("ok"):
+            failures += 1
+        print(dump_json(response))
+    if args.stats:
+        print(dump_json(engine.stats_payload()), file=sys.stderr)
+    return 1 if failures and args.strict else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -259,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="narrate the Fig. 7 run (jump examinations, npd/nls verdicts)",
     )
+    p_slice.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the service protocol envelope (same bytes as POST /slice)",
+    )
     p_slice.set_defaults(func=_cmd_slice)
 
     p_compare = sub.add_parser(
@@ -267,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("file")
     p_compare.add_argument("--line", type=int, required=True)
     p_compare.add_argument("--var", required=True)
+    p_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the service protocol envelope (same bytes as POST /compare)",
+    )
     p_compare.set_defaults(func=_cmd_compare)
 
     p_dynamic = sub.add_parser(
@@ -299,6 +394,45 @@ def build_parser() -> argparse.ArgumentParser:
         choices=algorithm_names(),
     )
     p_pyslice.set_defaults(func=_cmd_pyslice)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP slicing service (stdlib only)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8377, help="0 picks a free port"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, help="worker-pool threads"
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=128, help="analysis cache capacity"
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a JSONL file of service requests through the worker pool",
+    )
+    p_batch.add_argument("file", help="one JSON request per line ('-' = stdin)")
+    p_batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print request/latency/cache counters to stderr afterwards",
+    )
+    p_batch.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any request in the batch failed",
+    )
+    p_batch.add_argument("--workers", type=int, default=None)
+    p_batch.add_argument(
+        "--cache-size", type=int, default=128, help="analysis cache capacity"
+    )
+    p_batch.set_defaults(func=_cmd_batch)
 
     return parser
 

@@ -74,8 +74,15 @@ def slice_based_metrics(
     analysis: ProgramAnalysis,
     criteria: Optional[Sequence[SlicingCriterion]] = None,
     algorithm: str = "agrawal",
+    engine=None,
 ) -> SliceMetrics:
     """Compute the Ott–Thuss metrics for *analysis*'s program.
+
+    Pass a :class:`repro.service.engine.SlicingEngine` as *engine* to
+    fan the criterion family out over its worker pool — the slices are
+    independent queries against one shared (criterion-independent)
+    analysis, so this is the service subsystem's canonical bulk job.
+    Do not pass an engine from inside one of its own pool tasks.
 
     Raises :class:`SliceError` when no criteria are available (a program
     with no ``write(<var>)`` outputs and none supplied).
@@ -87,11 +94,17 @@ def slice_based_metrics(
             "no slicing criteria: the program has no write(<var>) "
             "statements and none were supplied"
         )
-    slicer = get_algorithm(algorithm)
-    slices = [
-        frozenset(slicer(analysis, criterion).statement_nodes())
-        for criterion in criteria
-    ]
+    if engine is not None:
+        slices = [
+            frozenset(nodes)
+            for nodes in engine.slice_node_sets(analysis, criteria, algorithm)
+        ]
+    else:
+        slicer = get_algorithm(algorithm)
+        slices = [
+            frozenset(slicer(analysis, criterion).statement_nodes())
+            for criterion in criteria
+        ]
     program_size = len(analysis.cfg.statement_nodes())
     intersection = frozenset.intersection(*slices)
     sizes = [len(s) for s in slices]

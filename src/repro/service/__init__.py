@@ -1,0 +1,57 @@
+"""The slicing service subsystem.
+
+Turns the library into a long-running, concurrent slicing service:
+
+* :mod:`repro.service.cache` — content-addressed, LRU-bounded cache of
+  :class:`~repro.pdg.builder.ProgramAnalysis` artefacts keyed by source
+  hash, so the criterion-independent analyses (CFG, postdominator tree,
+  LST, control/data dependence, PDG) are built once per program and
+  shared across every request that slices it.
+* :mod:`repro.service.protocol` — the versioned JSON request/response
+  schema shared by the HTTP server, ``slang batch``, and the CLI's
+  ``--json`` mode.
+* :mod:`repro.service.engine` — a worker-pool engine that fans batches
+  of criteria out over cached analyses and routes every request through
+  :mod:`repro.slicing.registry`.
+* :mod:`repro.service.server` — a stdlib ``ThreadingHTTPServer`` front
+  end (``slang serve``).
+* :mod:`repro.service.stats` — per-algorithm request counters, bucketed
+  latency histograms, and cache statistics (``GET /stats``).
+"""
+
+from repro.service.cache import AnalysisCache, analysis_key
+from repro.service.engine import SlicingEngine
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    CompareRequest,
+    GraphRequest,
+    MetricsRequest,
+    ProtocolError,
+    SliceRequest,
+    capabilities_payload,
+    error_payload,
+    request_from_dict,
+    slice_result_payload,
+)
+from repro.service.server import SlicingHTTPServer, make_server
+from repro.service.stats import LatencyHistogram, ServiceStats
+
+__all__ = [
+    "AnalysisCache",
+    "analysis_key",
+    "SlicingEngine",
+    "PROTOCOL_VERSION",
+    "SliceRequest",
+    "CompareRequest",
+    "GraphRequest",
+    "MetricsRequest",
+    "ProtocolError",
+    "capabilities_payload",
+    "error_payload",
+    "request_from_dict",
+    "slice_result_payload",
+    "SlicingHTTPServer",
+    "make_server",
+    "LatencyHistogram",
+    "ServiceStats",
+]

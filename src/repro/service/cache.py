@@ -1,0 +1,147 @@
+"""Content-addressed, LRU-bounded cache of :class:`ProgramAnalysis`.
+
+Every slicing request needs the same criterion-independent artefacts —
+CFG, postdominator tree, lexical successor tree, control and data
+dependence, PDG — and building them dwarfs the cost of one slice query.
+The cache keys a program by the SHA-256 of its source text (plus the
+analysis options, which change the CFG shape), so identical programs
+submitted by different clients share one :class:`ProgramAnalysis`.
+
+Thread safety: all bookkeeping happens under one lock; the analysis
+build itself runs *outside* the lock so a slow build never blocks cache
+hits for other programs.  Two threads racing to build the same program
+may both build it — the first to finish wins, the loser's artefact is
+dropped — which keeps the fast path lock-light without double-counting
+evictions.  The cached artefacts themselves are safe to share because
+``ProgramAnalysis`` is immutable after construction (see DESIGN.md §7);
+``get_or_build`` pre-warms the lazy fields when ``prewarm=True`` so
+even the Ball–Horwitz augmented graphs are frozen before sharing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.pdg.builder import ProgramAnalysis, analyze_program
+
+
+def analysis_key(
+    source: str,
+    fuse_cond_goto: bool = True,
+    chain_io: bool = True,
+    dominator_algorithm: str = "iterative",
+) -> str:
+    """The content address of one analysis: source hash + options."""
+    digest = hashlib.sha256()
+    digest.update(
+        f"v1|{int(fuse_cond_goto)}|{int(chain_io)}|"
+        f"{dominator_algorithm}|".encode("utf-8")
+    )
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """An LRU map ``content address -> ProgramAnalysis``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached analyses; the least recently used entry
+        is evicted when a new program would exceed it.  ``capacity <= 0``
+        disables caching (every request rebuilds).
+    prewarm:
+        When true, force the lazy :class:`ProgramAnalysis` fields (the
+        augmented CFG/PDG and reaching definitions) at build time, so
+        the shared object is never mutated after it enters the cache.
+    """
+
+    def __init__(self, capacity: int = 128, prewarm: bool = False) -> None:
+        self.capacity = capacity
+        self.prewarm = prewarm
+        self._entries: "OrderedDict[str, ProgramAnalysis]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[ProgramAnalysis]:
+        """Look up a content address, updating recency and counters."""
+        with self._lock:
+            analysis = self._entries.get(key)
+            if analysis is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return analysis
+
+    def put(self, key: str, analysis: ProgramAnalysis) -> ProgramAnalysis:
+        """Insert (or adopt the existing winner of a build race)."""
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            if self.capacity <= 0:
+                return analysis
+            self._entries[key] = analysis
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return analysis
+
+    def get_or_build(
+        self,
+        source: str,
+        fuse_cond_goto: bool = True,
+        chain_io: bool = True,
+        dominator_algorithm: str = "iterative",
+    ) -> ProgramAnalysis:
+        """The main entry point: return the cached analysis of *source*,
+        building (and caching) it on a miss."""
+        key = analysis_key(
+            source, fuse_cond_goto, chain_io, dominator_algorithm
+        )
+        analysis = self.get(key)
+        if analysis is not None:
+            return analysis
+        analysis = analyze_program(
+            source,
+            fuse_cond_goto=fuse_cond_goto,
+            chain_io=chain_io,
+            dominator_algorithm=dominator_algorithm,
+        )
+        if self.prewarm:
+            # Force the lazy fields so the shared object is frozen.
+            analysis.augmented_cfg  # noqa: B018
+            analysis.augmented_pdg  # noqa: B018
+        return self.put(key, analysis)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters snapshot for ``/stats`` and ``slang batch --stats``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }

@@ -1,0 +1,323 @@
+"""The worker-pool slicing engine.
+
+The engine is the service's single entry point: every surface (HTTP
+handler, ``slang batch``, library callers) hands it protocol requests
+and gets protocol envelopes back.  It owns the content-addressed
+:class:`AnalysisCache` — so the expensive, criterion-independent
+analyses are built once per program — and a ``ThreadPoolExecutor`` that
+fans batches of criteria out over those shared analyses.
+
+Every algorithm reachable through :mod:`repro.slicing.registry` is
+servable.  Structured-only algorithms (Figs. 12/13) are rejected up
+front on programs with unstructured jumps, with a structured
+``slice-error`` payload pointing the client at ``GET /algorithms`` for
+capability discovery.
+
+The module-level ``perform_*`` builders are the single-threaded cores;
+the CLI's ``--json`` mode calls them directly so its output is
+byte-identical to the server's.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.lexical import is_structured_program
+from repro.lang.errors import SlangError, SliceError
+from repro.metrics import output_criteria, slice_based_metrics
+from repro.pdg.builder import ProgramAnalysis
+from repro.service.cache import AnalysisCache
+from repro.service.protocol import (
+    CompareRequest,
+    GraphRequest,
+    MetricsRequest,
+    ProtocolError,
+    ServiceRequest,
+    SliceRequest,
+    error_envelope,
+    error_payload,
+    ok_envelope,
+    request_from_dict,
+    slice_result_payload,
+)
+from repro.service.stats import ServiceStats
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.registry import (
+    CORRECT_STRUCTURED,
+    algorithm_names,
+    get_algorithm,
+)
+from repro.viz.dot import render_all
+
+#: ``graph`` request ``kind`` → :func:`render_all` key.
+GRAPH_KINDS = {
+    "cfg": "flowgraph",
+    "pdt": "postdominator-tree",
+    "cdg": "control-dependence",
+    "lst": "lexical-successor-tree",
+    "ddg": "data-dependence",
+    "pdg": "pdg",
+}
+
+
+def check_algorithm_capability(
+    analysis: ProgramAnalysis, algorithm: str
+) -> None:
+    """Reject structured-only algorithms on unstructured programs.
+
+    Raises :class:`SliceError` (mapped to a structured ``slice-error``
+    payload) instead of letting Fig. 12/13 preconditions surface as a
+    mid-slice traceback; clients can avoid the round trip by checking
+    ``GET /algorithms`` first.
+    """
+    get_algorithm(algorithm)  # raises ValueError for unknown names
+    if algorithm in CORRECT_STRUCTURED and not is_structured_program(
+        analysis.cfg, analysis.lst
+    ):
+        raise SliceError(
+            f"algorithm {algorithm!r} is structured-only and this "
+            "program contains unstructured jumps; use a correct-general "
+            "algorithm (see /algorithms for capabilities)"
+        )
+
+
+def perform_slice(
+    analysis: ProgramAnalysis, line: int, var: str, algorithm: str
+) -> Dict[str, Any]:
+    """One slice as a protocol result payload (shared by CLI and server)."""
+    check_algorithm_capability(analysis, algorithm)
+    slicer = get_algorithm(algorithm)
+    result = slicer(analysis, SlicingCriterion(line=line, var=var))
+    return slice_result_payload(result)
+
+
+def perform_compare(
+    analysis: ProgramAnalysis, line: int, var: str
+) -> Dict[str, Any]:
+    """Every algorithm on one criterion; refusals become inline error
+    rows rather than failing the whole request."""
+    criterion = SlicingCriterion(line=line, var=var)
+    rows: List[Dict[str, Any]] = []
+    for name in algorithm_names():
+        try:
+            check_algorithm_capability(analysis, name)
+            result = get_algorithm(name)(analysis, criterion)
+        except SlangError as error:
+            rows.append(
+                {"name": name, "ok": False, "error": error_payload(error)}
+            )
+            continue
+        rows.append(
+            {"name": name, "ok": True, "slice": slice_result_payload(result)}
+        )
+    return {
+        "criterion": {"line": line, "var": var},
+        "algorithms": rows,
+    }
+
+
+def perform_graph(analysis: ProgramAnalysis, kind: str) -> Dict[str, Any]:
+    if kind not in GRAPH_KINDS:
+        raise ProtocolError(
+            f"unknown graph kind {kind!r}; known: "
+            f"{', '.join(sorted(GRAPH_KINDS))}"
+        )
+    graphs = render_all(analysis)
+    return {"kind": kind, "dot": graphs[GRAPH_KINDS[kind]]}
+
+
+def enumerate_criteria(
+    analysis: ProgramAnalysis, mode: str = "outputs"
+) -> List[SlicingCriterion]:
+    """The criterion families bulk jobs iterate over.
+
+    ``outputs`` — one criterion per ``write(<var>)`` statement (the
+    Ott–Thuss family used by :mod:`repro.metrics`); ``all`` — every
+    (line, var) pair where the statement at that line uses or defines
+    the variable.
+    """
+    if mode == "outputs":
+        return output_criteria(analysis)
+    if mode == "all":
+        seen = set()
+        criteria = []
+        for node in analysis.cfg.statement_nodes():
+            for var in sorted(node.uses | node.defs):
+                key = (node.line, var)
+                if key not in seen:
+                    seen.add(key)
+                    criteria.append(SlicingCriterion(line=node.line, var=var))
+        return criteria
+    raise ValueError(f"unknown criterion mode {mode!r}; use outputs|all")
+
+
+class SlicingEngine:
+    """Cache + worker pool + stats, behind one ``handle`` method.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`AnalysisCache`; a prewarming 128-entry cache
+        is created when omitted.
+    workers:
+        Thread-pool width for batch fan-out (default: executor default).
+    stats:
+        A :class:`ServiceStats` sink; created when omitted.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[AnalysisCache] = None,
+        workers: Optional[int] = None,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        self.cache = cache if cache is not None else AnalysisCache(
+            capacity=128, prewarm=True
+        )
+        self.stats = stats if stats is not None else ServiceStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="slang-worker"
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SlicingEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request handling ---------------------------------------------
+
+    def analysis_for(self, source: str) -> ProgramAnalysis:
+        return self.cache.get_or_build(source)
+
+    def handle(self, request: ServiceRequest) -> Dict[str, Any]:
+        """Execute one parsed request, returning a response envelope.
+
+        Never raises: analysis and protocol failures become structured
+        ``{"ok": false, "error": ...}`` envelopes.
+        """
+        algorithm = getattr(request, "algorithm", None)
+        try:
+            with self.stats.time(request.op, algorithm):
+                if isinstance(request, SliceRequest):
+                    result = perform_slice(
+                        self.analysis_for(request.source),
+                        request.line,
+                        request.var,
+                        request.algorithm,
+                    )
+                elif isinstance(request, CompareRequest):
+                    result = perform_compare(
+                        self.analysis_for(request.source),
+                        request.line,
+                        request.var,
+                    )
+                elif isinstance(request, GraphRequest):
+                    result = perform_graph(
+                        self.analysis_for(request.source), request.kind
+                    )
+                elif isinstance(request, MetricsRequest):
+                    result = self._perform_metrics(request)
+                else:  # pragma: no cover — request_from_dict prevents this
+                    raise ValueError(f"unhandled request type {request!r}")
+        except (SlangError, ValueError) as error:
+            return error_envelope(request.op, error, request.id)
+        return ok_envelope(request.op, result, request.id)
+
+    def handle_payload(self, payload: Any) -> Dict[str, Any]:
+        """Parse a raw JSON object and execute it."""
+        try:
+            request = request_from_dict(payload)
+        except SlangError as error:
+            request_id = (
+                payload.get("id") if isinstance(payload, dict) else None
+            )
+            op = payload.get("op") if isinstance(payload, dict) else None
+            return error_envelope(
+                op if isinstance(op, str) else "unknown", error, request_id
+            )
+        return self.handle(request)
+
+    def run_batch(self, payloads: Sequence[Any]) -> List[Dict[str, Any]]:
+        """Fan a batch of raw request payloads over the worker pool,
+        preserving input order in the response list."""
+        return list(self._pool.map(self.handle_payload, payloads))
+
+    # -- bulk jobs -----------------------------------------------------
+
+    def slice_node_sets(
+        self,
+        analysis: ProgramAnalysis,
+        criteria: Sequence[SlicingCriterion],
+        algorithm: str = "agrawal",
+    ) -> List[frozenset]:
+        """Fan one program's criterion family over the pool, returning
+        each slice's statement-node set (the shape
+        :func:`repro.metrics.slice_based_metrics` consumes).
+
+        Do not call from inside a pool task — a saturated pool waiting
+        on nested tasks would deadlock; the engine's own ``metrics``
+        handler slices inline for exactly that reason.
+        """
+        slicer = get_algorithm(algorithm)
+
+        def one(criterion: SlicingCriterion) -> frozenset:
+            return frozenset(slicer(analysis, criterion).statement_nodes())
+
+        return list(self._pool.map(one, criteria))
+
+    def bulk_slice(
+        self,
+        source: str,
+        algorithm: str = "agrawal",
+        criteria: Optional[Sequence[SlicingCriterion]] = None,
+        mode: str = "outputs",
+    ) -> List[Dict[str, Any]]:
+        """Slice every criterion of one program (the "slice everything"
+        job): one cached analysis, every slice a pool task."""
+        analysis = self.analysis_for(source)
+        check_algorithm_capability(analysis, algorithm)
+        if criteria is None:
+            criteria = enumerate_criteria(analysis, mode)
+        slicer = get_algorithm(algorithm)
+
+        def one(criterion: SlicingCriterion) -> Dict[str, Any]:
+            with self.stats.time("bulk-slice", algorithm):
+                return slice_result_payload(slicer(analysis, criterion))
+
+        return list(self._pool.map(one, criteria))
+
+    # -- metrics -------------------------------------------------------
+
+    def _perform_metrics(self, request: MetricsRequest) -> Dict[str, Any]:
+        analysis = self.analysis_for(request.source)
+        check_algorithm_capability(analysis, request.algorithm)
+        # Inline (no nested pool tasks): see slice_node_sets.
+        metrics = slice_based_metrics(analysis, algorithm=request.algorithm)
+        return {
+            "algorithm": request.algorithm,
+            "criteria": [
+                {"line": criterion.line, "var": criterion.var}
+                for criterion in metrics.criteria
+            ],
+            "slice_sizes": list(metrics.slice_sizes),
+            "program_size": metrics.program_size,
+            "tightness": round(metrics.tightness, 6),
+            "coverage": round(metrics.coverage, 6),
+            "min_coverage": round(metrics.min_coverage, 6),
+            "max_coverage": round(metrics.max_coverage, 6),
+            "overlap": round(metrics.overlap, 6),
+        }
+
+    # -- observability -------------------------------------------------
+
+    def stats_payload(self) -> Dict[str, Any]:
+        payload = self.stats.snapshot()
+        payload["cache"] = self.cache.stats()
+        return payload

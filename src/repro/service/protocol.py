@@ -1,0 +1,301 @@
+"""The versioned JSON request/response protocol of the slicing service.
+
+One schema serves every surface: the HTTP server (``slang serve``), the
+batch runner (``slang batch``), and the CLI's ``--json`` mode all build
+their payloads here, so a slice answered over HTTP is byte-identical to
+the same slice printed by ``slang slice --json`` (both dump with
+``sort_keys=True``).
+
+Requests are plain dataclasses with ``from_dict`` constructors that
+validate shape and version; malformed input raises
+:class:`ProtocolError` (a :class:`SlangError`, so it maps onto the same
+structured error payload as analysis failures).  Responses are
+envelopes::
+
+    {"ok": true,  "version": 1, "op": "slice", "result": {...}}
+    {"ok": false, "version": 1, "op": "slice", "error":  {"code": ...}}
+
+Error payloads carry a stable kebab-case ``code`` derived from the
+:class:`SlangError` subclass (``slice-error``, ``parse-error``, …) plus
+the human message and, when known, the source location.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.lang.errors import (
+    AnalysisError,
+    InterpreterError,
+    LexError,
+    ParseError,
+    SlangError,
+    SliceError,
+    ValidationError,
+)
+from repro.slicing.common import SliceResult
+from repro.slicing.registry import algorithm_metadata
+
+#: Bumped when the wire schema changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Stable error codes, most specific class first.
+_ERROR_CODES = (
+    (LexError, "lex-error"),
+    (ParseError, "parse-error"),
+    (ValidationError, "validation-error"),
+    (AnalysisError, "analysis-error"),
+    (SliceError, "slice-error"),
+    (InterpreterError, "interpreter-error"),
+)
+
+
+class ProtocolError(SlangError):
+    """A malformed or unsupported service request."""
+
+
+def _require(payload: Dict[str, Any], key: str, kind: type) -> Any:
+    if key not in payload:
+        raise ProtocolError(f"request is missing required field {key!r}")
+    value = payload[key]
+    if kind is int and isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} must be an int, got bool")
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"field {key!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _check_version(payload: Dict[str, Any]) -> None:
+    version = payload.get("version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r}; "
+            f"this service speaks version {PROTOCOL_VERSION}"
+        )
+
+
+@dataclass(frozen=True)
+class SliceRequest:
+    """Slice *source* w.r.t. ``<var, line>`` with one algorithm."""
+
+    source: str
+    line: int
+    var: str
+    algorithm: str = "agrawal"
+    id: Optional[str] = None
+    op: str = field(default="slice", init=False)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SliceRequest":
+        _check_version(payload)
+        return cls(
+            source=_require(payload, "source", str),
+            line=_require(payload, "line", int),
+            var=_require(payload, "var", str),
+            algorithm=payload.get("algorithm", "agrawal"),
+            id=payload.get("id"),
+        )
+
+
+@dataclass(frozen=True)
+class CompareRequest:
+    """Run every registered algorithm on one criterion."""
+
+    source: str
+    line: int
+    var: str
+    id: Optional[str] = None
+    op: str = field(default="compare", init=False)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CompareRequest":
+        _check_version(payload)
+        return cls(
+            source=_require(payload, "source", str),
+            line=_require(payload, "line", int),
+            var=_require(payload, "var", str),
+            id=payload.get("id"),
+        )
+
+
+@dataclass(frozen=True)
+class GraphRequest:
+    """Render one analysis graph (DOT text)."""
+
+    source: str
+    kind: str = "cfg"
+    id: Optional[str] = None
+    op: str = field(default="graph", init=False)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "GraphRequest":
+        _check_version(payload)
+        return cls(
+            source=_require(payload, "source", str),
+            kind=payload.get("kind", "cfg"),
+            id=payload.get("id"),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Ott–Thuss cohesion metrics: slice every output criterion."""
+
+    source: str
+    algorithm: str = "agrawal"
+    id: Optional[str] = None
+    op: str = field(default="metrics", init=False)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricsRequest":
+        _check_version(payload)
+        return cls(
+            source=_require(payload, "source", str),
+            algorithm=payload.get("algorithm", "agrawal"),
+            id=payload.get("id"),
+        )
+
+
+ServiceRequest = Union[SliceRequest, CompareRequest, GraphRequest, MetricsRequest]
+
+_REQUEST_TYPES = {
+    "slice": SliceRequest,
+    "compare": CompareRequest,
+    "graph": GraphRequest,
+    "metrics": MetricsRequest,
+}
+
+
+def request_from_dict(payload: Any) -> ServiceRequest:
+    """Parse one request payload, dispatching on its ``op`` field."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op", "slice")
+    if op not in _REQUEST_TYPES:
+        raise ProtocolError(
+            f"unknown op {op!r}; known ops: "
+            f"{', '.join(sorted(_REQUEST_TYPES))}"
+        )
+    return _REQUEST_TYPES[op].from_dict(payload)
+
+
+def request_from_json(text: str) -> ServiceRequest:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"request is not valid JSON: {error}") from None
+    return request_from_dict(payload)
+
+
+def request_to_dict(request: ServiceRequest) -> Dict[str, Any]:
+    """Serialise a request for the wire (round-trip of ``from_dict``)."""
+    payload: Dict[str, Any] = {"op": request.op, "version": PROTOCOL_VERSION}
+    for key in ("source", "line", "var", "algorithm", "kind", "id"):
+        value = getattr(request, key, None)
+        if value is not None:
+            payload[key] = value
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Response payloads
+
+
+def slice_result_payload(result: SliceResult) -> Dict[str, Any]:
+    """The canonical JSON view of one :class:`SliceResult`.
+
+    Used verbatim by ``slang slice --json``, the ``/slice`` endpoint,
+    and each row of a ``/compare`` response.
+    """
+    statements = result.statement_nodes()
+    return {
+        "algorithm": result.algorithm,
+        "criterion": {
+            "line": result.criterion.line,
+            "var": result.criterion.var,
+        },
+        "nodes": statements,
+        "lines": result.lines(),
+        "size": len(statements),
+        "traversals": result.traversals,
+        "label_map": {
+            label: node for label, node in sorted(result.label_map.items())
+        },
+        "notes": list(result.notes),
+    }
+
+
+def error_payload(error: BaseException) -> Dict[str, Any]:
+    """Map an exception onto the structured error schema."""
+    code = "internal-error"
+    if isinstance(error, ProtocolError):
+        code = "protocol-error"
+    elif isinstance(error, SlangError):
+        code = "slang-error"
+        for klass, klass_code in _ERROR_CODES:
+            if isinstance(error, klass):
+                code = klass_code
+                break
+    elif isinstance(error, ValueError):
+        # get_algorithm / render_all raise ValueError on unknown names.
+        code = "bad-request"
+    payload: Dict[str, Any] = {"code": code, "message": str(error)}
+    location = getattr(error, "location", None)
+    if location is not None:
+        payload["location"] = {"line": location.line, "column": location.column}
+    return payload
+
+
+def ok_envelope(
+    op: str, result: Dict[str, Any], request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {
+        "ok": True,
+        "version": PROTOCOL_VERSION,
+        "op": op,
+        "result": result,
+    }
+    if request_id is not None:
+        envelope["id"] = request_id
+    return envelope
+
+
+def error_envelope(
+    op: str, error: BaseException, request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {
+        "ok": False,
+        "version": PROTOCOL_VERSION,
+        "op": op,
+        "error": error_payload(error),
+    }
+    if request_id is not None:
+        envelope["id"] = request_id
+    return envelope
+
+
+def capabilities_payload() -> Dict[str, Any]:
+    """``GET /algorithms``: names plus correctness classes, so clients
+    can avoid submitting structured-only algorithms on goto-ridden
+    programs (the service rejects those with ``slice-error``)."""
+    metadata = algorithm_metadata()
+    return {
+        "version": PROTOCOL_VERSION,
+        "algorithms": [
+            {"name": name, "capability": capability}
+            for name, capability in sorted(metadata.items())
+        ],
+    }
+
+
+def dump_json(payload: Dict[str, Any]) -> str:
+    """The one serialisation every surface uses (stable key order, so
+    CLI output and HTTP bodies are byte-identical)."""
+    return json.dumps(payload, sort_keys=True, separators=(", ", ": "))

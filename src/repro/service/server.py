@@ -1,0 +1,176 @@
+"""The HTTP front end — stdlib ``ThreadingHTTPServer`` only.
+
+Routes (all JSON, all protocol version :data:`PROTOCOL_VERSION`)::
+
+    POST /slice      one SliceRequest        -> slice envelope
+    POST /compare    one CompareRequest      -> compare envelope
+    POST /graph      one GraphRequest        -> DOT text envelope
+    POST /metrics    one MetricsRequest      -> cohesion envelope
+    POST /batch      {"requests": [...]}     -> {"responses": [...]}
+    GET  /stats      request/latency/cache counters
+    GET  /algorithms capability discovery (correct-general vs
+                     structured-only vs baseline)
+    GET  /healthz    {"ok": true}
+
+Each connection is handled on its own thread (``ThreadingHTTPServer``);
+concurrency is safe because every worker shares one
+:class:`SlicingEngine`, whose cache hands out immutable
+:class:`ProgramAnalysis` artefacts (DESIGN.md §7).  Bodies are dumped
+with ``sort_keys=True`` via :func:`repro.service.protocol.dump_json`,
+so a server response is byte-identical to the CLI's ``--json`` output
+for the same request.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.engine import SlicingEngine
+from repro.service.protocol import (
+    ProtocolError,
+    capabilities_payload,
+    dump_json,
+    error_envelope,
+)
+
+MAX_BODY_BYTES = 8 * 1024 * 1024  # refuse absurd uploads
+
+
+class SlicingHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` that owns the shared engine."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        engine: Optional[SlicingEngine] = None,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, SlicingRequestHandler)
+        self.engine = engine if engine is not None else SlicingEngine()
+        self.verbose = verbose
+
+
+class SlicingRequestHandler(BaseHTTPRequestHandler):
+    server_version = "slang-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def engine(self) -> SlicingEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+        body = dump_json(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ProtocolError("request body is empty; expected JSON")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(
+                f"request body is not valid JSON: {error}"
+            ) from None
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        path = self.path.split("?", 1)[0]
+        if path == "/stats":
+            self._send_json(self.engine.stats_payload())
+        elif path == "/algorithms":
+            self._send_json(capabilities_payload())
+        elif path == "/healthz":
+            self._send_json({"ok": True})
+        else:
+            self._send_json(
+                error_envelope(
+                    "get", ProtocolError(f"no such endpoint {path!r}")
+                ),
+                status=404,
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        path = self.path.split("?", 1)[0]
+        op = path.lstrip("/")
+        if op not in ("slice", "compare", "graph", "metrics", "batch"):
+            self._send_json(
+                error_envelope(
+                    "post", ProtocolError(f"no such endpoint {path!r}")
+                ),
+                status=404,
+            )
+            return
+        try:
+            payload = self._read_body()
+        except ProtocolError as error:
+            self._send_json(error_envelope(op, error), status=400)
+            return
+        if op == "batch":
+            self._handle_batch(payload)
+            return
+        if isinstance(payload, dict):
+            payload.setdefault("op", op)
+            if payload["op"] != op:
+                self._send_json(
+                    error_envelope(
+                        op,
+                        ProtocolError(
+                            f"request op {payload['op']!r} does not match "
+                            f"endpoint /{op}"
+                        ),
+                    ),
+                    status=400,
+                )
+                return
+        envelope = self.engine.handle_payload(payload)
+        self._send_json(envelope, status=200 if envelope.get("ok") else 400)
+
+    def _handle_batch(self, payload: Any) -> None:
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("requests"), list
+        ):
+            self._send_json(
+                error_envelope(
+                    "batch",
+                    ProtocolError(
+                        'batch body must be {"requests": [request, ...]}'
+                    ),
+                ),
+                status=400,
+            )
+            return
+        responses = self.engine.run_batch(payload["requests"])
+        self._send_json({"ok": True, "responses": responses})
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8377,
+    engine: Optional[SlicingEngine] = None,
+    verbose: bool = False,
+) -> SlicingHTTPServer:
+    """Bind a server (``port=0`` picks a free port; serve with
+    ``serve_forever()``, stop with ``shutdown()``)."""
+    return SlicingHTTPServer((host, port), engine, verbose=verbose)

@@ -1,0 +1,139 @@
+"""Observability counters for the slicing service.
+
+Everything here is stdlib-only and cheap enough to sit on the hot path:
+per-(op, algorithm) request/error counts and a fixed-bucket latency
+histogram.  A snapshot is a plain JSON-ready dict, exposed at
+``GET /stats`` and by ``slang batch --stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional, Sequence
+
+#: Upper bucket bounds in seconds (the last bucket is +inf).
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-boundary latency histogram (Prometheus-style, no deps).
+
+    Not locked on its own — the owning :class:`ServiceStats` serialises
+    access; standalone users in a single thread need no lock either.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def snapshot(self) -> Dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": count
+            for bound, count in zip(self.bounds, self.counts)
+        }
+        buckets["le_inf"] = self.counts[-1]
+        mean = self.sum / self.total if self.total else 0.0
+        return {
+            "count": self.total,
+            "sum_seconds": round(self.sum, 6),
+            "mean_seconds": round(mean, 6),
+            "max_seconds": round(self.max, 6),
+            "buckets": buckets,
+        }
+
+
+class ServiceStats:
+    """Thread-safe request accounting for the engine and server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._requests: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    @staticmethod
+    def _key(op: str, algorithm: Optional[str]) -> str:
+        return f"{op}:{algorithm}" if algorithm else op
+
+    def record(
+        self,
+        op: str,
+        algorithm: Optional[str],
+        seconds: float,
+        error: bool = False,
+    ) -> None:
+        key = self._key(op, algorithm)
+        with self._lock:
+            self._requests[key] = self._requests.get(key, 0) + 1
+            if error:
+                self._errors[key] = self._errors.get(key, 0) + 1
+            histogram = self._latency.get(key)
+            if histogram is None:
+                histogram = self._latency[key] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def time(self, op: str, algorithm: Optional[str] = None):
+        """Context manager that records one request's latency."""
+        return _Timer(self, op, algorithm)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "requests": dict(sorted(self._requests.items())),
+                "errors": dict(sorted(self._errors.items())),
+                "latency": {
+                    key: histogram.snapshot()
+                    for key, histogram in sorted(self._latency.items())
+                },
+            }
+
+
+class _Timer:
+    def __init__(
+        self, stats: ServiceStats, op: str, algorithm: Optional[str]
+    ) -> None:
+        self._stats = stats
+        self._op = op
+        self._algorithm = algorithm
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._stats.record(
+            self._op, self._algorithm, elapsed, error=exc_type is not None
+        )

@@ -64,3 +64,29 @@ def get_algorithm(name: str) -> Slicer:
 
 def algorithm_names() -> List[str]:
     return sorted(ALGORITHMS)
+
+
+def algorithm_capability(name: str) -> str:
+    """Correctness class of one algorithm.
+
+    ``correct-general`` — correct on arbitrary programs (the paper's
+    Fig. 7 variants, Ball–Horwitz, Lyle); ``structured-only`` — correct
+    only when every jump is structured (Figs. 12/13); ``baseline`` —
+    a comparison baseline with known deficiencies on jumps.
+    """
+    if name not in ALGORITHMS:
+        raise ValueError(
+            f"unknown slicing algorithm {name!r}; "
+            f"known: {', '.join(sorted(ALGORITHMS))}"
+        )
+    if name in CORRECT_GENERAL:
+        return "correct-general"
+    if name in CORRECT_STRUCTURED:
+        return "structured-only"
+    return "baseline"
+
+
+def algorithm_metadata() -> Dict[str, str]:
+    """Name → correctness class for every registered algorithm, so
+    service clients can discover capabilities before submitting work."""
+    return {name: algorithm_capability(name) for name in algorithm_names()}

@@ -18,7 +18,7 @@ from hypothesis import strategies as st
 
 from repro.cfg.graph import NodeKind
 from repro.corpus import PAPER_PROGRAMS
-from repro.gen.generator import random_criterion
+from repro.gen.generator import generate_structured, random_criterion, realize
 from repro.lang.errors import SlangError
 from repro.pdg.builder import analyze_program
 from repro.slicing.agrawal import agrawal_slice
@@ -58,10 +58,39 @@ class TestIdempotence:
     @settings(max_examples=80, deadline=None)
     def test_reslice_is_fixed_point_modulo_skips(self, program, salt):
         line, var = random_criterion(random.Random(salt), program)
+        # The fixed point only holds for *live* criterion statements.
+        # When the criterion is dead code (e.g. every arm of a preceding
+        # switch returns), it has no reaching definitions, and Fig. 7's
+        # jump test keeps jumps the re-slice of the cut-down program can
+        # drop — see test_dead_criterion_counterexample below
+        # (generate_structured(random.Random(94978)), <v3, line 27>).
+        analysis = analyze_program(program)
+        dead_lines = {n.line for n in analysis.cfg.unreachable_statements()}
+        assume(line not in dead_lines)
         try:
             assert reslice_covers_non_skips(program, line, var)
         except SlangError:
             assume(False)
+
+    def test_dead_criterion_counterexample(self):
+        """The recorded counterexample for the dead-criterion case.
+
+        Slicing w.r.t. a statically unreachable ``write(v3)``: the first
+        slice keeps a constant ``switch`` and its ``break`` statements
+        (their nearest-postdominator/lexical-successor verdicts differ
+        because an included ``return`` splits the trees), but re-slicing
+        the extracted program finds them droppable.  Documented as an
+        open refinement (ROADMAP); the property above therefore assumes
+        a live criterion.
+        """
+        program = realize(
+            generate_structured(random.Random(94978), None)
+        )
+        line, var = random_criterion(random.Random(0), program)
+        analysis = analyze_program(program)
+        dead = {n.line for n in analysis.cfg.unreachable_statements()}
+        assert line in dead  # the criterion really is dead code
+        assert not reslice_covers_non_skips(program, line, var)
 
     def test_corpus(self):
         for entry in PAPER_PROGRAMS.values():

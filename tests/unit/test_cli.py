@@ -61,6 +61,42 @@ class TestSlice:
         assert "sum = sum + f1(x)" not in out
         assert "L14: ;" in out
 
+    def test_json_mode_emits_protocol_envelope(self, fig3_file, capsys):
+        import json
+
+        code = main(
+            [
+                "slice",
+                fig3_file,
+                "--line",
+                "15",
+                "--var",
+                "positives",
+                "--json",
+            ]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True and envelope["op"] == "slice"
+        result = envelope["result"]
+        assert result["criterion"] == {"line": 15, "var": "positives"}
+        assert result["size"] == len(result["nodes"])
+
+    def test_json_and_explain_are_exclusive(self, fig3_file, capsys):
+        code = main(
+            [
+                "slice",
+                fig3_file,
+                "--line",
+                "15",
+                "--var",
+                "positives",
+                "--json",
+                "--explain",
+            ]
+        )
+        assert code == 2
+
     def test_nodes_listing(self, fig3_file, capsys):
         code = main(
             [
@@ -121,6 +157,30 @@ class TestCompare:
             assert name in out
         # Structured algorithms refuse unstructured input, visibly.
         assert "refused" in out
+
+    def test_json_mode_emits_protocol_envelope(self, fig3_file, capsys):
+        import json
+
+        code = main(
+            [
+                "compare",
+                fig3_file,
+                "--line",
+                "15",
+                "--var",
+                "positives",
+                "--json",
+            ]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True and envelope["op"] == "compare"
+        rows = {
+            row["name"]: row for row in envelope["result"]["algorithms"]
+        }
+        assert rows["agrawal"]["ok"] is True
+        assert rows["structured"]["ok"] is False
+        assert rows["structured"]["error"]["code"] == "slice-error"
 
 
 class TestDynamic:

@@ -1,0 +1,102 @@
+"""Unit tests for the content-addressed analysis cache."""
+
+import threading
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.service.cache import AnalysisCache, analysis_key
+
+FIG3A = PAPER_PROGRAMS["fig3a"].source
+FIG5A = PAPER_PROGRAMS["fig5a"].source
+
+
+class TestContentAddressing:
+    def test_same_source_same_key(self):
+        assert analysis_key(FIG3A) == analysis_key(FIG3A)
+
+    def test_different_source_different_key(self):
+        assert analysis_key(FIG3A) != analysis_key(FIG5A)
+
+    def test_options_change_the_key(self):
+        assert analysis_key(FIG3A) != analysis_key(FIG3A, fuse_cond_goto=False)
+        assert analysis_key(FIG3A) != analysis_key(FIG3A, chain_io=False)
+        assert analysis_key(FIG3A) != analysis_key(
+            FIG3A, dominator_algorithm="lengauer-tarjan"
+        )
+
+
+class TestHitsAndMisses:
+    def test_second_build_is_a_hit_returning_the_same_object(self):
+        cache = AnalysisCache(capacity=4)
+        first = cache.get_or_build(FIG3A)
+        second = cache.get_or_build(FIG3A)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_stats_shape(self):
+        cache = AnalysisCache(capacity=4)
+        cache.get_or_build(FIG3A)
+        cache.get_or_build(FIG3A)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+        assert stats["hit_rate"] == 0.5
+
+    def test_zero_capacity_disables_caching(self):
+        cache = AnalysisCache(capacity=0)
+        first = cache.get_or_build(FIG3A)
+        second = cache.get_or_build(FIG3A)
+        assert first is not second
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = AnalysisCache(capacity=2)
+        fig10a = PAPER_PROGRAMS["fig10a"].source
+        cache.get_or_build(FIG3A)
+        cache.get_or_build(FIG5A)
+        cache.get_or_build(FIG3A)  # refresh fig3a; fig5a is now LRU
+        cache.get_or_build(fig10a)  # evicts fig5a
+        assert cache.evictions == 1
+        assert cache.get(analysis_key(FIG5A)) is None
+        assert cache.get(analysis_key(FIG3A)) is not None
+
+    def test_clear(self):
+        cache = AnalysisCache(capacity=2)
+        cache.get_or_build(FIG3A)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPrewarm:
+    def test_prewarm_freezes_lazy_fields(self):
+        cache = AnalysisCache(capacity=2, prewarm=True)
+        analysis = cache.get_or_build(FIG3A)
+        assert analysis._augmented_cfg is not None
+        assert analysis._augmented_pdg is not None
+        assert analysis.reaching is not None
+
+
+class TestThreadSafety:
+    def test_concurrent_get_or_build_yields_one_winner(self):
+        cache = AnalysisCache(capacity=8)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            results.append(cache.get_or_build(FIG3A))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) == 1
+        winner = cache.get(analysis_key(FIG3A))
+        # Racing builders may each have built, but every *cached* lookup
+        # from here on serves one object.
+        assert winner is not None
+        assert cache.get(analysis_key(FIG3A)) is winner

@@ -1,0 +1,78 @@
+"""Unit tests for the observability counters."""
+
+import threading
+
+import pytest
+
+from repro.service.stats import LatencyHistogram, ServiceStats
+
+
+class TestLatencyHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        histogram = LatencyHistogram(buckets=(0.001, 0.01, 0.1))
+        histogram.observe(0.0005)  # <= 0.001
+        histogram.observe(0.005)  # <= 0.01
+        histogram.observe(0.05)  # <= 0.1
+        histogram.observe(5.0)  # overflow
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {
+            "le_0.001": 1,
+            "le_0.01": 1,
+            "le_0.1": 1,
+            "le_inf": 1,
+        }
+        assert snapshot["count"] == 4
+        assert snapshot["max_seconds"] == 5.0
+
+    def test_boundary_is_inclusive(self):
+        histogram = LatencyHistogram(buckets=(0.01,))
+        histogram.observe(0.01)
+        assert histogram.snapshot()["buckets"]["le_0.01"] == 1
+
+    def test_mean(self):
+        histogram = LatencyHistogram(buckets=(1.0,))
+        histogram.observe(0.2)
+        histogram.observe(0.4)
+        assert histogram.snapshot()["mean_seconds"] == pytest.approx(0.3)
+
+    def test_empty_snapshot(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean_seconds"] == 0.0
+
+
+class TestServiceStats:
+    def test_record_and_snapshot(self):
+        stats = ServiceStats()
+        stats.record("slice", "agrawal", 0.002)
+        stats.record("slice", "agrawal", 0.004, error=True)
+        stats.record("compare", None, 0.1)
+        snapshot = stats.snapshot()
+        assert snapshot["requests"] == {"compare": 1, "slice:agrawal": 2}
+        assert snapshot["errors"] == {"slice:agrawal": 1}
+        assert snapshot["latency"]["slice:agrawal"]["count"] == 2
+
+    def test_timer_context_manager_records_errors(self):
+        stats = ServiceStats()
+        with pytest.raises(RuntimeError):
+            with stats.time("slice", "lyle"):
+                raise RuntimeError("boom")
+        snapshot = stats.snapshot()
+        assert snapshot["requests"] == {"slice:lyle": 1}
+        assert snapshot["errors"] == {"slice:lyle": 1}
+
+    def test_concurrent_recording_loses_nothing(self):
+        stats = ServiceStats()
+
+        def work():
+            for _ in range(200):
+                stats.record("slice", "agrawal", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = stats.snapshot()
+        assert snapshot["requests"]["slice:agrawal"] == 1600
+        assert snapshot["latency"]["slice:agrawal"]["count"] == 1600
