@@ -1,0 +1,115 @@
+"""Experiment L1 — lint throughput: ``slang check`` over the corpus and
+a generated fleet, plus the slice verifier's audit cost (our addition;
+sizes the static-analysis subsystem for batch use).
+
+Two questions:
+
+* how many programs per second can the rule engine lint end-to-end
+  (parse → validate → CFG → dataflow → eight rules)?
+* what does a full slice audit cost on top of a slice — i.e. can the
+  verifier run as an always-on post-condition in the service, or only
+  as a test-time oracle?
+
+Besides the pytest-benchmark timings this module doubles as a
+standalone reporter::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py
+
+writes ``BENCH_lint.json`` (lint/verify throughput and per-program
+latency) so a benchmark trajectory can accumulate across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.gen.generator import generate_structured, realize
+from repro.lint.rules import run_lint
+from repro.lint.slice_check import SliceChecker, verify_result
+from repro.metrics import output_criteria
+from repro.pdg.builder import analyze_program
+from repro.slicing.registry import get_algorithm
+
+FLEET_SEEDS = range(2000, 2060)
+
+
+def fleet():
+    sources = [entry.source for entry in PAPER_PROGRAMS.values()]
+    sources += [
+        realize(generate_structured(random.Random(seed), None))
+        for seed in FLEET_SEEDS
+    ]
+    return sources
+
+
+def run_lint_fleet(sources) -> int:
+    return sum(len(run_lint(source).diagnostics) for source in sources)
+
+
+def run_verify_fleet(sources) -> int:
+    slicer = get_algorithm("agrawal")
+    violations = 0
+    for source in sources:
+        analysis = analyze_program(source)
+        checker = SliceChecker(analysis)
+        for criterion in output_criteria(analysis)[:1]:
+            result = slicer(analysis, criterion)
+            violations += len(verify_result(result, checker=checker))
+    return violations
+
+
+def test_bench_lint_fleet(benchmark):
+    sources = fleet()
+    benchmark.group = f"lint fleet n={len(sources)}"
+    benchmark(run_lint_fleet, sources)
+
+
+def test_bench_verify_fleet(benchmark):
+    sources = fleet()
+    benchmark.group = f"verify fleet n={len(sources)}"
+    benchmark(run_verify_fleet, sources)
+
+
+def test_verifier_finds_nothing_on_correct_slices():
+    assert run_verify_fleet(fleet()) == 0
+
+
+def measure():
+    sources = fleet()
+
+    start = time.perf_counter()
+    diagnostics = run_lint_fleet(sources)
+    lint_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    violations = run_verify_fleet(sources)
+    verify_seconds = time.perf_counter() - start
+    return sources, diagnostics, lint_seconds, violations, verify_seconds
+
+
+def main() -> None:
+    sources, diagnostics, lint_seconds, violations, verify_seconds = measure()
+    count = len(sources)
+    report = {
+        "bench": "lint-throughput",
+        "programs": count,
+        "diagnostics": diagnostics,
+        "lint_seconds": round(lint_seconds, 4),
+        "lint_programs_per_second": round(count / lint_seconds, 1),
+        "lint_ms_per_program": round(1000 * lint_seconds / count, 3),
+        "verify_violations": violations,
+        "verify_seconds": round(verify_seconds, 4),
+        "verify_programs_per_second": round(count / verify_seconds, 1),
+        "verify_ms_per_program": round(1000 * verify_seconds / count, 3),
+    }
+    with open("BENCH_lint.json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,15 @@ from repro.interp import (
     run_source,
 )
 from repro.lang import parse_program, pretty, validate_program
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SliceChecker,
+    run_lint,
+    verify_result,
+    verify_slice,
+)
 from repro.pdg import ProgramAnalysis, analyze_program, build_pdg
 from repro.dynamic import dynamic_slice
 from repro.metrics import SliceMetrics, slice_based_metrics
@@ -67,10 +76,14 @@ __version__ = "1.0.0"
 __all__ = [
     "ALGORITHMS",
     "AnalysisCache",
+    "Diagnostic",
     "GeneratorConfig",
+    "LintReport",
     "SlicingEngine",
     "PAPER_PROGRAMS",
     "ProgramAnalysis",
+    "Severity",
+    "SliceChecker",
     "SliceResult",
     "SlicingCriterion",
     "__version__",
@@ -98,6 +111,7 @@ __all__ = [
     "pretty",
     "random_criterion",
     "realize",
+    "run_lint",
     "run_program",
     "run_source",
     "SliceMetrics",
@@ -105,5 +119,7 @@ __all__ = [
     "slice_program",
     "structured_slice",
     "validate_program",
+    "verify_result",
+    "verify_slice",
     "weiser_slice",
 ]

@@ -146,15 +146,41 @@ def is_structured_jump(
     return lst.is_ancestor(jump_target(cfg, jump_id), jump_id, strict=True)
 
 
+def unstructured_jump_ids(
+    cfg: ControlFlowGraph, lst: Optional[LexicalSuccessorTree] = None
+) -> List[int]:
+    """Ids of every jump whose target is not one of its lexical
+    successors, in node order.
+
+    Covers both unconditional jumps and fused conditional gotos: a
+    ``CONDGOTO`` node (``if (e) goto L;``) transfers control exactly
+    like a goto when the predicate holds, so a backward conditional
+    goto makes the program unstructured in §4's sense even though the
+    node is not in :meth:`ControlFlowGraph.jump_nodes`.  (The slice
+    well-formedness verifier caught the earlier unconditional-only
+    check accepting such programs and handing the Fig. 12 slicer
+    semantically wrong slices.)
+    """
+    if lst is None:
+        lst = build_lst(cfg)
+    unstructured: List[int] = []
+    for node in cfg.statement_nodes():
+        if node.is_jump:
+            if not is_structured_jump(cfg, lst, node.id):
+                unstructured.append(node.id)
+        elif node.kind is NodeKind.CONDGOTO:
+            target = cfg.label_entry[node.goto_target]
+            if not lst.is_ancestor(target, node.id, strict=True):
+                unstructured.append(node.id)
+    return unstructured
+
+
 def is_structured_program(
     cfg: ControlFlowGraph, lst: Optional[LexicalSuccessorTree] = None
 ) -> bool:
-    """True when every unconditional jump in *cfg* is structured."""
-    if lst is None:
-        lst = build_lst(cfg)
-    return all(
-        is_structured_jump(cfg, lst, node.id) for node in cfg.jump_nodes()
-    )
+    """True when every jump in *cfg* — unconditional or fused
+    conditional goto — is structured."""
+    return not unstructured_jump_ids(cfg, lst)
 
 
 def conflicting_pairs(

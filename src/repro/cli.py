@@ -8,6 +8,8 @@ Subcommands::
     slang slice   FILE --line N --var V [--algorithm agrawal]
                   [--nodes] [--explain] [--json]
     slang compare FILE --line N --var V [--json]
+    slang check   FILE [--format text|json] [--select SL1,...]
+                  [--ignore SL105,...]      analysis-backed lint
     slang dynamic FILE --line N --var V --input 1,2,3   dynamic slice
     slang pyslice FILE.py --line N --var V              slice Python
     slang serve   [--host H] [--port P]   HTTP slicing service
@@ -228,6 +230,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_codes(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.lint.rules import run_lint
+
+    report = run_lint(
+        _read_source(args.file),
+        select=_split_codes(args.select),
+        ignore=_split_codes(args.ignore),
+    )
+    if args.format == "json":
+        from repro.service.protocol import dump_json, ok_envelope
+
+        print(dump_json(ok_envelope("check", report.payload())))
+    else:
+        print(report.format_text())
+    return 1 if report.has_errors else 0
+
+
 def _make_engine(args: argparse.Namespace):
     from repro.service.cache import AnalysisCache
     from repro.service.engine import SlicingEngine
@@ -246,7 +271,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(f"slang service listening on http://{host}:{port}", file=sys.stderr)
     print(
-        "endpoints: POST /slice /compare /graph /metrics /batch; "
+        "endpoints: POST /slice /compare /graph /metrics /check /batch; "
         "GET /stats /algorithms /healthz",
         file=sys.stderr,
     )
@@ -363,6 +388,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the service protocol envelope (same bytes as POST /compare)",
     )
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_check = sub.add_parser(
+        "check", help="run the analysis-backed lint rules"
+    )
+    p_check.add_argument("file")
+    p_check.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="json emits the service envelope (same bytes as POST /check)",
+    )
+    p_check.add_argument(
+        "--select",
+        help="comma-separated code prefixes to keep (e.g. SL1,SL204)",
+    )
+    p_check.add_argument(
+        "--ignore",
+        help="comma-separated code prefixes to drop (applied after --select)",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_dynamic = sub.add_parser(
         "dynamic", help="dynamic slice of one execution"

@@ -403,7 +403,15 @@ def random_criterion(
 ) -> Tuple[int, str]:
     """Pick a (line, var) criterion at one of the program's writes of a
     plain variable (there is always at least one: the generators append
-    a write per variable)."""
+    a write per variable).
+
+    Reachable writes are preferred — ``resolve_criterion`` rejects
+    statically dead criteria with ``UnreachableCriterionError``, and
+    most consumers (benchmarks, equivalence properties) want a
+    criterion the slicers will accept.  Only when *every* write is dead
+    does the choice fall back to all of them; callers exercising the
+    rejection path can rely on that fallback.
+    """
     candidates = [
         (stmt.line, stmt.value.name)
         for stmt in program.statements()
@@ -411,4 +419,9 @@ def random_criterion(
     ]
     if not candidates:
         raise ValueError("program has no write(<var>) statement")
-    return rng.choice(candidates)
+    from repro.cfg.builder import build_cfg
+
+    cfg = build_cfg(program)
+    dead_lines = {n.line for n in cfg.unreachable_statements()}
+    live = [c for c in candidates if c[0] not in dead_lines]
+    return rng.choice(live or candidates)

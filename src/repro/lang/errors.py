@@ -91,6 +91,14 @@ class SliceError(SlangError):
     """A slicing request was malformed (unknown variable or location)."""
 
 
+class UnreachableCriterionError(SliceError):
+    """The criterion statement can never execute (no CFG path from
+    ENTRY reaches it), so every slice with respect to it is vacuous —
+    the empty program has the same (empty) trajectory.  Rejected so a
+    "slice" of dead code is never mistaken for an answer; the ``slang
+    check`` SL101 diagnostic points at the dead code itself."""
+
+
 class InterpreterError(SlangError):
     """A runtime error while executing a program (for example, reading
     past the end of the input stream with no ``eof`` guard)."""

@@ -8,6 +8,14 @@ Checks performed before any analysis runs:
 * ``continue`` only appears inside a loop;
 * no switch arm repeats a ``case`` value or has two ``default`` labels.
 
+The core, :func:`check_program_diagnostics`, emits structured
+:class:`~repro.lint.diagnostics.Diagnostic` objects (stable ``SL0xx``
+codes, severity, position, fix hint) — the same model the ``slang
+check`` rule engine uses.  :func:`check_program` remains as a thin
+formatting shim returning the historical ``line N: ...`` strings, and
+:func:`validate_program` still raises :class:`ValidationError` joining
+them, so existing callers are unaffected.
+
 :func:`collect_labels` is shared with the CFG builder.
 """
 
@@ -29,6 +37,17 @@ from repro.lang.ast_nodes import (
     While,
 )
 from repro.lang.errors import ValidationError
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: Front-end diagnostic codes (the SL0xx block).  SL001 is reserved for
+#: lexer/parser failures and is emitted by the lint driver, which is the
+#: only place a syntax error can be reported rather than raised.
+CODE_SYNTAX_ERROR = "SL001"
+CODE_DUPLICATE_LABEL = "SL002"
+CODE_UNDEFINED_GOTO = "SL003"
+CODE_MISPLACED_BREAK = "SL004"
+CODE_MISPLACED_CONTINUE = "SL005"
+CODE_DUPLICATE_CASE = "SL006"
 
 
 def collect_labels(program: Program) -> Dict[str, Stmt]:
@@ -52,16 +71,28 @@ def collect_labels(program: Program) -> Dict[str, Stmt]:
     return labels
 
 
-def check_program(program: Program) -> List[str]:
-    """Return a list of diagnostic messages (empty when valid)."""
-    diagnostics: List[str] = []
+def check_program_diagnostics(program: Program) -> List[Diagnostic]:
+    """Return structured diagnostics (empty when valid).
+
+    All front-end findings are errors: a program carrying any of them
+    cannot be given a CFG.  Emission order matches the historical string
+    API (labels, gotos, jump placement, switch arms) so the shims below
+    reproduce the old output byte for byte.
+    """
+    diagnostics: List[Diagnostic] = []
     labels: Dict[str, Stmt] = {}
     for stmt in program.statements():
         if stmt.label is not None:
             if stmt.label in labels:
                 diagnostics.append(
-                    f"line {stmt.line}: duplicate label {stmt.label!r} "
-                    f"(first defined on line {labels[stmt.label].line})"
+                    _error(
+                        CODE_DUPLICATE_LABEL,
+                        "duplicate-label",
+                        stmt.line,
+                        f"duplicate label {stmt.label!r} "
+                        f"(first defined on line {labels[stmt.label].line})",
+                        hint="rename one of the labels",
+                    )
                 )
             else:
                 labels[stmt.label] = stmt
@@ -69,7 +100,13 @@ def check_program(program: Program) -> List[str]:
     for stmt in program.statements():
         if isinstance(stmt, Goto) and stmt.target not in labels:
             diagnostics.append(
-                f"line {stmt.line}: goto to undefined label {stmt.target!r}"
+                _error(
+                    CODE_UNDEFINED_GOTO,
+                    "undefined-goto-target",
+                    stmt.line,
+                    f"goto to undefined label {stmt.target!r}",
+                    hint="add the label or fix the goto target",
+                )
             )
 
     for top in program.body:
@@ -82,18 +119,55 @@ def check_program(program: Program) -> List[str]:
     return diagnostics
 
 
+def check_program(program: Program) -> List[str]:
+    """Return a list of diagnostic messages (empty when valid).
+
+    Formatting shim over :func:`check_program_diagnostics`, kept for the
+    historical stringly-typed API.
+    """
+    return [
+        f"line {diagnostic.line}: {diagnostic.message}"
+        for diagnostic in check_program_diagnostics(program)
+    ]
+
+
+def _error(
+    code: str, rule: str, line: int, message: str, hint: str = ""
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=Severity.ERROR,
+        line=line,
+        message=message,
+        rule=rule,
+        hint=hint or None,
+    )
+
+
 def _check_jump_placement(
-    stmt: Stmt, diagnostics: List[str], in_loop: bool, in_switch: bool
+    stmt: Stmt, diagnostics: List[Diagnostic], in_loop: bool, in_switch: bool
 ) -> None:
     """Recursively verify that break/continue appear in a legal context."""
     if isinstance(stmt, Break):
         if not (in_loop or in_switch):
             diagnostics.append(
-                f"line {stmt.line}: 'break' outside a loop or switch"
+                _error(
+                    CODE_MISPLACED_BREAK,
+                    "misplaced-break",
+                    stmt.line,
+                    "'break' outside a loop or switch",
+                )
             )
     elif isinstance(stmt, Continue):
         if not in_loop:
-            diagnostics.append(f"line {stmt.line}: 'continue' outside a loop")
+            diagnostics.append(
+                _error(
+                    CODE_MISPLACED_CONTINUE,
+                    "misplaced-continue",
+                    stmt.line,
+                    "'continue' outside a loop",
+                )
+            )
     elif isinstance(stmt, If):
         if stmt.then_branch is not None:
             _check_jump_placement(stmt.then_branch, diagnostics, in_loop, in_switch)
@@ -121,7 +195,7 @@ def _check_jump_placement(
             _check_jump_placement(inner, diagnostics, in_loop, in_switch)
 
 
-def _check_switch_arms(stmt: Switch, diagnostics: List[str]) -> None:
+def _check_switch_arms(stmt: Switch, diagnostics: List[Diagnostic]) -> None:
     seen: Dict[object, int] = {}
     for case in stmt.cases:
         for match in case.matches:
@@ -129,8 +203,14 @@ def _check_switch_arms(stmt: Switch, diagnostics: List[str]) -> None:
             if key in seen:
                 what = "'default'" if match is None else f"case {match}"
                 diagnostics.append(
-                    f"line {case.line}: duplicate {what} in switch "
-                    f"(first on line {seen[key]})"
+                    _error(
+                        CODE_DUPLICATE_CASE,
+                        "duplicate-switch-case",
+                        case.line,
+                        f"duplicate {what} in switch "
+                        f"(first on line {seen[key]})",
+                        hint="merge or remove the duplicate arm",
+                    )
                 )
             else:
                 seen[key] = case.line

@@ -1,0 +1,68 @@
+"""Static analysis over SL programs: structured diagnostics, the
+``slang check`` rule engine, and the slice well-formedness verifier.
+
+Layered to stay import-cycle-free:
+
+* :mod:`repro.lint.diagnostics` — the stdlib-only :class:`Diagnostic`
+  model; safe for the language front end to import.
+* :mod:`repro.lint.rules` — analysis-backed lint rules (CFG
+  reachability, liveness, reaching definitions, lexical successors).
+* :mod:`repro.lint.slice_check` — independently re-derives the paper's
+  slice correctness conditions and audits any algorithm's output.
+
+Only the diagnostic model is imported eagerly; the rule engine and the
+verifier pull in the whole analysis stack, so they load lazily (PEP
+562) — ``repro.lang.validate`` can import diagnostics while the
+analysis packages are still initialising.
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    count_by_code,
+    filter_diagnostics,
+    severity_counts,
+    sort_diagnostics,
+)
+
+_LAZY = {
+    "LintContext": ("repro.lint.rules", "LintContext"),
+    "RULES": ("repro.lint.rules", "RULES"),
+    "Rule": ("repro.lint.rules", "Rule"),
+    "run_lint": ("repro.lint.rules", "run_lint"),
+    "SliceChecker": ("repro.lint.slice_check", "SliceChecker"),
+    "conditions_for": ("repro.lint.slice_check", "conditions_for"),
+    "verify_result": ("repro.lint.slice_check", "verify_result"),
+    "verify_slice": ("repro.lint.slice_check", "verify_slice"),
+}
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Severity",
+    "SliceChecker",
+    "conditions_for",
+    "count_by_code",
+    "filter_diagnostics",
+    "run_lint",
+    "severity_counts",
+    "sort_diagnostics",
+    "verify_result",
+    "verify_slice",
+]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,205 @@
+"""The structured diagnostic model behind ``slang check``.
+
+A :class:`Diagnostic` is one finding about a program: a stable code
+(``SL101``), a severity, a source position, a human message, and an
+optional fix hint.  The model is deliberately dependency-free (stdlib
+only) so the front end (:mod:`repro.lang.validate`) can emit diagnostics
+without importing any analysis machinery — the analysis-backed rules
+live in :mod:`repro.lint.rules`.
+
+Code space
+----------
+
+====== ==========================================================
+range  producer
+====== ==========================================================
+SL0xx  front end: syntax + semantic validation (``lang/validate``)
+SL1xx  analysis-backed lint rules (``lint/rules``)
+SL2xx  slice well-formedness verifier (``lint/slice_check``)
+====== ==========================================================
+
+The JSON shape of a diagnostic is fixed (every key always present, so
+clients need no existence checks)::
+
+    {"code": "SL101", "severity": "warning", "line": 7, "column": null,
+     "message": "...", "rule": "unreachable-code", "hint": "..." }
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` — the program is invalid (or a slice is provably broken);
+    ``WARNING`` — valid but almost certainly not what the author meant;
+    ``INFO`` — a noteworthy property, not a defect (e.g. an unstructured
+    jump, which merely gates the structured-only slicers).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover — cosmetic
+        return self.value
+
+
+#: Sort rank: errors first within a line? No — diagnostics sort by
+#: position, so a report reads top-to-bottom like the source; severity
+#: only breaks ties at the same position.
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, addressable by a stable code.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``SL101``); never reused for a different
+        meaning once released.
+    severity:
+        :class:`Severity`.
+    line:
+        1-based source line (0 when unknown, e.g. a file-level finding).
+    message:
+        The finding, without any ``line N:`` prefix (renderers add it).
+    rule:
+        Kebab-case rule slug (``unreachable-code``); groups codes for
+        humans and the ``/stats`` counters.
+    column:
+        1-based column when known (lexer/parser findings), else None.
+    hint:
+        Optional fix suggestion.
+    """
+
+    code: str
+    severity: Severity
+    line: int
+    message: str
+    rule: str = ""
+    column: Optional[int] = None
+    hint: Optional[str] = None
+
+    def sort_key(self) -> Tuple[int, int, int, str, str]:
+        return (
+            self.line,
+            self.column or 0,
+            _SEVERITY_RANK[self.severity],
+            self.code,
+            self.message,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire shape — every key always present."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "rule": self.rule,
+            "hint": self.hint,
+        }
+
+    def format(self) -> str:
+        """One human-readable line (plus an indented hint line)."""
+        where = f"line {self.line}"
+        if self.column is not None:
+            where += f":{self.column}"
+        tag = f" [{self.rule}]" if self.rule else ""
+        text = f"{where}: {self.severity.value} {self.code}{tag}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> Tuple[Diagnostic, ...]:
+    """Stable report order: by position, then severity, then code."""
+    return tuple(sorted(diagnostics, key=Diagnostic.sort_key))
+
+
+def matches_any(code: str, prefixes: Sequence[str]) -> bool:
+    """Prefix selection, flake8-style: ``SL1`` matches every SL1xx code."""
+    return any(code.startswith(prefix) for prefix in prefixes)
+
+
+def filter_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Apply ``--select`` / ``--ignore`` code prefixes (select first)."""
+    kept = list(diagnostics)
+    if select:
+        kept = [d for d in kept if matches_any(d.code, select)]
+    if ignore:
+        kept = [d for d in kept if not matches_any(d.code, ignore)]
+    return kept
+
+
+def count_by_code(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+    return counts
+
+
+def severity_counts(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    counts = {severity.value: 0 for severity in Severity}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity.value] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run — an ordered diagnostic tuple plus
+    the derived views every surface needs (text, JSON, counters)."""
+
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        return count_by_code(self.diagnostics)
+
+    def payload(self) -> Dict[str, Any]:
+        """The canonical JSON view (``slang check --format json`` and
+        ``POST /check`` both serialise exactly this)."""
+        return {
+            "clean": self.clean,
+            "counts": self.counts(),
+            "summary": severity_counts(self.diagnostics),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def format_text(self) -> str:
+        """The ``--format text`` report: one line per diagnostic, then a
+        one-line summary."""
+        lines = [d.format() for d in self.diagnostics]
+        summary = severity_counts(self.diagnostics)
+        total = len(self.diagnostics)
+        if total == 0:
+            lines.append("no diagnostics")
+        else:
+            parts = [
+                f"{count} {name}{'s' if count != 1 else ''}"
+                for name, count in summary.items()
+                if count
+            ]
+            noun = "diagnostic" if total == 1 else "diagnostics"
+            lines.append(f"{total} {noun}: " + ", ".join(parts))
+        return "\n".join(lines)

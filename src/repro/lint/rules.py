@@ -1,0 +1,578 @@
+"""Analysis-backed lint rules — the ``slang check`` engine.
+
+Every rule is a pure function over a :class:`LintContext` (one program's
+CFG plus lazily computed dataflow facts) returning diagnostics.  The
+rules reuse the reproduction's own analyses — the same CFG reachability,
+liveness, reaching definitions and lexical-successor machinery the
+slicers run on — so a finding here is grounded in exactly the facts a
+slice would be computed from:
+
+====== ===================== ==========================================
+code   rule                  backing analysis
+====== ===================== ==========================================
+SL101  unreachable-code      CFG reachability from ENTRY
+SL102  dead-store            live variables (backward dataflow)
+SL103  maybe-uninitialized   reaching definitions from ENTRY
+SL104  unused-label          label table vs goto targets
+SL105  unstructured-jump     lexical successor tree (paper §4)
+SL106  constant-condition    constant folding over predicate exprs
+SL107  no-reachable-exit     reverse reachability from EXIT
+SL108  never-read-variable   def/use sets
+====== ===================== ==========================================
+
+SL is a single-scope language, so the "shadowed variable" half of the
+classic shadowed/never-read pair cannot occur; SL108 covers the
+meaningful half.
+
+:func:`run_lint` is the single entry point every surface uses (CLI,
+``POST /check``, the property-test oracle): parse → front-end
+validation (SL0xx, from :mod:`repro.lang.validate`) → analysis rules
+(skipped when validation failed, since no CFG exists) → select/ignore
+filtering → a sorted :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Union
+
+from repro.analysis.lexical import (
+    LexicalSuccessorTree,
+    build_lst,
+    unstructured_jump_ids,
+)
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.reaching_defs import compute_reaching_definitions
+from repro.cfg.builder import INPUT_CURSOR, build_cfg
+from repro.cfg.graph import ControlFlowGraph, NodeKind
+from repro.lang.ast_nodes import (
+    Binary,
+    DoWhile,
+    Expr,
+    For,
+    Goto,
+    If,
+    Num,
+    Program,
+    Switch,
+    Unary,
+    While,
+)
+from repro.lang.errors import LexError, ParseError
+from repro.lang.parser import parse_program
+from repro.lang.validate import CODE_SYNTAX_ERROR, check_program_diagnostics
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    filter_diagnostics,
+    sort_diagnostics,
+)
+
+
+class LintContext:
+    """One program plus the lazily built facts the rules consult.
+
+    Deliberately *not* a full :class:`~repro.pdg.builder.ProgramAnalysis`:
+    postdominators are undefined on programs where some node cannot reach
+    EXIT (``analyze_program`` raises), but such programs are exactly what
+    SL107 must be able to report on.  Everything here — CFG, dataflow,
+    LST — is total.
+    """
+
+    def __init__(self, program: Program, source: Optional[str] = None) -> None:
+        self.program = program
+        self.source = source
+        self.cfg: ControlFlowGraph = build_cfg(program)
+        self._liveness = None
+        self._reaching = None
+        self._lst: Optional[LexicalSuccessorTree] = None
+        self._reachable: Optional[FrozenSet[int]] = None
+        self._reaches_exit: Optional[FrozenSet[int]] = None
+
+    @property
+    def liveness(self):
+        if self._liveness is None:
+            self._liveness = compute_liveness(self.cfg)
+        return self._liveness
+
+    @property
+    def reaching(self):
+        if self._reaching is None:
+            self._reaching = compute_reaching_definitions(self.cfg)
+        return self._reaching
+
+    @property
+    def lst(self) -> LexicalSuccessorTree:
+        if self._lst is None:
+            self._lst = build_lst(self.cfg)
+        return self._lst
+
+    @property
+    def reachable(self) -> FrozenSet[int]:
+        """Node ids reachable from ENTRY."""
+        if self._reachable is None:
+            self._reachable = self.cfg.reachable_from(self.cfg.entry_id)
+        return self._reachable
+
+    @property
+    def reaches_exit(self) -> FrozenSet[int]:
+        """Node ids from which EXIT is reachable (reverse search)."""
+        if self._reaches_exit is None:
+            seen = {self.cfg.exit_id}
+            stack = [self.cfg.exit_id]
+            while stack:
+                current = stack.pop()
+                for pred in self.cfg.pred_ids(current):
+                    if pred not in seen:
+                        seen.add(pred)
+                        stack.append(pred)
+            self._reaches_exit = frozenset(seen)
+        return self._reaches_exit
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: stable code, slug, default severity, and
+    the checking function."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    check: Callable[[LintContext], List[Diagnostic]] = field(compare=False)
+
+
+#: code → :class:`Rule`, populated by the :func:`rule` decorator below.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, severity: Severity, summary: str):
+    def register(fn: Callable[[LintContext], List[Diagnostic]]):
+        if code in RULES:  # pragma: no cover — programming error
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code, name, severity, summary, fn)
+        return fn
+
+    return register
+
+
+def _diag(code: str, line: int, message: str, hint: Optional[str] = None) -> Diagnostic:
+    registered = RULES[code]
+    return Diagnostic(
+        code=code,
+        severity=registered.severity,
+        line=line,
+        message=message,
+        rule=registered.name,
+        hint=hint,
+    )
+
+
+def _run_heads(node_ids: Sequence[int]) -> List[int]:
+    """First node of each maximal run of consecutive ids.
+
+    Node ids are assigned in lexical order, so a block of dead
+    statements is a run of consecutive ids; reporting only the head
+    keeps e.g. a dead five-statement branch to one diagnostic.
+    """
+    id_set = set(node_ids)
+    return [n for n in sorted(id_set) if n - 1 not in id_set]
+
+
+# ---------------------------------------------------------------------------
+# The rules
+
+
+@rule(
+    "SL101",
+    "unreachable-code",
+    Severity.WARNING,
+    "statement can never execute (CFG reachability from ENTRY)",
+)
+def _check_unreachable(ctx: LintContext) -> List[Diagnostic]:
+    dead = {node.id: node for node in ctx.cfg.unreachable_statements()}
+    out = []
+    for head in _run_heads(list(dead)):
+        node = dead[head]
+        out.append(
+            _diag(
+                "SL101",
+                node.line,
+                f"unreachable statement: {node.text}",
+                hint=(
+                    "no path from ENTRY reaches this statement; delete it "
+                    "or fix the jump that diverts control around it"
+                ),
+            )
+        )
+    return out
+
+
+@rule(
+    "SL102",
+    "dead-store",
+    Severity.WARNING,
+    "assigned value is never subsequently used (liveness)",
+)
+def _check_dead_store(ctx: LintContext) -> List[Diagnostic]:
+    live_out = ctx.liveness.out
+    read_somewhere = set()
+    for node in ctx.cfg.statement_nodes():
+        read_somewhere |= node.uses
+    out = []
+    for node in ctx.cfg.statement_nodes():
+        if node.kind is not NodeKind.ASSIGN or node.id not in ctx.reachable:
+            continue
+        for var in sorted(node.defs):
+            if var not in read_somewhere:
+                continue  # never read anywhere: SL108's finding, not ours
+            if var not in live_out[node.id]:
+                out.append(
+                    _diag(
+                        "SL102",
+                        node.line,
+                        f"dead store: the value assigned to '{var}' here "
+                        "is never used",
+                        hint=(
+                            f"every path reassigns '{var}' before reading "
+                            "it (or never reads it again); remove the "
+                            "assignment or use the value"
+                        ),
+                    )
+                )
+    return out
+
+
+@rule(
+    "SL103",
+    "maybe-uninitialized",
+    Severity.WARNING,
+    "variable may be read before any assignment (definite assignment)",
+)
+def _check_uninitialized(ctx: LintContext) -> List[Diagnostic]:
+    # Definite assignment is a *must* dataflow: a variable is safely
+    # initialised at a node only when every ENTRY path assigns it first,
+    # so IN is the intersection over predecessors (reaching definitions
+    # — a may analysis — would miss a variable set on just one branch).
+    cfg = ctx.cfg
+    all_vars = set()
+    for node in cfg.statement_nodes():
+        all_vars |= node.defs
+    assigned_in: Dict[int, FrozenSet[str]] = {}
+    assigned_out: Dict[int, FrozenSet[str]] = {
+        node_id: frozenset(all_vars) for node_id in ctx.reachable
+    }
+    assigned_out[cfg.entry_id] = frozenset()
+    worklist = [n for n in sorted(ctx.reachable) if n != cfg.entry_id]
+    while worklist:
+        node_id = worklist.pop(0)
+        preds = [p for p in cfg.pred_ids(node_id) if p in ctx.reachable]
+        in_set: FrozenSet[str] = (
+            frozenset.intersection(*(assigned_out[p] for p in preds))
+            if preds
+            else frozenset()
+        )
+        node = cfg.nodes[node_id]
+        out_set = in_set | node.defs
+        if (
+            assigned_in.get(node_id) == in_set
+            and assigned_out[node_id] == out_set
+        ):
+            continue
+        assigned_in[node_id] = in_set
+        assigned_out[node_id] = out_set
+        for succ in cfg.succ_ids(node_id):
+            if succ in ctx.reachable and succ not in worklist:
+                worklist.append(succ)
+    out = []
+    for node in cfg.statement_nodes():
+        if node.id not in ctx.reachable:
+            continue
+        safe = assigned_in.get(node.id, frozenset())
+        for var in sorted(node.uses):
+            if var == INPUT_CURSOR or var in safe:
+                continue
+            out.append(
+                _diag(
+                    "SL103",
+                    node.line,
+                    f"'{var}' may be used before initialization "
+                    "(uninitialized variables read as 0)",
+                    hint=f"assign or read({var}) on every path to this "
+                    "statement",
+                )
+            )
+    return out
+
+
+@rule(
+    "SL104",
+    "unused-label",
+    Severity.WARNING,
+    "label is never the target of a goto",
+)
+def _check_unused_label(ctx: LintContext) -> List[Diagnostic]:
+    targets = {
+        stmt.target
+        for stmt in ctx.program.statements()
+        if isinstance(stmt, Goto)
+    }
+    out = []
+    for stmt in ctx.program.statements():
+        if stmt.label is not None and stmt.label not in targets:
+            out.append(
+                _diag(
+                    "SL104",
+                    stmt.line,
+                    f"label '{stmt.label}' is never the target of a goto",
+                    hint="remove the unused label",
+                )
+            )
+    return out
+
+
+@rule(
+    "SL105",
+    "unstructured-jump",
+    Severity.INFO,
+    "goto target does not lexically succeed the jump (paper §4)",
+)
+def _check_unstructured_jump(ctx: LintContext) -> List[Diagnostic]:
+    out = []
+    for node_id in unstructured_jump_ids(ctx.cfg, ctx.lst):
+        node = ctx.cfg.nodes[node_id]
+        if node.goto_target is not None:
+            out.append(
+                _diag(
+                    "SL105",
+                    node.line,
+                    f"unstructured jump: goto '{node.goto_target}' does "
+                    "not jump to one of its lexical successors",
+                    hint=(
+                        "legal, but the structured-only slicers "
+                        "(Figs. 12/13) refuse programs containing such "
+                        "jumps; use a correct-general algorithm"
+                    ),
+                )
+            )
+    return out
+
+
+@rule(
+    "SL106",
+    "constant-condition",
+    Severity.WARNING,
+    "predicate always evaluates to the same value",
+)
+def _check_constant_condition(ctx: LintContext) -> List[Diagnostic]:
+    out = []
+    for node in ctx.cfg.statement_nodes():
+        if node.kind not in (
+            NodeKind.PREDICATE,
+            NodeKind.CONDGOTO,
+            NodeKind.SWITCH,
+        ):
+            continue
+        stmt = node.stmt
+        if isinstance(stmt, Switch):
+            value = _fold_constant(stmt.subject)
+            if value is not None:
+                out.append(
+                    _diag(
+                        "SL106",
+                        node.line,
+                        f"switch subject is always {value}; at most one "
+                        "arm can ever be selected",
+                        hint="replace the switch with the selected arm",
+                    )
+                )
+            continue
+        if isinstance(stmt, (If, While, DoWhile)):
+            cond = stmt.cond
+        elif isinstance(stmt, For):
+            cond = stmt.cond
+            if cond is None:
+                continue  # for(;;) — idiomatic infinite loop header
+        else:  # pragma: no cover — no other predicate kinds exist
+            continue
+        value = _fold_constant(cond)
+        if value is not None:
+            truth = "true" if value else "false"
+            out.append(
+                _diag(
+                    "SL106",
+                    node.line,
+                    f"condition always evaluates to {value} ({truth})",
+                    hint="simplify the condition or remove the dead arm",
+                )
+            )
+    return out
+
+
+@rule(
+    "SL107",
+    "no-reachable-exit",
+    Severity.WARNING,
+    "control can never reach EXIT from this statement",
+)
+def _check_no_exit(ctx: LintContext) -> List[Diagnostic]:
+    stuck = {
+        node.id: node
+        for node in ctx.cfg.statement_nodes()
+        if node.id in ctx.reachable and node.id not in ctx.reaches_exit
+    }
+    out = []
+    for head in _run_heads(list(stuck)):
+        node = stuck[head]
+        out.append(
+            _diag(
+                "SL107",
+                node.line,
+                "control can never reach EXIT from this statement "
+                "(non-terminating loop)",
+                hint=(
+                    "postdominators are undefined for such statements, so "
+                    "every slicing analysis refuses this program; add an "
+                    "exit path (break/return or a falsifiable condition)"
+                ),
+            )
+        )
+    return out
+
+
+@rule(
+    "SL108",
+    "never-read-variable",
+    Severity.WARNING,
+    "variable is written but never read",
+)
+def _check_never_read(ctx: LintContext) -> List[Diagnostic]:
+    first_def: Dict[str, int] = {}
+    read_somewhere = set()
+    for node in ctx.cfg.statement_nodes():
+        for var in node.defs:
+            first_def.setdefault(var, node.line)
+        read_somewhere |= node.uses
+    out = []
+    for var in sorted(first_def):
+        if var == INPUT_CURSOR or var in read_somewhere:
+            continue
+        out.append(
+            _diag(
+                "SL108",
+                first_def[var],
+                f"variable '{var}' is written but never read",
+                hint=f"remove '{var}' or write() the value",
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Constant folding (SL106)
+
+
+def _fold_constant(expr: Expr) -> Optional[int]:
+    """Evaluate *expr* when it contains no variables or calls; None when
+    it is not a compile-time constant (including division by zero)."""
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Unary):
+        value = _fold_constant(expr.operand)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "!":
+            return int(not value)
+        return None
+    if isinstance(expr, Binary):
+        left = _fold_constant(expr.left)
+        right = _fold_constant(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return _apply_binary(expr.op, left, right)
+        except ZeroDivisionError:
+            return None
+    return None
+
+
+def _apply_binary(op: str, left: int, right: int) -> Optional[int]:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return int(left / right)  # C-style truncation toward zero
+    if op == "%":
+        return left - int(left / right) * right
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def run_lint(
+    source_or_program: Union[str, Program],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint a program: front-end validation plus every registered rule.
+
+    Accepts source text (syntax errors become an ``SL001`` diagnostic
+    rather than an exception) or an already parsed :class:`Program`.
+    When validation reports errors the analysis rules are skipped — no
+    CFG exists for an invalid program.  *select*/*ignore* are code
+    prefixes (``SL1`` matches all SL1xx), applied select-first.
+    """
+    diagnostics: List[Diagnostic] = []
+    program: Optional[Program] = None
+    source: Optional[str] = None
+    if isinstance(source_or_program, Program):
+        program = source_or_program
+    else:
+        source = source_or_program
+        try:
+            program = parse_program(source)
+        except (LexError, ParseError) as error:
+            location = error.location
+            diagnostics.append(
+                Diagnostic(
+                    code=CODE_SYNTAX_ERROR,
+                    severity=Severity.ERROR,
+                    line=location.line if location else 0,
+                    column=location.column if location else None,
+                    message=error.message,
+                    rule="syntax-error",
+                )
+            )
+    if program is not None:
+        front = check_program_diagnostics(program)
+        diagnostics.extend(front)
+        if not any(d.severity is Severity.ERROR for d in front):
+            context = LintContext(program, source=source)
+            for code in sorted(RULES):
+                diagnostics.extend(RULES[code].check(context))
+    kept = filter_diagnostics(diagnostics, select=select, ignore=ignore)
+    return LintReport(diagnostics=sort_diagnostics(kept))

@@ -60,10 +60,19 @@ class SliceMetrics:
 
 
 def output_criteria(analysis: ProgramAnalysis) -> List[SlicingCriterion]:
-    """The default criterion family: one per ``write(<var>)`` statement
-    (the program's observable outputs)."""
+    """The default criterion family: one per *reachable*
+    ``write(<var>)`` statement (the program's observable outputs).
+
+    Unreachable writes are skipped: they observe nothing, and
+    :func:`~repro.slicing.criterion.resolve_criterion` rejects them
+    with :class:`~repro.lang.errors.UnreachableCriterionError`.
+    """
+    cfg = analysis.cfg
+    reachable = cfg.reachable_from(cfg.entry_id)
     criteria = []
-    for node in analysis.cfg.statement_nodes():
+    for node in cfg.statement_nodes():
+        if node.id not in reachable:
+            continue
         stmt = node.stmt
         if isinstance(stmt, Write) and isinstance(stmt.value, Var):
             criteria.append(SlicingCriterion(line=node.line, var=stmt.value.name))

@@ -28,7 +28,9 @@ from repro.lang.errors import SlangError, SliceError
 from repro.metrics import output_criteria, slice_based_metrics
 from repro.pdg.builder import ProgramAnalysis
 from repro.service.cache import AnalysisCache
+from repro.lint.rules import run_lint
 from repro.service.protocol import (
+    CheckRequest,
     CompareRequest,
     GraphRequest,
     MetricsRequest,
@@ -115,6 +117,22 @@ def perform_compare(
         "criterion": {"line": line, "var": var},
         "algorithms": rows,
     }
+
+
+def perform_check(
+    source: str,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Lint one program as a protocol result payload.
+
+    Shared verbatim by ``slang check --format json`` and ``POST
+    /check`` so the two are byte-identical.  Takes raw *source* (not an
+    analysis): the linter must report on programs the analysis cache
+    refuses — syntax errors become SL001 diagnostics, and SL107
+    programs have no postdominator tree.
+    """
+    return run_lint(source, select=select, ignore=ignore).payload()
 
 
 def perform_graph(analysis: ProgramAnalysis, kind: str) -> Dict[str, Any]:
@@ -224,6 +242,11 @@ class SlicingEngine:
                     )
                 elif isinstance(request, MetricsRequest):
                     result = self._perform_metrics(request)
+                elif isinstance(request, CheckRequest):
+                    result = perform_check(
+                        request.source, request.select, request.ignore
+                    )
+                    self.stats.record_diagnostics(result["counts"])
                 else:  # pragma: no cover — request_from_dict prevents this
                     raise ValueError(f"unhandled request type {request!r}")
         except (SlangError, ValueError) as error:

@@ -33,6 +33,7 @@ from repro.lang.errors import (
     ParseError,
     SlangError,
     SliceError,
+    UnreachableCriterionError,
     ValidationError,
 )
 from repro.slicing.common import SliceResult
@@ -47,6 +48,7 @@ _ERROR_CODES = (
     (ParseError, "parse-error"),
     (ValidationError, "validation-error"),
     (AnalysisError, "analysis-error"),
+    (UnreachableCriterionError, "unreachable-criterion"),
     (SliceError, "slice-error"),
     (InterpreterError, "interpreter-error"),
 )
@@ -161,13 +163,55 @@ class MetricsRequest:
         )
 
 
-ServiceRequest = Union[SliceRequest, CompareRequest, GraphRequest, MetricsRequest]
+def _optional_codes(payload: Dict[str, Any], key: str) -> Optional[tuple]:
+    """Parse an optional list of diagnostic-code prefixes."""
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ProtocolError(
+            f"field {key!r} must be a list of diagnostic-code strings"
+        )
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """Run the ``slang check`` lint engine over *source*.
+
+    ``select``/``ignore`` are code prefixes (``"SL1"`` matches all
+    SL1xx), applied select-first — the same semantics as the CLI flags.
+    """
+
+    source: str
+    select: Optional[tuple] = None
+    ignore: Optional[tuple] = None
+    id: Optional[str] = None
+    op: str = field(default="check", init=False)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CheckRequest":
+        _check_version(payload)
+        return cls(
+            source=_require(payload, "source", str),
+            select=_optional_codes(payload, "select"),
+            ignore=_optional_codes(payload, "ignore"),
+            id=payload.get("id"),
+        )
+
+
+ServiceRequest = Union[
+    SliceRequest, CompareRequest, GraphRequest, MetricsRequest, CheckRequest
+]
 
 _REQUEST_TYPES = {
     "slice": SliceRequest,
     "compare": CompareRequest,
     "graph": GraphRequest,
     "metrics": MetricsRequest,
+    "check": CheckRequest,
 }
 
 
@@ -197,10 +241,10 @@ def request_from_json(text: str) -> ServiceRequest:
 def request_to_dict(request: ServiceRequest) -> Dict[str, Any]:
     """Serialise a request for the wire (round-trip of ``from_dict``)."""
     payload: Dict[str, Any] = {"op": request.op, "version": PROTOCOL_VERSION}
-    for key in ("source", "line", "var", "algorithm", "kind", "id"):
+    for key in ("source", "line", "var", "algorithm", "kind", "select", "ignore", "id"):
         value = getattr(request, key, None)
         if value is not None:
-            payload[key] = value
+            payload[key] = list(value) if isinstance(value, tuple) else value
     return payload
 
 

@@ -6,6 +6,7 @@ Routes (all JSON, all protocol version :data:`PROTOCOL_VERSION`)::
     POST /compare    one CompareRequest      -> compare envelope
     POST /graph      one GraphRequest        -> DOT text envelope
     POST /metrics    one MetricsRequest      -> cohesion envelope
+    POST /check      one CheckRequest        -> lint-report envelope
     POST /batch      {"requests": [...]}     -> {"responses": [...]}
     GET  /stats      request/latency/cache counters
     GET  /algorithms capability discovery (correct-general vs
@@ -114,7 +115,7 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
         path = self.path.split("?", 1)[0]
         op = path.lstrip("/")
-        if op not in ("slice", "compare", "graph", "metrics", "batch"):
+        if op not in ("slice", "compare", "graph", "metrics", "check", "batch"):
             self._send_json(
                 error_envelope(
                     "post", ProtocolError(f"no such endpoint {path!r}")

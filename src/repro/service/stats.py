@@ -81,6 +81,7 @@ class ServiceStats:
         self._requests: Dict[str, int] = {}
         self._errors: Dict[str, int] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
+        self._diagnostics: Dict[str, int] = {}
 
     @staticmethod
     def _key(op: str, algorithm: Optional[str]) -> str:
@@ -103,6 +104,16 @@ class ServiceStats:
                 histogram = self._latency[key] = LatencyHistogram()
             histogram.observe(seconds)
 
+    def record_diagnostics(self, counts: Dict[str, int]) -> None:
+        """Accumulate per-rule diagnostic counts from one ``check``
+        (keyed by stable code, e.g. ``SL101``); surfaced under the
+        ``diagnostics`` key of :meth:`snapshot`."""
+        with self._lock:
+            for code, count in counts.items():
+                self._diagnostics[code] = (
+                    self._diagnostics.get(code, 0) + count
+                )
+
     def time(self, op: str, algorithm: Optional[str] = None):
         """Context manager that records one request's latency."""
         return _Timer(self, op, algorithm)
@@ -113,6 +124,7 @@ class ServiceStats:
                 "uptime_seconds": round(time.time() - self._started, 3),
                 "requests": dict(sorted(self._requests.items())),
                 "errors": dict(sorted(self._errors.items())),
+                "diagnostics": dict(sorted(self._diagnostics.items())),
                 "latency": {
                     key: histogram.snapshot()
                     for key, histogram in sorted(self._latency.items())

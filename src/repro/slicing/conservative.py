@@ -23,6 +23,7 @@ from repro.slicing.criterion import SlicingCriterion, resolve_criterion
 from repro.slicing.structured import (
     _controlled_by_slice_predicate,
     exit_diverting_predicates,
+    jump_repair_pass,
 )
 
 
@@ -78,8 +79,18 @@ def conservative_slice(
             # only by the dummy entry predicate.
             slice_set |= analysis.pdg.backward_closure([node.id])
 
+    # Fig. 13 leans on the same property 2 as Fig. 12, so it inherits
+    # the same defensive repair (erratum E4 — see jump_repair_pass);
+    # force=True means "exactly as published" and skips it.
+    repaired = set() if force else jump_repair_pass(analysis, slice_set)
+
     nodes = frozenset(slice_set)
     notes = [] if structured else ["ran on an unstructured program (force)"]
+    if repaired:
+        notes.append(
+            "erratum E4 repair added jump node(s) "
+            f"{sorted(repaired)} missed by the property-2 predicate test"
+        )
     return SliceResult(
         algorithm="conservative",
         resolved=resolved,

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional
 
-from repro.lang.errors import SliceError
+from repro.lang.errors import SliceError, UnreachableCriterionError
 from repro.pdg.builder import ProgramAnalysis
 
 
@@ -51,6 +51,12 @@ def resolve_criterion(
     ------
     SliceError
         When no statement exists at the requested line.
+    UnreachableCriterionError
+        When every statement at the requested line is statically
+        unreachable: no execution ever produces a value there, so a
+        slice with respect to it is vacuous (ROADMAP "dead criterion"
+        item — previously algorithms disagreed about such criteria,
+        breaking the idempotence property).
     """
     cfg = analysis.cfg
     candidates: List[int] = [
@@ -64,7 +70,16 @@ def resolve_criterion(
             f"no statement at line {criterion.line}; "
             f"statement lines are {lines}"
         )
-    node_id = _pick_candidate(analysis, candidates, criterion.var)
+    reachable = cfg.reachable_from(cfg.entry_id)
+    live = [node_id for node_id in candidates if node_id in reachable]
+    if not live:
+        raise UnreachableCriterionError(
+            f"criterion {criterion} names a statically unreachable "
+            "statement: no execution ever reaches it, so every slice "
+            "with respect to it is empty; remove the dead code (slang "
+            "check reports it as SL101) or pick a reachable criterion"
+        )
+    node_id = _pick_candidate(analysis, live, criterion.var)
     node = cfg.nodes[node_id]
     if criterion.var in node.uses or criterion.var in node.defs:
         seeds: FrozenSet[int] = frozenset({node_id})

@@ -91,6 +91,55 @@ def _controlled_by_slice_predicate(
     return False
 
 
+def jump_repair_pass(analysis: ProgramAnalysis, slice_set: Set[int]) -> Set[int]:
+    """Apply the §3 npd/nls test to *every* out-of-slice jump until a
+    fixed point; return the set of jumps added.
+
+    **Erratum E4, discovered by the slice well-formedness verifier**
+    (``repro.lint.slice_check``; see EXPERIMENTS.md): §4's property 2 —
+    a jump can only matter when a predicate it is *directly* control
+    dependent on is already in the slice — is false.  On a structured
+    program a jump J controlled only by an out-of-slice predicate Q can
+    still matter: when every path through Q's region bypasses an
+    in-slice statement S, deleting the region (Q, J and all) makes the
+    fall-through edge of S's own guard land *on* S, changing S's guard.
+    Minimal witness (criterion ``<v1, line 6>``)::
+
+        read(v3);
+        if (4 != v3) goto L9;   // P, in slice (guards L9)
+        if (v3) goto L13;       // Q, not in slice
+        goto L13;               // J, control dependent only on Q
+        L9: v1 = 1;             // in slice
+        L13: write(v1);         // criterion
+
+    Fig. 12/13 omit J (and Q), so the sliced program falls through P
+    into ``v1 = 1`` on the path where the original skips it.  This pass
+    is a no-op exactly when property 2 holds; otherwise it restores the
+    Fig. 7 termination invariant (no out-of-slice jump with
+    npd-in-slice ≠ nls-in-slice) and with it slice correctness.
+    """
+    cfg = analysis.cfg
+    added: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.jump_nodes():
+            if node.id in slice_set:
+                continue
+            npd = nearest_in_slice(
+                analysis.pdt, node.id, slice_set, cfg.exit_id
+            )
+            nls = nearest_in_slice(
+                analysis.lst, node.id, slice_set, cfg.exit_id
+            )
+            if npd != nls:
+                added.add(node.id)
+                slice_set.add(node.id)
+                slice_set |= analysis.pdg.backward_closure([node.id])
+                changed = True
+    return added
+
+
 def structured_slice(
     analysis: ProgramAnalysis,
     criterion: SlicingCriterion,
@@ -100,8 +149,10 @@ def structured_slice(
 
     Raises :class:`SliceError` when the program is not structured, since
     the algorithm's guarantees do not apply; pass ``force=True`` to run
-    it anyway (the result may then be an under-approximation — useful for
-    the tests that demonstrate *why* the precondition exists).
+    the algorithm exactly as published — skipping both the
+    preconditions and the erratum-E4 defensive repair — so the result
+    may be an under-approximation (useful for the tests that
+    demonstrate *why* the precondition and the repair exist).
     """
     structured = is_structured_program(analysis.cfg, analysis.lst)
     if not structured and not force:
@@ -146,14 +197,21 @@ def structured_slice(
             # holds (see the matching comment in conservative.py).
             slice_set |= analysis.pdg.backward_closure([node_id])
 
+    repaired = set() if force else jump_repair_pass(analysis, slice_set)
+
     nodes = frozenset(slice_set)
     notes = [] if structured else ["ran on an unstructured program (force)"]
+    if repaired:
+        notes.append(
+            "erratum E4 repair added jump node(s) "
+            f"{sorted(repaired)} missed by the property-2 predicate test"
+        )
     return SliceResult(
         algorithm="structured",
         resolved=resolved,
         nodes=nodes,
         analysis=analysis,
-        traversals=1,
+        traversals=1 + (1 if repaired else 0),
         label_map=reassociate_labels(analysis, nodes),
         notes=notes,
     )

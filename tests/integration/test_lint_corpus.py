@@ -1,0 +1,45 @@
+"""Golden expected-diagnostics tests: ``slang check`` over the corpus.
+
+Each corpus program's full lint payload is pinned in
+``tests/golden/lint/<name>.json`` (regenerate with
+``python tools/lint_corpus.py --update``).  Pinning the whole payload —
+not just counts — means any change to a rule's message, hint, severity,
+or ordering is a visible diff.
+"""
+
+import json
+import os
+
+import pytest
+
+from tools.lint_corpus import GOLDEN_DIR, corpus_entries, golden_path
+
+from repro.lint.rules import run_lint
+
+CORPUS = dict(corpus_entries())
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_corpus_program_matches_golden(name):
+    path = golden_path(name)
+    assert os.path.exists(path), (
+        f"no golden for {name}; run `python tools/lint_corpus.py --update`"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        expected = json.load(handle)
+    assert run_lint(CORPUS[name]).payload() == expected
+
+
+def test_every_golden_has_a_corpus_program():
+    stems = {
+        os.path.splitext(filename)[0]
+        for filename in os.listdir(GOLDEN_DIR)
+        if filename.endswith(".json")
+    }
+    assert stems == set(CORPUS)
+
+
+def test_no_corpus_program_has_error_diagnostics():
+    # The corpus is all valid programs; lint findings are warnings/info.
+    for name, source in CORPUS.items():
+        assert not run_lint(source).has_errors, name

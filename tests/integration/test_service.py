@@ -331,6 +331,53 @@ class TestHTTPServer:
         assert status == 200
         assert json.loads(body) == {"ok": True}
 
+    def test_check_endpoint(self, http_server):
+        source = "read(x);\ny = 1;\nL: x = x - 1;\nif (x > 0) goto L;\nwrite(x);\n"
+        status, body = _post(http_server, "/check", {"source": source})
+        assert status == 200
+        result = json.loads(body)["result"]
+        assert result["clean"] is False
+        assert result["counts"] == {"SL105": 1, "SL108": 1}
+        # select/ignore prefixes travel over the wire too.
+        status, body = _post(
+            http_server, "/check", {"source": source, "ignore": ["SL105"]}
+        )
+        assert json.loads(body)["result"]["counts"] == {"SL108": 1}
+        # Per-code diagnostic counters surface in /stats.
+        status, body = _get(http_server, "/stats")
+        stats = json.loads(body)
+        assert stats["diagnostics"].get("SL105", 0) >= 1
+        assert stats["requests"].get("check", 0) >= 2
+
+    def test_check_endpoint_reports_syntax_errors_as_diagnostics(
+        self, http_server
+    ):
+        status, body = _post(http_server, "/check", {"source": "read("})
+        assert status == 200  # the *check* succeeded; the program is bad
+        result = json.loads(body)["result"]
+        assert result["counts"] == {"SL001": 1}
+        assert result["summary"]["error"] == 1
+
+    def test_check_malformed_request(self, http_server):
+        status, body = _post(http_server, "/check", {"source": 7})
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "protocol-error"
+        status, body = _post(
+            http_server, "/check", {"source": "x = 1;", "select": "SL1"}
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "protocol-error"
+
+    def test_unreachable_criterion_has_stable_error_code(self, http_server):
+        source = "read(x);\ngoto L;\ny = x;\nwrite(y);\nL: write(x);\n"
+        status, body = _post(
+            http_server,
+            "/slice",
+            {"source": source, "line": 4, "var": "y"},
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "unreachable-criterion"
+
 
 class TestCLIJson:
     def test_slice_json_matches_http_bytes(self, http_server, tmp_path, capsys):
@@ -391,6 +438,22 @@ class TestCLIJson:
             http_server,
             "/compare",
             {"source": entry.source, "line": line, "var": var},
+        )
+        assert status == 200
+        assert cli_body == http_body
+
+    def test_check_json_matches_http_bytes(
+        self, http_server, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        entry = PAPER_PROGRAMS["fig10a"]
+        path = tmp_path / "fig10a.sl"
+        path.write_text(entry.source)
+        assert main(["check", str(path), "--format", "json"]) == 0
+        cli_body = capsys.readouterr().out.strip()
+        status, http_body = _post(
+            http_server, "/check", {"source": entry.source}
         )
         assert status == 200
         assert cli_body == http_body

@@ -183,6 +183,20 @@ def unstructured_programs(**config_kwargs):
     )
 
 
+def assume_live(analysis, line: int) -> None:
+    """``assume()`` that *line* is a statically reachable criterion.
+
+    ``resolve_criterion`` rejects dead criteria with
+    :class:`~repro.lang.errors.UnreachableCriterionError`; properties
+    that exercise slicer *output* (not the rejection itself) call this
+    to discard such examples.
+    """
+    from hypothesis import assume
+
+    dead = {n.line for n in analysis.cfg.unreachable_statements()}
+    assume(line not in dead)
+
+
 def input_streams():
     return st.lists(
         st.integers(min_value=-9, max_value=9), min_size=0, max_size=10

@@ -17,6 +17,7 @@ from repro.slicing.conventional import conventional_slice
 from repro.slicing.criterion import SlicingCriterion
 from repro.slicing.forward import forward_slice
 from tests.property.strategies import (
+    assume_live,
     input_streams,
     structured_programs,
     unstructured_programs,
@@ -51,6 +52,8 @@ class TestForwardSlice:
         rng = random.Random(salt)
         line_a, var_a = random_criterion(rng, program)
         line_b, var_b = random_criterion(rng, program)
+        assume_live(analysis, line_a)
+        assume_live(analysis, line_b)
         backward = conventional_slice(
             analysis, SlicingCriterion(line_b, var_b)
         )
@@ -71,6 +74,7 @@ class TestForwardSlice:
     def test_forward_contains_criterion(self, program, salt):
         analysis = analyze_program(program)
         line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
         result = forward_slice(analysis, SlicingCriterion(line, var))
         assert result.resolved.node_id in result.nodes
 

@@ -9,17 +9,24 @@ was unnecessary once the program has been cut down.
 
 (The inserted SKIPs are legitimately droppable by a re-slice: they carry
 no dependences; their labels get re-associated once more.)
+
+The property holds for every criterion the engine accepts: statically
+unreachable criteria — for which the fixed point genuinely fails, see
+``test_dead_criterion_rejected`` — are rejected up front by
+``resolve_criterion`` with :class:`UnreachableCriterionError`, so the
+property no longer needs to exclude them.
 """
 
 import random
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.cfg.graph import NodeKind
 from repro.corpus import PAPER_PROGRAMS
 from repro.gen.generator import generate_structured, random_criterion, realize
-from repro.lang.errors import SlangError
+from repro.lang.errors import SlangError, UnreachableCriterionError
 from repro.pdg.builder import analyze_program
 from repro.slicing.agrawal import agrawal_slice
 from repro.slicing.criterion import SlicingCriterion
@@ -58,39 +65,47 @@ class TestIdempotence:
     @settings(max_examples=80, deadline=None)
     def test_reslice_is_fixed_point_modulo_skips(self, program, salt):
         line, var = random_criterion(random.Random(salt), program)
-        # The fixed point only holds for *live* criterion statements.
-        # When the criterion is dead code (e.g. every arm of a preceding
-        # switch returns), it has no reaching definitions, and Fig. 7's
-        # jump test keeps jumps the re-slice of the cut-down program can
-        # drop — see test_dead_criterion_counterexample below
-        # (generate_structured(random.Random(94978)), <v3, line 27>).
         analysis = analyze_program(program)
         dead_lines = {n.line for n in analysis.cfg.unreachable_statements()}
-        assume(line not in dead_lines)
         try:
-            assert reslice_covers_non_skips(program, line, var)
+            covered = reslice_covers_non_skips(program, line, var)
+        except UnreachableCriterionError:
+            # Dead criteria are rejected, never mis-sliced — and only
+            # dead criteria are rejected this way.
+            assert line in dead_lines
+            return
         except SlangError:
             assume(False)
+        assert line not in dead_lines
+        assert covered
 
-    def test_dead_criterion_counterexample(self):
-        """The recorded counterexample for the dead-criterion case.
+    def test_dead_criterion_rejected(self):
+        """The recorded dead-criterion counterexample is now rejected.
 
-        Slicing w.r.t. a statically unreachable ``write(v3)``: the first
-        slice keeps a constant ``switch`` and its ``break`` statements
-        (their nearest-postdominator/lexical-successor verdicts differ
-        because an included ``return`` splits the trees), but re-slicing
-        the extracted program finds them droppable.  Documented as an
-        open refinement (ROADMAP); the property above therefore assumes
-        a live criterion.
+        Slicing w.r.t. a statically unreachable ``write(v3)`` used to
+        break the fixed point (the first slice kept a constant
+        ``switch`` and its ``break`` statements that a re-slice of the
+        extracted program dropped; formerly pinned here as an open
+        ROADMAP refinement).  ``resolve_criterion`` now refuses such
+        criteria with a structured :class:`UnreachableCriterionError`
+        (protocol error code ``unreachable-criterion``), which closes
+        the refinement: the idempotence property holds unconditionally
+        for accepted criteria.
         """
         program = realize(
             generate_structured(random.Random(94978), None)
         )
-        line, var = random_criterion(random.Random(0), program)
         analysis = analyze_program(program)
-        dead = {n.line for n in analysis.cfg.unreachable_statements()}
-        assert line in dead  # the criterion really is dead code
-        assert not reslice_covers_non_skips(program, line, var)
+        dead_writes = [
+            node
+            for node in analysis.cfg.unreachable_statements()
+            if node.kind is NodeKind.WRITE
+        ]
+        assert dead_writes  # the recorded seed still has dead outputs
+        node = dead_writes[0]
+        (var,) = node.uses
+        with pytest.raises(UnreachableCriterionError):
+            agrawal_slice(analysis, SlicingCriterion(node.line, var))
 
     def test_corpus(self):
         for entry in PAPER_PROGRAMS.values():

@@ -1,0 +1,69 @@
+"""Properties of the lint engine over generated programs.
+
+The ``repro.gen`` generators advertise structural guarantees — valid,
+terminating, dead-code-minimised output — and the lint engine is an
+independent reimplementation of exactly those checks, so each generator
+guarantee becomes a "lint-clean modulo allowed codes" property:
+
+* any generated program parses and validates (no SL0xx ever);
+* the generators only emit labels for gotos they placed (no SL104);
+* structured output contains no unstructured jump (no SL105) and
+  unstructured output is where SL105 *may* legitimately appear;
+* every generated program can reach EXIT (no SL107 — postdominators
+  must exist, or no slicer could run).
+
+Value-level findings (SL101/SL102/SL103/SL106/SL108) are allowed: the
+generators pick operands randomly, so a constant predicate, a dead
+store, or a never-read temporary is expected noise, not a bug.
+"""
+
+from hypothesis import given, settings
+
+from repro.lint.rules import run_lint
+from tests.property.strategies import (
+    structured_programs,
+    unstructured_programs,
+)
+
+#: Codes the generators may legitimately produce (value-level noise).
+ALLOWED_VALUE_CODES = {"SL101", "SL102", "SL103", "SL106", "SL108"}
+
+#: Codes that would indicate a generator (or lint) bug on any output.
+FORBIDDEN_ALWAYS = {
+    "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",  # front end
+    "SL104",  # unused label
+    "SL107",  # EXIT unreachable — generators guarantee termination paths
+}
+
+
+class TestGeneratedProgramsLintClean:
+    @given(structured_programs())
+    @settings(max_examples=120, deadline=None)
+    def test_structured_output(self, program):
+        report = run_lint(program)
+        codes = {d.code for d in report.diagnostics}
+        assert not codes & FORBIDDEN_ALWAYS, report.format_text()
+        # Structured programs must contain no unstructured jump.
+        assert codes <= ALLOWED_VALUE_CODES, report.format_text()
+        assert not report.has_errors
+
+    @given(unstructured_programs())
+    @settings(max_examples=120, deadline=None)
+    def test_unstructured_output(self, program):
+        report = run_lint(program)
+        codes = {d.code for d in report.diagnostics}
+        assert not codes & FORBIDDEN_ALWAYS, report.format_text()
+        # SL105 is informational and expected here; nothing else new.
+        assert codes <= ALLOWED_VALUE_CODES | {"SL105"}, report.format_text()
+        assert not report.has_errors
+
+    @given(unstructured_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_select_ignore_partition(self, program):
+        # select=X and ignore=X partition the full report exactly.
+        full = run_lint(program).diagnostics
+        kept = run_lint(program, select=["SL105"]).diagnostics
+        dropped = run_lint(program, ignore=["SL105"]).diagnostics
+        assert len(kept) + len(dropped) == len(full)
+        assert all(d.code == "SL105" for d in kept)
+        assert all(d.code != "SL105" for d in dropped)

@@ -21,6 +21,7 @@ from repro.slicing.ball_horwitz import ball_horwitz_slice
 from repro.slicing.criterion import SlicingCriterion
 from repro.slicing.lyle import lyle_slice
 from tests.property.strategies import (
+    assume_live,
     structured_programs,
     unstructured_programs,
 )
@@ -31,6 +32,7 @@ EITHER = st.one_of(structured_programs(), unstructured_programs())
 def run_oracle(slicer, program, salt, **slicer_kwargs):
     analysis = analyze_program(program)
     line, var = random_criterion(random.Random(salt), program)
+    assume_live(analysis, line)
     result = slicer(analysis, SlicingCriterion(line, var), **slicer_kwargs)
     rng = random.Random(salt ^ 0xABCDEF)
     inputs = [
@@ -91,6 +93,7 @@ class TestBaselineCorrectness:
 
         analysis = analyze_program(program)
         line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
         criterion = SlicingCriterion(line, var)
         conventional = conventional_slice(analysis, criterion)
         lyle = lyle_slice(analysis, criterion)

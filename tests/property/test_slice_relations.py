@@ -25,6 +25,7 @@ from repro.slicing.criterion import SlicingCriterion
 from repro.slicing.lyle import lyle_slice
 from repro.slicing.structured import structured_slice
 from tests.property.strategies import (
+    assume_live,
     structured_programs,
     unstructured_programs,
 )
@@ -42,6 +43,7 @@ class TestOrdering:
     def test_conventional_within_agrawal(self, program, salt):
         analysis = analyze_program(program)
         line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
         criterion = SlicingCriterion(line, var)
         assert stmts(conventional_slice(analysis, criterion)) <= stmts(
             agrawal_slice(analysis, criterion)
@@ -59,6 +61,7 @@ class TestOrdering:
         # "except in certain degenerate cases".
         analysis = analyze_program(program)
         line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
         criterion = SlicingCriterion(line, var)
         assert stmts(conventional_slice(analysis, criterion)) <= stmts(
             lyle_slice(analysis, criterion)
@@ -88,6 +91,7 @@ class TestOrdering:
     ):
         analysis = analyze_program(program)
         line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
         criterion = SlicingCriterion(line, var)
         base = stmts(conventional_slice(analysis, criterion))
         full = agrawal_slice(analysis, criterion)
@@ -103,5 +107,6 @@ class TestOrdering:
     def test_criterion_node_always_in_slice(self, program, salt):
         analysis = analyze_program(program)
         line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
         result = agrawal_slice(analysis, SlicingCriterion(line, var))
         assert result.resolved.node_id in result.nodes

@@ -20,6 +20,7 @@ from repro.slicing.conventional import conventional_slice
 from repro.slicing.criterion import SlicingCriterion
 from repro.slicing.weiser import weiser_slice
 from tests.property.strategies import (
+    assume_live,
     structured_programs,
     unstructured_programs,
 )
@@ -33,6 +34,7 @@ class TestWeiserEquivalence:
     def test_statement_sets_equal(self, program, salt):
         analysis = analyze_program(program)
         line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
         criterion = SlicingCriterion(line, var)
         pdg_based = conventional_slice(analysis, criterion)
         equation_based = weiser_slice(analysis, criterion)
@@ -43,6 +45,7 @@ class TestWeiserEquivalence:
     def test_weiser_never_includes_unconditional_jumps(self, program, salt):
         analysis = analyze_program(program)
         line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
         result = weiser_slice(analysis, SlicingCriterion(line, var))
         assert result.jump_nodes() == []
 

@@ -227,6 +227,46 @@ class TestPyslice:
         assert out.splitlines()[1].startswith(" ")  # total = 0 excluded
 
 
+class TestCheck:
+    def test_text_report(self, fig3_file, capsys):
+        assert main(["check", fig3_file]) == 0
+        out = capsys.readouterr().out
+        assert "SL105" in out
+        assert "1 diagnostic" in out
+
+    def test_json_envelope(self, fig3_file, capsys):
+        import json
+
+        assert main(["check", fig3_file, "--format", "json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True and envelope["op"] == "check"
+        assert envelope["result"]["counts"] == {"SL105": 1}
+
+    def test_clean_program(self, tmp_path, capsys):
+        path = tmp_path / "clean.sl"
+        path.write_text("read(x);\nwrite(x);\n")
+        assert main(["check", str(path)]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_error_findings_set_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.sl"
+        path.write_text("goto nowhere;\n")
+        assert main(["check", str(path)]) == 1
+        assert "SL003" in capsys.readouterr().out
+
+    def test_syntax_error_is_a_diagnostic_not_a_crash(self, tmp_path, capsys):
+        path = tmp_path / "syntax.sl"
+        path.write_text("read(")
+        assert main(["check", str(path)]) == 1
+        assert "SL001" in capsys.readouterr().out
+
+    def test_select_and_ignore_flags(self, fig3_file, capsys):
+        assert main(["check", fig3_file, "--ignore", "SL105"]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+        assert main(["check", fig3_file, "--select", "SL2,SL105"]) == 0
+        assert "SL105" in capsys.readouterr().out
+
+
 class TestGraph:
     def test_dot_output(self, fig3_file, capsys):
         assert main(["graph", fig3_file, "--kind", "pdt"]) == 0

@@ -10,6 +10,7 @@ from repro.analysis.lexical import (
     is_structured_program,
     jump_conflicting_pairs,
     jump_target,
+    unstructured_jump_ids,
 )
 from repro.analysis.postdominance import build_postdominator_tree
 from repro.cfg.builder import build_cfg
@@ -128,6 +129,22 @@ class TestStructuredJumps:
         _, cfg, _ = setup("x = 1;")
         with pytest.raises(ValueError):
             jump_target(cfg, 1)
+
+    def test_backward_condgoto_makes_program_unstructured(self):
+        # Regression: the gate once looked only at unconditional jumps,
+        # so a program whose sole unstructured jump was a fused
+        # conditional goto slipped past it (and the Fig. 12 slicer then
+        # produced a semantically wrong slice — caught by the slice
+        # verifier sweep).
+        _, cfg, _ = setup("read(x);\nL: x = x - 1;\nif (x > 0) goto L;\nwrite(x);")
+        assert not cfg.jump_nodes()  # fused: no unconditional jumps
+        assert unstructured_jump_ids(cfg)
+        assert not is_structured_program(cfg)
+
+    def test_forward_condgoto_is_structured(self):
+        _, cfg, _ = setup("read(x);\nif (x > 0) goto L;\nx = 1;\nL: write(x);")
+        assert unstructured_jump_ids(cfg) == []
+        assert is_structured_program(cfg)
 
 
 class TestConflictingPairs:

@@ -1,0 +1,221 @@
+"""Unit tests for the ``slang check`` rule engine (SL1xx rules plus the
+driver's parsing, filtering, and report shaping)."""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    count_by_code,
+    filter_diagnostics,
+    severity_counts,
+    sort_diagnostics,
+)
+from repro.lint.rules import RULES, run_lint
+
+
+def codes(source, **kwargs):
+    return [d.code for d in run_lint(source, **kwargs).diagnostics]
+
+
+class TestDriver:
+    def test_clean_program(self):
+        report = run_lint("read(x);\nwrite(x);\n")
+        assert report.clean
+        assert not report.has_errors
+        assert report.format_text() == "no diagnostics"
+
+    def test_syntax_error_becomes_sl001(self):
+        report = run_lint("read(")
+        assert [d.code for d in report.diagnostics] == ["SL001"]
+        assert report.has_errors
+        assert report.diagnostics[0].severity is Severity.ERROR
+
+    def test_validation_errors_suppress_analysis_rules(self):
+        # An undefined goto target means no CFG can be built; the
+        # report must carry only the SL0xx finding, not a traceback.
+        report = run_lint("goto nowhere;\nx = 1;\n")
+        assert [d.code for d in report.diagnostics] == ["SL003"]
+
+    def test_select_and_ignore_prefixes(self):
+        source = "read(x);\ny = 1;\nif (x > 0) goto L;\nz = 2;\nL: write(x);\n"
+        all_codes = set(codes(source))
+        assert "SL108" in all_codes
+        assert codes(source, select=["SL108"]) == ["SL108", "SL108"]
+        assert "SL108" not in codes(source, ignore=["SL108"])
+        assert codes(source, select=["SL9"]) == []
+
+    def test_payload_shape_is_stable(self):
+        payload = run_lint("read(x);\nwrite(x);\n").payload()
+        assert set(payload) == {"clean", "counts", "summary", "diagnostics"}
+        assert payload["clean"] is True
+        assert payload["summary"] == {"error": 0, "warning": 0, "info": 0}
+
+    def test_diagnostics_sorted_by_position(self):
+        report = run_lint("y = 5;\nread(x);\nz = y;\nwrite(x);\n")
+        lines = [d.line for d in report.diagnostics]
+        assert lines == sorted(lines)
+
+    def test_registry_covers_the_documented_code_space(self):
+        assert set(RULES) == {
+            "SL101", "SL102", "SL103", "SL104",
+            "SL105", "SL106", "SL107", "SL108",
+        }
+        for code, registered in RULES.items():
+            assert registered.code == code
+            assert registered.name
+            assert registered.summary
+
+
+class TestRules:
+    def test_sl101_unreachable_code(self):
+        source = "read(x);\ngoto L;\nx = x + 1;\nL: write(x);\n"
+        report = run_lint(source, select=["SL101"])
+        assert [d.line for d in report.diagnostics] == [3]
+
+    def test_sl101_reports_one_head_per_dead_run(self):
+        source = (
+            "read(x);\ngoto L;\n"
+            "x = x + 1;\nx = x + 2;\nx = x + 3;\n"
+            "L: write(x);\n"
+        )
+        report = run_lint(source, select=["SL101"])
+        assert len(report.diagnostics) == 1
+        assert report.diagnostics[0].line == 3
+
+    def test_sl102_dead_store(self):
+        source = "read(x);\nx = 1;\nx = 2;\nwrite(x);\n"
+        report = run_lint(source, select=["SL102"])
+        assert [d.line for d in report.diagnostics] == [2]
+
+    def test_sl102_not_raised_when_value_used(self):
+        source = "read(x);\nx = x + 1;\nwrite(x);\n"
+        assert run_lint(source, select=["SL102"]).clean
+
+    def test_sl103_maybe_uninitialized(self):
+        source = "write(x);\n"
+        report = run_lint(source, select=["SL103"])
+        assert [d.line for d in report.diagnostics] == [1]
+        assert "'x'" in report.diagnostics[0].message
+
+    def test_sl103_quiet_after_read(self):
+        assert run_lint("read(x);\nwrite(x);\n", select=["SL103"]).clean
+
+    def test_sl103_path_sensitive_join(self):
+        # x is initialised on only one branch: still maybe-uninitialized.
+        source = "read(c);\nif (c > 0) x = 1;\nwrite(x);\n"
+        report = run_lint(source, select=["SL103"])
+        assert [d.line for d in report.diagnostics] == [3]
+
+    def test_sl104_unused_label(self):
+        source = "read(x);\nL: write(x);\n"
+        report = run_lint(source, select=["SL104"])
+        assert [d.line for d in report.diagnostics] == [2]
+
+    def test_sl104_quiet_when_targeted(self):
+        source = "read(x);\ngoto L;\nL: write(x);\n"
+        assert run_lint(source, select=["SL104"]).clean
+
+    def test_sl105_backward_goto(self):
+        source = "read(x);\nL: x = x - 1;\nif (x > 0) goto L;\nwrite(x);\n"
+        report = run_lint(source, select=["SL105"])
+        assert [d.line for d in report.diagnostics] == [3]
+        assert report.diagnostics[0].severity is Severity.INFO
+
+    def test_sl105_forward_goto_is_structured(self):
+        source = "read(x);\nif (x > 0) goto L;\nx = 1;\nL: write(x);\n"
+        assert run_lint(source, select=["SL105"]).clean
+
+    def test_sl106_constant_condition(self):
+        source = "read(x);\nif (1 < 2) x = 1;\nwrite(x);\n"
+        report = run_lint(source, select=["SL106"])
+        assert [d.line for d in report.diagnostics] == [2]
+
+    def test_sl106_for_without_condition_is_idiomatic(self):
+        source = "read(x);\nfor (;;) { break; }\nwrite(x);\n"
+        assert run_lint(source, select=["SL106"]).clean
+
+    def test_sl106_division_by_zero_not_folded(self):
+        source = "read(x);\nif (1 / 0) x = 1;\nwrite(x);\n"
+        assert run_lint(source, select=["SL106"]).clean
+
+    def test_sl106_constant_switch_subject(self):
+        source = "switch (2 + 1) { case 3: x = 1; }\nwrite(x);\n"
+        report = run_lint(source, select=["SL106"])
+        assert [d.line for d in report.diagnostics] == [1]
+
+    def test_sl107_no_reachable_exit(self):
+        # Structurally stuck: a goto cycle with no edge leaving it
+        # (a semantically infinite `while (1 > 0)` still has a false
+        # edge in the CFG — that is SL106's finding, not SL107's).
+        source = "read(x);\nL: x = x + 1;\ngoto L;\nwrite(x);\n"
+        report = run_lint(source, select=["SL107"])
+        assert report.diagnostics
+        assert all(d.code == "SL107" for d in report.diagnostics)
+
+    def test_sl107_quiet_with_break(self):
+        source = "read(x);\nwhile (1 > 0) { break; }\nwrite(x);\n"
+        assert run_lint(source, select=["SL107"]).clean
+
+    def test_sl108_never_read(self):
+        source = "read(x);\ny = x;\nwrite(x);\n"
+        report = run_lint(source, select=["SL108"])
+        assert [d.line for d in report.diagnostics] == [2]
+        assert "'y'" in report.diagnostics[0].message
+
+    def test_sl108_suppresses_sl102_for_the_same_variable(self):
+        # A never-read variable is one finding (SL108), not a dead-store
+        # report on every assignment to it.
+        source = "read(x);\ny = 1;\ny = 2;\nwrite(x);\n"
+        report = run_lint(source, select=["SL102", "SL108"])
+        assert [d.code for d in report.diagnostics] == ["SL108"]
+
+
+class TestDiagnosticModel:
+    def _diag(self, **kwargs):
+        defaults = dict(
+            code="SL101",
+            severity=Severity.WARNING,
+            line=3,
+            message="m",
+            rule="unreachable-code",
+        )
+        defaults.update(kwargs)
+        return Diagnostic(**defaults)
+
+    def test_to_dict_has_every_key(self):
+        payload = self._diag().to_dict()
+        assert set(payload) == {
+            "code", "severity", "line", "column", "message", "rule", "hint",
+        }
+        assert payload["severity"] == "warning"
+        assert payload["column"] is None
+
+    def test_format_includes_position_code_and_hint(self):
+        text = self._diag(column=7, hint="fix it").format()
+        assert text.startswith("line 3:7: warning SL101 [unreachable-code]:")
+        assert "hint: fix it" in text
+
+    def test_sort_by_position_then_severity(self):
+        late = self._diag(line=9)
+        early_info = self._diag(line=2, severity=Severity.INFO, code="SL105")
+        early_error = self._diag(line=2, severity=Severity.ERROR, code="SL201")
+        ordered = sort_diagnostics([late, early_info, early_error])
+        assert [d.code for d in ordered] == ["SL201", "SL105", "SL101"]
+
+    def test_counters(self):
+        diags = [
+            self._diag(),
+            self._diag(line=4),
+            self._diag(code="SL105", severity=Severity.INFO),
+        ]
+        assert count_by_code(diags) == {"SL101": 2, "SL105": 1}
+        assert severity_counts(diags) == {"error": 0, "warning": 2, "info": 1}
+
+    def test_filter_select_then_ignore(self):
+        diags = [self._diag(), self._diag(code="SL105")]
+        assert [
+            d.code for d in filter_diagnostics(diags, select=["SL10"])
+        ] == ["SL101", "SL105"]
+        assert [
+            d.code
+            for d in filter_diagnostics(diags, select=["SL10"], ignore=["SL105"])
+        ] == ["SL101"]

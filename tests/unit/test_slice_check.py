@@ -1,0 +1,167 @@
+"""Unit tests for the slice well-formedness verifier (SL2xx).
+
+The checker re-derives every structure it audits against (Lengauer–
+Tarjan postdominators, syntactic LST, fresh dataflow), so these tests
+exercise it as a black box: hand it correct slices (must be clean) and
+deliberately damaged node sets (must produce the right violation code).
+"""
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.lint.slice_check import (
+    ALL_CONDITIONS,
+    CLOSURE_CONDITIONS,
+    SliceChecker,
+    conditions_for,
+    verify_result,
+    verify_slice,
+)
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.conventional import conventional_slice
+from repro.slicing.criterion import SlicingCriterion
+from repro.slicing.registry import algorithm_names
+
+#: Fig. 3(a): the paper's canonical goto example.
+FIG3 = PAPER_PROGRAMS["fig3a"]
+
+
+def fig3_result(slicer=agrawal_slice):
+    analysis = analyze_program(FIG3.source)
+    line, var = FIG3.criterion
+    return slicer(analysis, SlicingCriterion(line, var))
+
+
+class TestConditionProfiles:
+    def test_agrawal_family_gets_the_full_audit(self):
+        for name in ("agrawal", "agrawal-lst", "structured", "conservative"):
+            assert conditions_for(name) == ALL_CONDITIONS
+
+    def test_baselines_get_closure_only(self):
+        for name in ("conventional", "weiser", "gallagher", "jiang"):
+            assert conditions_for(name) == CLOSURE_CONDITIONS
+
+    def test_other_correct_algorithms_get_closure_only(self):
+        # Lyle and Ball-Horwitz are correct by arguments that do not
+        # imply Agrawal's npd/nls test (it is sufficient, not necessary).
+        assert conditions_for("lyle") == CLOSURE_CONDITIONS
+        assert conditions_for("ball-horwitz") == CLOSURE_CONDITIONS
+
+    def test_unknown_names_get_closure_only(self):
+        assert conditions_for("ad-hoc") == CLOSURE_CONDITIONS
+
+    def test_every_registered_algorithm_has_a_profile(self):
+        for name in algorithm_names():
+            assert conditions_for(name) in (ALL_CONDITIONS, CLOSURE_CONDITIONS)
+
+
+class TestVerifier:
+    def test_agrawal_slice_of_fig3_is_clean(self):
+        assert verify_result(fig3_result()) == []
+
+    def test_conventional_slice_violates_the_jump_condition(self):
+        # The paper's motivating deficiency: the conventional closure
+        # drops the goto, which the full audit must flag as SL204 —
+        # while the closure profile (its contract) stays clean.
+        result = fig3_result(conventional_slice)
+        full = verify_result(result, conditions=ALL_CONDITIONS)
+        assert {d.code for d in full} == {"SL204"}
+        assert verify_result(result) == []
+
+    def test_dropping_the_criterion_is_sl201(self):
+        result = fig3_result()
+        nodes = set(result.nodes) - {result.resolved.node_id}
+        found = verify_slice(
+            result.analysis, nodes, criterion_node=result.resolved.node_id
+        )
+        assert "SL201" in {d.code for d in found}
+
+    def test_dropping_a_data_parent_is_sl202(self):
+        result = fig3_result()
+        analysis = result.analysis
+        # Remove a definition some slice member depends on.
+        checker = SliceChecker(analysis)
+        nodes = set(result.nodes)
+        victim = None
+        for member in nodes:
+            parents = checker._data_parents.get(member, set()) & nodes
+            parents.discard(member)
+            if parents:
+                victim = next(iter(parents))
+                break
+        assert victim is not None
+        nodes.discard(victim)
+        found = verify_slice(
+            analysis,
+            nodes,
+            criterion_node=result.resolved.node_id,
+            conditions=("data",),
+            checker=checker,
+        )
+        assert found
+        assert all(d.code == "SL202" for d in found)
+
+    def test_dropping_a_control_parent_is_sl203(self):
+        source = "read(x);\nif (x > 0) {\n  x = 1;\n}\nwrite(x);\n"
+        analysis = analyze_program(source)
+        result = agrawal_slice(analysis, SlicingCriterion(5, "x"))
+        (predicate,) = [
+            n.id for n in analysis.cfg.statement_nodes() if n.line == 2
+        ]
+        nodes = set(result.nodes) - {predicate}
+        found = verify_slice(
+            analysis, nodes, conditions=("control",)
+        )
+        assert found
+        assert all(d.code == "SL203" for d in found)
+
+    def test_unknown_condition_is_rejected(self):
+        result = fig3_result()
+        with pytest.raises(ValueError):
+            verify_result(result, conditions=("criterion", "bogus"))
+
+    def test_violations_are_error_diagnostics(self):
+        result = fig3_result(conventional_slice)
+        for diag in verify_result(result, conditions=ALL_CONDITIONS):
+            assert diag.severity.value == "error"
+            assert diag.line > 0
+            assert diag.rule
+
+    def test_one_checker_verifies_many_algorithms(self):
+        analysis = analyze_program(FIG3.source)
+        line, var = FIG3.criterion
+        checker = SliceChecker(analysis)
+        criterion = SlicingCriterion(line, var)
+        from repro.slicing.registry import get_algorithm
+
+        for name in ("agrawal", "agrawal-lst", "lyle", "ball-horwitz"):
+            result = get_algorithm(name)(analysis, criterion)
+            assert verify_result(result, checker=checker) == [], name
+
+
+class TestCorpusSweep:
+    def test_canonical_criteria_verify_clean_for_all_algorithms(self):
+        from repro.analysis.lexical import is_structured_program
+        from repro.lang.errors import SliceError
+        from repro.slicing.registry import get_algorithm
+
+        for entry in PAPER_PROGRAMS.values():
+            analysis = analyze_program(entry.source)
+            checker = SliceChecker(analysis)
+            line, var = entry.criterion
+            criterion = SlicingCriterion(line, var)
+            for name in algorithm_names():
+                try:
+                    result = get_algorithm(name)(analysis, criterion)
+                except SliceError:
+                    # Structured-only algorithms refusing unstructured
+                    # programs is the expected capability gate.
+                    assert not is_structured_program(
+                        analysis.cfg, analysis.lst
+                    ), (entry.name, name)
+                    continue
+                assert verify_result(result, checker=checker) == [], (
+                    entry.name,
+                    name,
+                )

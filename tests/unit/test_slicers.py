@@ -172,6 +172,32 @@ class TestStructuredGuards:
         assert returns & set(general.statement_nodes())
         assert not returns & set(forced.statement_nodes())
 
+    def test_e4_property2_counterexample(self):
+        # Erratum E4 (EXPERIMENTS.md): structured program, no dead code,
+        # no exit-diverting predicate — yet the as-published Figs. 12/13
+        # drop `goto L13`, whose only control parent is outside the
+        # slice.  The repair pass restores it; force=True shows the
+        # published behaviour.
+        source = (
+            "read(v3);\n"
+            "if (4 != v3) goto L9;\n"
+            "if (v3) goto L13;\n"
+            "goto L13;\n"
+            "L9: v1 = 1;\n"
+            "L13: write(v1);"
+        )
+        analysis = analyze_program(source)
+        assert exit_diverting_predicates(analysis) == []
+        assert not analysis.cfg.unreachable_statements()
+        criterion = SlicingCriterion(6, "v1")
+        goto_node = 4
+        for slicer in (structured_slice, conservative_slice):
+            published = slicer(analysis, criterion, force=True)
+            assert goto_node not in published.statement_nodes()
+            repaired = slicer(analysis, criterion)
+            assert goto_node in repaired.statement_nodes()
+            assert any("E4" in note for note in repaired.notes)
+
     def test_benign_trailing_divergence_allowed(self):
         # An if whose branches both return but with nothing after it is
         # not exit-diverting (its lexical successor is EXIT).

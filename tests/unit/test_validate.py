@@ -4,11 +4,26 @@ import pytest
 
 from repro.lang.errors import ValidationError
 from repro.lang.parser import parse_program
-from repro.lang.validate import check_program, collect_labels, validate_program
+from repro.lang.validate import (
+    CODE_DUPLICATE_CASE,
+    CODE_DUPLICATE_LABEL,
+    CODE_MISPLACED_BREAK,
+    CODE_MISPLACED_CONTINUE,
+    CODE_UNDEFINED_GOTO,
+    check_program,
+    check_program_diagnostics,
+    collect_labels,
+    validate_program,
+)
+from repro.lint.diagnostics import Severity
 
 
 def diagnostics(source):
     return check_program(parse_program(source))
+
+
+def structured(source):
+    return check_program_diagnostics(parse_program(source))
 
 
 class TestLabels:
@@ -96,6 +111,47 @@ class TestSwitchArms:
             "switch (a) { case 1: x = 1; } switch (b) { case 1: y = 2; }"
         )
         assert diagnostics(source) == []
+
+
+class TestStructuredDiagnostics:
+    """check_program_diagnostics emits the Diagnostic model the lint
+    engine consumes; check_program is a formatting shim over it."""
+
+    def test_codes_are_stable(self):
+        cases = {
+            "L: x = 1; L: y = 2; goto L;": CODE_DUPLICATE_LABEL,
+            "goto nowhere;": CODE_UNDEFINED_GOTO,
+            "break;": CODE_MISPLACED_BREAK,
+            "if (c) continue;": CODE_MISPLACED_CONTINUE,
+            "switch (c) { case 1: x = 1; case 1: y = 2; }": (
+                CODE_DUPLICATE_CASE
+            ),
+        }
+        for source, code in cases.items():
+            found = structured(source)
+            assert [d.code for d in found] == [code], source
+
+    def test_every_front_end_finding_is_an_error(self):
+        found = structured("goto a; break; L: x = 1; L: y = 2;")
+        assert found
+        assert all(d.severity is Severity.ERROR for d in found)
+
+    def test_positions_and_rule_slugs(self):
+        (diag,) = structured("x = 1;\ngoto nowhere;\n")
+        assert diag.line == 2
+        assert diag.rule == "undefined-goto-target"
+        assert diag.hint is not None
+
+    def test_string_shim_formats_the_same_findings(self):
+        source = "goto a; goto b; break;"
+        objects = structured(source)
+        strings = diagnostics(source)
+        assert strings == [
+            f"line {d.line}: {d.message}" for d in objects
+        ]
+
+    def test_valid_program_has_no_diagnostics(self):
+        assert structured("while (c) { break; } x = 1;") == []
 
 
 class TestValidateProgram:

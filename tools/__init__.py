@@ -1,0 +1,1 @@
+"""Repository maintenance scripts (not shipped with the package)."""

@@ -1,0 +1,119 @@
+"""Golden-file driver for ``slang check`` over the program corpus.
+
+Lints every corpus program (the paper figures plus the extras) and
+compares the full JSON lint payload against the goldens in
+``tests/golden/lint/``.  Two modes:
+
+* ``--check`` (the default, and what CI runs): exit 1 on any drift,
+  printing a per-program diff summary.
+* ``--update``: rewrite the goldens from the current engine output.
+
+The goldens pin the *entire* payload — codes, messages, hints, order —
+so any rule change shows up as a reviewable diff rather than a silent
+behaviour shift.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/lint_corpus.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.corpus import PAPER_PROGRAMS  # noqa: E402
+from repro.corpus.extras import EXTRA_PROGRAMS  # noqa: E402
+from repro.lint.rules import run_lint  # noqa: E402
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests",
+    "golden",
+    "lint",
+)
+
+
+def corpus_entries() -> Iterator[Tuple[str, str]]:
+    """(name, source) for every corpus program, stable order."""
+    for name in sorted(PAPER_PROGRAMS):
+        yield name, PAPER_PROGRAMS[name].source
+    for name in sorted(EXTRA_PROGRAMS):
+        yield f"extra_{name}", EXTRA_PROGRAMS[name].source
+
+
+def current_payloads() -> Dict[str, dict]:
+    return {
+        name: run_lint(source).payload() for name, source in corpus_entries()
+    }
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def update() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    payloads = current_payloads()
+    for name, payload in payloads.items():
+        with open(golden_path(name), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {golden_path(name)}")
+    # Drop goldens for programs no longer in the corpus.
+    for filename in os.listdir(GOLDEN_DIR):
+        stem, ext = os.path.splitext(filename)
+        if ext == ".json" and stem not in payloads:
+            os.remove(os.path.join(GOLDEN_DIR, filename))
+            print(f"removed stale {filename}")
+    return 0
+
+
+def check() -> int:
+    failures = 0
+    for name, payload in current_payloads().items():
+        path = golden_path(name)
+        if not os.path.exists(path):
+            print(f"MISSING {name}: no golden at {path}")
+            failures += 1
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)
+        if payload != expected:
+            failures += 1
+            print(f"DRIFT   {name}:")
+            print(f"  expected counts: {expected.get('counts')}")
+            print(f"  actual   counts: {payload.get('counts')}")
+        else:
+            print(f"ok      {name}: {payload['counts'] or 'clean'}")
+    if failures:
+        print(
+            f"\n{failures} corpus program(s) drifted; review the change "
+            "and run `python tools/lint_corpus.py --update` if intended."
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check", action="store_true", help="fail on drift (default)"
+    )
+    mode.add_argument(
+        "--update", action="store_true", help="rewrite the goldens"
+    )
+    args = parser.parse_args(argv)
+    return update() if args.update else check()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
