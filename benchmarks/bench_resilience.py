@@ -1,0 +1,227 @@
+"""Experiment R1 — resilience overhead and degraded-path latency (our
+addition; motivates the robustness milestone).
+
+Three shape claims:
+
+* the cooperative budget hooks are cheap: slicing the corpus under an
+  (ample) budget costs within a few percent of slicing unbudgeted;
+* the degraded path is *faster* than the exact path it stands in for —
+  Fig. 13 does zero traversal rounds, so a forced-exhaustion request
+  (Fig. 7 start + Fig. 13 rerun + SL20x audit) stays in the same
+  latency class as a healthy exact slice;
+* under synthetic overload (in-flight limit 1, every request stalled by
+  an injected latency) the gate sheds excess load immediately — shed
+  responses return orders of magnitude faster than admitted ones.
+
+Besides the pytest-benchmark timings this module doubles as a
+standalone reporter::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+
+writes ``BENCH_resilience.json`` (budget overhead ratio, exact vs
+degraded latency, shed rate and latency under overload) so the
+trajectory accumulates across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.service.engine import SlicingEngine
+from repro.service.faults import FaultPlan
+from repro.service.resilience import EngineLimits
+
+ROUNDS = 30
+
+EXHAUST_PLAN = {
+    "rules": [{"kind": "exhaust-budget", "op": "slice", "every": 1}]
+}
+
+
+def _requests():
+    out = []
+    for _name, entry in sorted(PAPER_PROGRAMS.items()):
+        line, var = entry.criterion
+        out.append(
+            {
+                "op": "slice",
+                "source": entry.source,
+                "line": line,
+                "var": var,
+                "algorithm": "agrawal",
+            }
+        )
+    return out
+
+
+def _run_corpus(engine, requests, rounds=ROUNDS):
+    for _ in range(rounds):
+        for request in requests:
+            response = engine.handle_payload(request)
+            assert response["ok"] or response["error"]["code"], response
+    return rounds * len(requests)
+
+
+def measure_budget_overhead():
+    """Corpus slicing with no budget vs an ample (never-binding) one."""
+    requests = _requests()
+    with SlicingEngine(workers=1) as engine:
+        engine.handle_payload(requests[0])  # warm the cache
+        start = time.perf_counter()
+        count = _run_corpus(engine, requests)
+        bare = time.perf_counter() - start
+    limits = EngineLimits(deadline_seconds=60.0, max_traversals=10_000)
+    with SlicingEngine(workers=1, limits=limits) as engine:
+        engine.handle_payload(requests[0])
+        start = time.perf_counter()
+        _run_corpus(engine, requests)
+        budgeted = time.perf_counter() - start
+    return {
+        "requests": count,
+        "bare_seconds": round(bare, 4),
+        "budgeted_seconds": round(budgeted, 4),
+        "overhead_ratio": round(budgeted / bare, 3) if bare else None,
+    }
+
+
+def measure_degraded_latency():
+    """Per-request latency: healthy exact slice vs forced degradation
+    (Fig. 7 trip + Fig. 13 rerun + slice-verifier audit)."""
+    requests = [
+        request
+        for request, (_name, entry) in zip(
+            _requests(), sorted(PAPER_PROGRAMS.items())
+        )
+        if entry.structured
+    ]
+    with SlicingEngine(workers=1) as engine:
+        engine.handle_payload(requests[0])
+        start = time.perf_counter()
+        count = _run_corpus(engine, requests)
+        exact = time.perf_counter() - start
+    plan = FaultPlan.from_dict(EXHAUST_PLAN)
+    with SlicingEngine(workers=1, faults=plan) as engine:
+        response = engine.handle_payload(requests[0])
+        assert response["result"]["degraded"] is True
+        start = time.perf_counter()
+        _run_corpus(engine, requests)
+        degraded = time.perf_counter() - start
+        degraded_count = engine.stats.event_count("degraded")
+    assert degraded_count >= count
+    return {
+        "requests": count,
+        "exact_seconds": round(exact, 4),
+        "degraded_seconds": round(degraded, 4),
+        "exact_ms_per_request": round(1000 * exact / count, 3),
+        "degraded_ms_per_request": round(1000 * degraded / count, 3),
+        "slowdown_ratio": round(degraded / exact, 3) if exact else None,
+    }
+
+
+def measure_overload_shedding():
+    """Shed latency and rate with in-flight limit 1 and stalled workers."""
+    request = _requests()[0]
+    stall = 0.05
+    plan = FaultPlan.from_dict(
+        {"rules": [{"kind": "latency", "seconds": stall, "every": 1}]}
+    )
+    limits = EngineLimits(max_inflight=1, deadline_seconds=10.0)
+    attempts = 80
+    shed_latencies = []
+    with SlicingEngine(workers=4, limits=limits, faults=plan) as engine:
+        lock = threading.Lock()
+
+        def one(_index):
+            start = time.perf_counter()
+            response = engine.handle_payload(request)
+            elapsed = time.perf_counter() - start
+            if (
+                not response["ok"]
+                and response["error"]["code"] == "overloaded"
+            ):
+                with lock:
+                    shed_latencies.append(elapsed)
+            return response
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(one, range(attempts)))
+        shed = engine.stats.event_count("shed")
+    admitted = attempts - shed
+    assert all(
+        response["ok"] or response["error"]["code"] == "overloaded"
+        for response in responses
+    )
+    return {
+        "attempts": attempts,
+        "stall_seconds": stall,
+        "shed": shed,
+        "admitted": admitted,
+        "shed_rate": round(shed / attempts, 3),
+        "mean_shed_latency_ms": round(
+            1000 * sum(shed_latencies) / len(shed_latencies), 3
+        )
+        if shed_latencies
+        else None,
+    }
+
+
+# -- pytest-benchmark entry points ------------------------------------
+
+
+def test_bench_exact_slice(benchmark):
+    requests = _requests()
+    with SlicingEngine(workers=1) as engine:
+        engine.handle_payload(requests[0])
+        benchmark.group = "resilience: exact vs degraded corpus pass"
+        benchmark(_run_corpus, engine, requests, 3)
+
+
+def test_bench_degraded_slice(benchmark):
+    requests = [
+        request
+        for request, (_name, entry) in zip(
+            _requests(), sorted(PAPER_PROGRAMS.items())
+        )
+        if entry.structured
+    ]
+    plan = FaultPlan.from_dict(EXHAUST_PLAN)
+    with SlicingEngine(workers=1, faults=plan) as engine:
+        engine.handle_payload(requests[0])
+        benchmark.group = "resilience: exact vs degraded corpus pass"
+        benchmark(_run_corpus, engine, requests, 3)
+
+
+def test_degraded_path_latency_class():
+    """The shape claim: forced degradation stays within ~10× of the
+    healthy exact path (it reruns analysis-free Fig. 13 plus an audit,
+    not a second full analysis)."""
+    report = measure_degraded_latency()
+    assert report["slowdown_ratio"] < 10.0, report
+
+
+def test_shedding_is_fast():
+    report = measure_overload_shedding()
+    assert report["shed"] > 0, report
+    # A shed response never waits behind the stalled worker.
+    assert report["mean_shed_latency_ms"] < 1000 * 0.05, report
+
+
+def main() -> None:
+    report = {
+        "bench": "resilience",
+        "budget_overhead": measure_budget_overhead(),
+        "degraded_path": measure_degraded_latency(),
+        "overload_shedding": measure_overload_shedding(),
+    }
+    with open("BENCH_resilience.json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Generic, Hashable, TypeVar
 
 from repro.cfg.graph import ControlFlowGraph
+from repro.service.resilience import budget_check_nodes, current_budget
 
 T = TypeVar("T", bound=Hashable)
 
@@ -72,6 +73,8 @@ def solve_dataflow(
     Every node (including ones unreachable from ENTRY — dead code still
     has well-defined local dataflow) starts at the empty set.
     """
+    budget_check_nodes(len(cfg.nodes), "dataflow")
+    budget = current_budget()
     forward = problem.direction == FORWARD
     if forward:
         inputs_of = cfg.pred_ids
@@ -86,6 +89,8 @@ def solve_dataflow(
     worklist = deque(sorted(cfg.nodes))
     queued = set(worklist)
     while worklist:
+        if budget is not None:
+            budget.tick("dataflow")
         node = worklist.popleft()
         queued.discard(node)
         merged: FrozenSet[T] = frozenset()

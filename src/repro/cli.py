@@ -12,8 +12,18 @@ Subcommands::
                   [--ignore SL105,...]      analysis-backed lint
     slang dynamic FILE --line N --var V --input 1,2,3   dynamic slice
     slang pyslice FILE.py --line N --var V              slice Python
-    slang serve   [--host H] [--port P]   HTTP slicing service
-    slang batch   FILE.jsonl [--stats]    run a request batch
+    slang serve   [--host H] [--port P] [--deadline-ms N]
+                  [--max-inflight N] [--degrade off|conservative]
+                  [--fault-plan FILE]     HTTP slicing service
+    slang batch   FILE.jsonl [--stats] [--strict]
+                  [--max-retries N] [--backoff S]   run a request batch
+
+``slang serve`` and ``slang batch`` accept the shared resilience flags
+(``--deadline-ms``, ``--max-traversals``, ``--max-nodes``,
+``--max-source-bytes``, ``--degrade``, ``--fault-plan``); see the
+README "Resilience" section.  ``slang batch --strict`` exits 1 on
+permanent failures and 75 (``EX_TEMPFAIL``) when every failure was
+transient, so schedulers know whether a retry can help.
 
 ``slang slice`` prints the extracted slice as a runnable program;
 ``--nodes`` prints the node set instead, and ``--explain`` narrates the
@@ -253,12 +263,82 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if report.has_errors else 0
 
 
+def _limits_from_args(args: argparse.Namespace):
+    from repro.service.resilience import EngineLimits
+
+    deadline_ms = getattr(args, "deadline_ms", None)
+    return EngineLimits(
+        deadline_seconds=deadline_ms / 1000.0 if deadline_ms else None,
+        max_traversals=getattr(args, "max_traversals", None),
+        max_cfg_nodes=getattr(args, "max_nodes", None),
+        max_source_bytes=getattr(args, "max_source_bytes", None),
+        max_inflight=getattr(args, "max_inflight", None),
+        degrade=getattr(args, "degrade", "conservative"),
+    )
+
+
+def _faults_from_args(args: argparse.Namespace):
+    if getattr(args, "fault_plan", None) is None:
+        return None
+    from repro.service.faults import FaultPlan
+
+    return FaultPlan.from_json_file(args.fault_plan)
+
+
 def _make_engine(args: argparse.Namespace):
     from repro.service.cache import AnalysisCache
     from repro.service.engine import SlicingEngine
 
     cache = AnalysisCache(capacity=args.cache_size, prewarm=True)
-    return SlicingEngine(cache=cache, workers=args.workers)
+    return SlicingEngine(
+        cache=cache,
+        workers=args.workers,
+        limits=_limits_from_args(args),
+        faults=_faults_from_args(args),
+    )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="per-request wall-clock budget in milliseconds",
+    )
+    group.add_argument(
+        "--max-traversals",
+        type=int,
+        default=None,
+        help="cap on Fig. 7 traversal / fixed-point rounds per request",
+    )
+    group.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        help="refuse programs whose CFG exceeds this many nodes",
+    )
+    group.add_argument(
+        "--max-source-bytes",
+        type=int,
+        default=None,
+        help="refuse request sources larger than this many bytes",
+    )
+    group.add_argument(
+        "--degrade",
+        choices=["off", "conservative"],
+        default="conservative",
+        help=(
+            "on budget exhaustion, fall back to the sound Fig. 13 "
+            "conservative slicer (default) or return the error (off)"
+        ),
+    )
+    group.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        help="JSON fault-injection plan (testing; see DESIGN.md §9)",
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -266,13 +346,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     engine = _make_engine(args)
     server = make_server(
-        args.host, args.port, engine=engine, verbose=args.verbose
+        args.host,
+        args.port,
+        engine=engine,
+        verbose=args.verbose,
+        max_body_bytes=args.max_body_bytes,
     )
     host, port = server.server_address[:2]
     print(f"slang service listening on http://{host}:{port}", file=sys.stderr)
     print(
         "endpoints: POST /slice /compare /graph /metrics /check /batch; "
-        "GET /stats /algorithms /healthz",
+        "GET /stats /algorithms /healthz /readyz",
         file=sys.stderr,
     )
     try:
@@ -285,10 +369,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``slang batch --strict`` exit code when every failure was transient
+#: (retry later): BSD ``EX_TEMPFAIL``.
+EXIT_TEMPFAIL = 75
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
-    from repro.service.protocol import dump_json
+    from repro.service.protocol import TRANSIENT_ERROR_CODES, dump_json
+    from repro.service.resilience import RetryPolicy
 
     engine = _make_engine(args)
     payloads = []
@@ -305,18 +395,41 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    retry = None
+    if args.max_retries:
+        retry = RetryPolicy(
+            max_retries=args.max_retries,
+            backoff_seconds=args.backoff,
+            seed=args.retry_seed,
+        )
     try:
-        responses = engine.run_batch(payloads)
+        responses = engine.run_batch(payloads, retry=retry)
     finally:
         engine.close()
-    failures = 0
+    permanent = transient = 0
     for response in responses:
         if not response.get("ok"):
-            failures += 1
+            code = response.get("error", {}).get("code")
+            if code in TRANSIENT_ERROR_CODES:
+                transient += 1
+            else:
+                permanent += 1
         print(dump_json(response))
+    if permanent or transient:
+        print(
+            f"batch: {len(responses)} responses, "
+            f"{permanent} permanent failure(s), "
+            f"{transient} transient failure(s)",
+            file=sys.stderr,
+        )
     if args.stats:
         print(dump_json(engine.stats_payload()), file=sys.stderr)
-    return 1 if failures and args.strict else 0
+    if args.strict:
+        if permanent:
+            return 1
+        if transient:
+            return EXIT_TEMPFAIL
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -456,6 +569,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="shed requests beyond this many concurrently in flight (503)",
+    )
+    p_serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="reject HTTP bodies larger than this (413)",
+    )
+    _add_resilience_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_batch = sub.add_parser(
@@ -471,12 +597,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--strict",
         action="store_true",
-        help="exit 1 when any request in the batch failed",
+        help=(
+            "exit 1 on permanent failures, 75 (EX_TEMPFAIL) when every "
+            "failure was transient (overloaded / fault-injected)"
+        ),
     )
     p_batch.add_argument("--workers", type=int, default=None)
     p_batch.add_argument(
         "--cache-size", type=int, default=128, help="analysis cache capacity"
     )
+    p_batch.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="re-issue transient failures up to N times with backoff",
+    )
+    p_batch.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="base backoff in seconds (exponential, jittered)",
+    )
+    p_batch.add_argument(
+        "--retry-seed",
+        type=int,
+        default=None,
+        help="seed the backoff jitter for reproducible schedules",
+    )
+    _add_resilience_args(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
     return parser

@@ -45,6 +45,7 @@ from repro.analysis.reaching_defs import compute_reaching_definitions
 from repro.cfg.graph import ControlFlowGraph
 from repro.lint.diagnostics import Diagnostic, Severity, sort_diagnostics
 from repro.pdg.builder import ProgramAnalysis
+from repro.service.resilience import budget_tick
 from repro.slicing.common import SliceResult
 
 #: Every condition the checker knows, in report order.
@@ -150,6 +151,7 @@ class SliceChecker:
         """
         parents: Dict[int, Set[int]] = {}
         for u in sorted(cfg.nodes):
+            budget_tick("verifier-control-parents")
             successors = cfg.succ_ids(u)
             if len(successors) < 2:
                 continue
@@ -208,6 +210,7 @@ class SliceChecker:
 
         if "data" in wanted:
             for member in sorted(slice_nodes - boundary):
+                budget_tick("verifier-data")
                 for parent in sorted(
                     self._data_parents.get(member, set()) - slice_nodes
                 ):
@@ -246,6 +249,7 @@ class SliceChecker:
 
         if "jump" in wanted:
             for node in cfg.jump_nodes():
+                budget_tick("verifier-jump")
                 if node.id in slice_nodes:
                     continue
                 npd = self._nearest_in(self.pdt, node.id, slice_nodes)

@@ -17,41 +17,90 @@ Turns the library into a long-running, concurrent slicing service:
   end (``slang serve``).
 * :mod:`repro.service.stats` — per-algorithm request counters, bucketed
   latency histograms, and cache statistics (``GET /stats``).
+* :mod:`repro.service.resilience` — deadlines/budgets, admission
+  control, degradation policy, and retry backoff.
+* :mod:`repro.service.faults` — deterministic fault injection for the
+  resilience test suite.
+
+Exports are resolved lazily (PEP 562): the low-level analysis and
+slicing layers import :mod:`repro.service.resilience` for cooperative
+budget checks, and an eager ``from repro.service.engine import ...``
+here would close an import cycle back through
+:mod:`repro.slicing.registry`.
 """
 
-from repro.service.cache import AnalysisCache, analysis_key
-from repro.service.engine import SlicingEngine
-from repro.service.protocol import (
-    PROTOCOL_VERSION,
-    CompareRequest,
-    GraphRequest,
-    MetricsRequest,
-    ProtocolError,
-    SliceRequest,
-    capabilities_payload,
-    error_payload,
-    request_from_dict,
-    slice_result_payload,
-)
-from repro.service.server import SlicingHTTPServer, make_server
-from repro.service.stats import LatencyHistogram, ServiceStats
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "AnalysisCache",
-    "analysis_key",
-    "SlicingEngine",
-    "PROTOCOL_VERSION",
-    "SliceRequest",
-    "CompareRequest",
-    "GraphRequest",
-    "MetricsRequest",
-    "ProtocolError",
-    "capabilities_payload",
-    "error_payload",
-    "request_from_dict",
-    "slice_result_payload",
-    "SlicingHTTPServer",
-    "make_server",
-    "LatencyHistogram",
-    "ServiceStats",
-]
+#: export name -> defining submodule.
+_EXPORTS = {
+    "AnalysisCache": "repro.service.cache",
+    "analysis_key": "repro.service.cache",
+    "SlicingEngine": "repro.service.engine",
+    "PROTOCOL_VERSION": "repro.service.protocol",
+    "SliceRequest": "repro.service.protocol",
+    "CompareRequest": "repro.service.protocol",
+    "GraphRequest": "repro.service.protocol",
+    "MetricsRequest": "repro.service.protocol",
+    "ProtocolError": "repro.service.protocol",
+    "capabilities_payload": "repro.service.protocol",
+    "error_payload": "repro.service.protocol",
+    "request_from_dict": "repro.service.protocol",
+    "slice_result_payload": "repro.service.protocol",
+    "SlicingHTTPServer": "repro.service.server",
+    "make_server": "repro.service.server",
+    "LatencyHistogram": "repro.service.stats",
+    "ServiceStats": "repro.service.stats",
+    "Budget": "repro.service.resilience",
+    "BudgetExceededError": "repro.service.resilience",
+    "EngineLimits": "repro.service.resilience",
+    "OverloadedError": "repro.service.resilience",
+    "PayloadTooLargeError": "repro.service.resilience",
+    "RetryPolicy": "repro.service.resilience",
+    "FaultPlan": "repro.service.faults",
+    "InjectedFaultError": "repro.service.faults",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover — static analysers only
+    from repro.service.cache import AnalysisCache, analysis_key
+    from repro.service.engine import SlicingEngine
+    from repro.service.faults import FaultPlan, InjectedFaultError
+    from repro.service.protocol import (
+        PROTOCOL_VERSION,
+        CompareRequest,
+        GraphRequest,
+        MetricsRequest,
+        ProtocolError,
+        SliceRequest,
+        capabilities_payload,
+        error_payload,
+        request_from_dict,
+        slice_result_payload,
+    )
+    from repro.service.resilience import (
+        Budget,
+        BudgetExceededError,
+        EngineLimits,
+        OverloadedError,
+        PayloadTooLargeError,
+        RetryPolicy,
+    )
+    from repro.service.server import SlicingHTTPServer, make_server
+    from repro.service.stats import LatencyHistogram, ServiceStats

@@ -104,26 +104,45 @@ class AnalysisCache:
         fuse_cond_goto: bool = True,
         chain_io: bool = True,
         dominator_algorithm: str = "iterative",
+        max_nodes: Optional[int] = None,
     ) -> ProgramAnalysis:
         """The main entry point: return the cached analysis of *source*,
-        building (and caching) it on a miss."""
+        building (and caching) it on a miss.
+
+        ``max_nodes`` enforces a per-request CFG-node cap: an analysis
+        over the cap raises
+        :class:`~repro.service.resilience.BudgetExceededError` *after*
+        being cached (the artefact is valid — a later request with a
+        looser budget may use it; only this request refuses to slice
+        it).  Cache hits are re-checked too: caps are per request, not
+        per program.
+        """
         key = analysis_key(
             source, fuse_cond_goto, chain_io, dominator_algorithm
         )
         analysis = self.get(key)
-        if analysis is not None:
-            return analysis
-        analysis = analyze_program(
-            source,
-            fuse_cond_goto=fuse_cond_goto,
-            chain_io=chain_io,
-            dominator_algorithm=dominator_algorithm,
-        )
-        if self.prewarm:
-            # Force the lazy fields so the shared object is frozen.
-            analysis.augmented_cfg  # noqa: B018
-            analysis.augmented_pdg  # noqa: B018
-        return self.put(key, analysis)
+        if analysis is None:
+            analysis = analyze_program(
+                source,
+                fuse_cond_goto=fuse_cond_goto,
+                chain_io=chain_io,
+                dominator_algorithm=dominator_algorithm,
+            )
+            if self.prewarm:
+                # Force the lazy fields so the shared object is frozen.
+                analysis.augmented_cfg  # noqa: B018
+                analysis.augmented_pdg  # noqa: B018
+            analysis = self.put(key, analysis)
+        if max_nodes is not None and len(analysis.cfg.nodes) > max_nodes:
+            from repro.service.resilience import BudgetExceededError
+
+            raise BudgetExceededError(
+                f"program has {len(analysis.cfg.nodes)} CFG nodes, over "
+                f"the {max_nodes}-node cap",
+                reason="nodes",
+                phase="analysis-cache",
+            )
+        return analysis
 
     def clear(self) -> None:
         with self._lock:

@@ -20,6 +20,8 @@ byte-identical to the server's.
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -29,6 +31,7 @@ from repro.metrics import output_criteria, slice_based_metrics
 from repro.pdg.builder import ProgramAnalysis
 from repro.service.cache import AnalysisCache
 from repro.lint.rules import run_lint
+from repro.service.faults import FaultPlan, InjectedFaultError
 from repro.service.protocol import (
     CheckRequest,
     CompareRequest,
@@ -42,6 +45,16 @@ from repro.service.protocol import (
     ok_envelope,
     request_from_dict,
     slice_result_payload,
+)
+from repro.service.resilience import (
+    AdmissionGate,
+    Budget,
+    BudgetExceededError,
+    EngineLimits,
+    OverloadedError,
+    RetryPolicy,
+    current_budget,
+    use_budget,
 )
 from repro.service.stats import ServiceStats
 from repro.slicing.criterion import SlicingCriterion
@@ -182,6 +195,13 @@ class SlicingEngine:
         Thread-pool width for batch fan-out (default: executor default).
     stats:
         A :class:`ServiceStats` sink; created when omitted.
+    limits:
+        The :class:`EngineLimits` resilience policy (budgets, admission,
+        degradation); defaults to unlimited-everything, which behaves
+        exactly like the pre-resilience engine.
+    faults:
+        An optional :class:`FaultPlan`, consulted once per admitted
+        request (deterministic fault injection for the test suite).
     """
 
     def __init__(
@@ -189,11 +209,19 @@ class SlicingEngine:
         cache: Optional[AnalysisCache] = None,
         workers: Optional[int] = None,
         stats: Optional[ServiceStats] = None,
+        limits: Optional[EngineLimits] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.cache = cache if cache is not None else AnalysisCache(
             capacity=128, prewarm=True
         )
         self.stats = stats if stats is not None else ServiceStats()
+        self.limits = limits if limits is not None else EngineLimits()
+        self.faults = faults
+        self.gate = AdmissionGate(
+            max_inflight=self.limits.max_inflight,
+            retry_after=self.limits.retry_after_seconds,
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="slang-worker"
         )
@@ -212,46 +240,142 @@ class SlicingEngine:
     # -- request handling ---------------------------------------------
 
     def analysis_for(self, source: str) -> ProgramAnalysis:
-        return self.cache.get_or_build(source)
+        """Cached analysis of *source*, enforcing the current budget's
+        CFG-node cap when one is installed."""
+        budget = current_budget()
+        return self.cache.get_or_build(
+            source,
+            max_nodes=budget.max_nodes if budget is not None else None,
+        )
 
     def handle(self, request: ServiceRequest) -> Dict[str, Any]:
         """Execute one parsed request, returning a response envelope.
 
         Never raises: analysis and protocol failures become structured
-        ``{"ok": false, "error": ...}`` envelopes.
+        ``{"ok": false, "error": ...}`` envelopes.  The request runs
+        under the full resilience pipeline — admission (shed with
+        ``overloaded`` when over the in-flight limit), source-size
+        limits, a per-request :class:`Budget` installed for every
+        analysis loop, fault injection when configured, and sound
+        degradation of over-budget exact slices to Fig. 13.
         """
         algorithm = getattr(request, "algorithm", None)
         try:
-            with self.stats.time(request.op, algorithm):
-                if isinstance(request, SliceRequest):
-                    result = perform_slice(
-                        self.analysis_for(request.source),
-                        request.line,
-                        request.var,
-                        request.algorithm,
-                    )
-                elif isinstance(request, CompareRequest):
-                    result = perform_compare(
-                        self.analysis_for(request.source),
-                        request.line,
-                        request.var,
-                    )
-                elif isinstance(request, GraphRequest):
-                    result = perform_graph(
-                        self.analysis_for(request.source), request.kind
-                    )
-                elif isinstance(request, MetricsRequest):
-                    result = self._perform_metrics(request)
-                elif isinstance(request, CheckRequest):
-                    result = perform_check(
-                        request.source, request.select, request.ignore
-                    )
-                    self.stats.record_diagnostics(result["counts"])
-                else:  # pragma: no cover — request_from_dict prevents this
-                    raise ValueError(f"unhandled request type {request!r}")
+            with self.gate.admit():
+                return self._handle_admitted(request, algorithm)
+        except OverloadedError as error:
+            self.stats.record_event("shed")
+            return error_envelope(request.op, error, request.id)
+
+    def _handle_admitted(
+        self, request: ServiceRequest, algorithm: Optional[str]
+    ) -> Dict[str, Any]:
+        try:
+            source = getattr(request, "source", None)
+            if source is not None:
+                self.limits.admit_source(source)
+            budget = self.limits.budget_for(
+                getattr(request, "budget", None)
+            )
+            with use_budget(budget):
+                with self.stats.time(request.op, algorithm):
+                    try:
+                        if self.faults is not None:
+                            self.faults.apply(
+                                request.op, algorithm, budget
+                            )
+                        result = self._dispatch(request)
+                    except BudgetExceededError as error:
+                        self.stats.record_event("budget-exceeded")
+                        # Raises the original error when degradation is
+                        # off, inapplicable, or itself over budget.
+                        result = self._degrade(request, error)
+                        self.stats.record_event("degraded")
+        except InjectedFaultError as error:
+            self.stats.record_event("fault-injected")
+            return error_envelope(request.op, error, request.id)
         except (SlangError, ValueError) as error:
             return error_envelope(request.op, error, request.id)
         return ok_envelope(request.op, result, request.id)
+
+    def _dispatch(self, request: ServiceRequest) -> Dict[str, Any]:
+        if isinstance(request, SliceRequest):
+            return perform_slice(
+                self.analysis_for(request.source),
+                request.line,
+                request.var,
+                request.algorithm,
+            )
+        if isinstance(request, CompareRequest):
+            return perform_compare(
+                self.analysis_for(request.source),
+                request.line,
+                request.var,
+            )
+        if isinstance(request, GraphRequest):
+            return perform_graph(
+                self.analysis_for(request.source), request.kind
+            )
+        if isinstance(request, MetricsRequest):
+            return self._perform_metrics(request)
+        if isinstance(request, CheckRequest):
+            result = perform_check(
+                request.source, request.select, request.ignore
+            )
+            self.stats.record_diagnostics(result["counts"])
+            return result
+        # pragma: no cover — request_from_dict prevents this
+        raise ValueError(f"unhandled request type {request!r}")
+
+    def _degrade(
+        self, request: ServiceRequest, error: BudgetExceededError
+    ) -> Dict[str, Any]:
+        """Soundly downgrade an over-budget exact slice to Fig. 13.
+
+        The paper's conservative on-the-fly algorithm "may be larger
+        but is never wrong" on structured programs, and it performs
+        zero traversal rounds — so it completes under the very
+        iteration cap that stopped Fig. 7, within the request's
+        remaining wall clock.  The result is independently audited by
+        the SL20x slice verifier before it is returned; any violation
+        (or a Fig. 13 refusal — unstructured program, dead code) falls
+        back to re-raising the original ``budget-exceeded`` error.
+        """
+        if self.limits.degrade != "conservative":
+            raise error
+        if not isinstance(request, SliceRequest):
+            raise error
+        if request.algorithm == "conservative":
+            raise error
+        if error.reason == "nodes":
+            # The node cap binds Fig. 13 exactly as hard; don't retry.
+            raise error
+        from repro.lint.slice_check import verify_result
+        from repro.slicing.conservative import conservative_slice
+
+        try:
+            analysis = self.analysis_for(request.source)
+            result = conservative_slice(
+                analysis,
+                SlicingCriterion(line=request.line, var=request.var),
+            )
+            violations = verify_result(result)
+        except BudgetExceededError:
+            raise error from None
+        except SlangError:
+            raise error from None
+        if violations:  # pragma: no cover — Fig. 13 is sound by design
+            raise error
+        payload = slice_result_payload(result)
+        payload["degraded"] = True
+        payload["degraded_from"] = request.algorithm
+        payload["degrade_reason"] = {
+            "code": "budget-exceeded",
+            "reason": error.reason,
+            "phase": error.phase,
+            "message": error.message,
+        }
+        return payload
 
     def handle_payload(self, payload: Any) -> Dict[str, Any]:
         """Parse a raw JSON object and execute it."""
@@ -267,10 +391,49 @@ class SlicingEngine:
             )
         return self.handle(request)
 
-    def run_batch(self, payloads: Sequence[Any]) -> List[Dict[str, Any]]:
+    def run_batch(
+        self,
+        payloads: Sequence[Any],
+        retry: Optional[RetryPolicy] = None,
+    ) -> List[Dict[str, Any]]:
         """Fan a batch of raw request payloads over the worker pool,
-        preserving input order in the response list."""
-        return list(self._pool.map(self.handle_payload, payloads))
+        preserving input order in the response list.
+
+        With a :class:`RetryPolicy`, responses whose error is marked
+        ``retryable`` (``overloaded``, ``fault-injected``) are re-issued
+        up to ``max_retries`` times with jittered exponential backoff;
+        outcomes land in the stats events as ``retry`` (one per
+        re-issue), ``retry:recovered``, and ``retry:exhausted``.
+        """
+        if retry is None or retry.max_retries <= 0:
+            return list(self._pool.map(self.handle_payload, payloads))
+        rng = retry.rng()
+        rng_lock = threading.Lock()
+
+        def _retryable(response: Dict[str, Any]) -> bool:
+            return not response.get("ok") and bool(
+                response.get("error", {}).get("retryable")
+            )
+
+        def one(payload: Any) -> Dict[str, Any]:
+            response = self.handle_payload(payload)
+            attempts = 0
+            while _retryable(response) and attempts < retry.max_retries:
+                with rng_lock:
+                    delay = retry.delay(attempts, rng)
+                self.stats.record_event("retry")
+                time.sleep(delay)
+                attempts += 1
+                response = self.handle_payload(payload)
+            if attempts:
+                self.stats.record_event(
+                    "retry:recovered"
+                    if response.get("ok")
+                    else "retry:exhausted"
+                )
+            return response
+
+        return list(self._pool.map(one, payloads))
 
     # -- bulk jobs -----------------------------------------------------
 
@@ -343,4 +506,17 @@ class SlicingEngine:
     def stats_payload(self) -> Dict[str, Any]:
         payload = self.stats.snapshot()
         payload["cache"] = self.cache.stats()
+        payload["admission"] = self.gate.snapshot()
+        if self.faults is not None:
+            payload["faults"] = self.faults.snapshot()
         return payload
+
+    def readiness(self) -> Dict[str, Any]:
+        """``GET /readyz``: ready while the gate still has headroom —
+        a request arriving now would be admitted, not shed."""
+        snapshot = self.gate.snapshot()
+        ready = (
+            snapshot["max_inflight"] is None
+            or snapshot["inflight"] < snapshot["max_inflight"]
+        )
+        return {"ok": ready, **snapshot}

@@ -1,0 +1,213 @@
+"""Deterministic fault injection behind the slicing engine.
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultRule`\\ s the
+engine consults once per admitted request, *before* dispatch.  Each
+rule matches on ``(op, algorithm)`` and fires on a deterministic
+schedule — the first *N* matches (``first_n``), every *N*-th match
+(``every``), or a seeded coin flip (``rate``) — and injects one of
+three failure modes:
+
+``latency``
+    Sleep for ``seconds``, capped at the request budget's remaining
+    wall clock so an injected stall can never push a response past
+    ``deadline + ε``.
+``error``
+    Raise :class:`InjectedFaultError` (wire code ``fault-injected``,
+    classified *transient* so the batch runner's retry/backoff path is
+    exercised end to end) — the stand-in for a worker crash.
+``exhaust-budget``
+    Slam the request budget's fixed-point iteration cap shut
+    (:meth:`~repro.service.resilience.Budget.exhaust_traversals`), so
+    the *exact* algorithms blow a structured
+    :class:`~repro.service.resilience.BudgetExceededError` from inside
+    their own Fig. 7 traversal loop — the organic trigger for the
+    engine's sound degradation to the Fig. 13 conservative slicer,
+    which performs zero rounds and therefore still completes.
+
+Determinism is the point: integration tests pin a seed and a schedule
+and then *prove* that every failure path produces a structured error or
+a sound degraded slice, never a hang or a malformed payload.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lang.errors import SlangError
+from repro.service.resilience import Budget
+
+#: Failure modes a rule may inject.
+FAULT_KINDS = ("latency", "error", "exhaust-budget")
+
+
+class InjectedFaultError(SlangError):
+    """A deliberately injected worker failure (wire code
+    ``fault-injected``, transient/retryable)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One match-and-fire rule of a :class:`FaultPlan`.
+
+    ``op``/``algorithm`` of ``None`` match any request.  Exactly one of
+    the schedules should be set; when several are, a rule fires only if
+    *all* of them say so (and when none is set, it always fires).
+    """
+
+    kind: str
+    op: Optional[str] = None
+    algorithm: Optional[str] = None
+    first_n: Optional[int] = None
+    every: Optional[int] = None
+    rate: Optional[float] = None
+    seconds: float = 0.05
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(FAULT_KINDS)}"
+            )
+        if self.rate is not None and not (0.0 <= self.rate <= 1.0):
+            raise ValueError("fault rate must be in [0, 1]")
+        if self.seconds < 0:
+            raise ValueError("fault seconds must be >= 0")
+
+    def matches(self, op: str, algorithm: Optional[str]) -> bool:
+        if self.op is not None and self.op != op:
+            return False
+        if self.algorithm is not None and self.algorithm != algorithm:
+            return False
+        return True
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultRule":
+        known = {
+            "kind", "op", "algorithm", "first_n", "every", "rate",
+            "seconds", "message",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault rule field(s) {sorted(unknown)}"
+            )
+        if "kind" not in payload:
+            raise ValueError("fault rule is missing required field 'kind'")
+        return cls(**payload)
+
+
+class FaultPlan:
+    """A seeded, thread-safe schedule of injected failures.
+
+    The per-rule match counters and the shared RNG live under one lock,
+    so a plan's decisions depend only on its seed and the *order* in
+    which matching requests arrive — fully deterministic under the
+    serial batch runner, and per-request reproducible (count-based
+    schedules) under concurrency.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._seen = [0] * len(self.rules)
+        self._fired = [0] * len(self.rules)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("rules"), list
+        ):
+            raise ValueError(
+                'fault plan must be {"rules": [rule, ...], "seed": int?}'
+            )
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ValueError("fault plan seed must be an int")
+        rules = [FaultRule.from_dict(rule) for rule in payload["rules"]]
+        return cls(rules, seed=seed)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- the injection point -------------------------------------------
+
+    def apply(
+        self, op: str, algorithm: Optional[str], budget: Budget
+    ) -> None:
+        """Consult every rule for one request; inject what fires.
+
+        Called by the engine after admission, with the request budget
+        already installed.  Latency is applied first (and capped at the
+        budget's remaining deadline), then budget exhaustion, then the
+        injected error — so one plan can compose "slow *and* failing".
+        """
+        sleep_for = 0.0
+        exhaust = False
+        error: Optional[str] = None
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if not rule.matches(op, algorithm):
+                    continue
+                self._seen[index] += 1
+                if not self._should_fire(index, rule):
+                    continue
+                self._fired[index] += 1
+                if rule.kind == "latency":
+                    sleep_for = max(sleep_for, rule.seconds)
+                elif rule.kind == "exhaust-budget":
+                    exhaust = True
+                elif error is None:
+                    error = rule.message
+        if sleep_for > 0.0:
+            remaining = budget.remaining_seconds()
+            if remaining is not None:
+                sleep_for = min(sleep_for, remaining)
+            time.sleep(sleep_for)
+            budget.tick("fault-latency")
+        if exhaust:
+            budget.exhaust_traversals()
+        if error is not None:
+            raise InjectedFaultError(error)
+
+    def _should_fire(self, index: int, rule: FaultRule) -> bool:
+        seen = self._seen[index]
+        if rule.first_n is not None and seen > rule.first_n:
+            return False
+        if rule.every is not None and seen % rule.every != 0:
+            return False
+        if rule.rate is not None and self._rng.random() >= rule.rate:
+            return False
+        return True
+
+    # -- observability -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Per-rule fire counts for ``/stats`` and test reconciliation."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rules": [
+                    {
+                        "kind": rule.kind,
+                        "op": rule.op,
+                        "algorithm": rule.algorithm,
+                        "seen": seen,
+                        "fired": fired,
+                    }
+                    for rule, seen, fired in zip(
+                        self.rules, self._seen, self._fired
+                    )
+                ],
+            }

@@ -36,6 +36,13 @@ from repro.lang.errors import (
     UnreachableCriterionError,
     ValidationError,
 )
+from repro.service.faults import InjectedFaultError
+from repro.service.resilience import (
+    BudgetExceededError,
+    BudgetSpec,
+    OverloadedError,
+    PayloadTooLargeError,
+)
 from repro.slicing.common import SliceResult
 from repro.slicing.registry import algorithm_metadata
 
@@ -51,7 +58,15 @@ _ERROR_CODES = (
     (UnreachableCriterionError, "unreachable-criterion"),
     (SliceError, "slice-error"),
     (InterpreterError, "interpreter-error"),
+    (BudgetExceededError, "budget-exceeded"),
+    (OverloadedError, "overloaded"),
+    (PayloadTooLargeError, "payload-too-large"),
+    (InjectedFaultError, "fault-injected"),
 )
+
+#: Codes a client may retry (with backoff): the failure is a property
+#: of the moment — load, an injected crash — not of the request.
+TRANSIENT_ERROR_CODES = frozenset({"overloaded", "fault-injected"})
 
 
 class ProtocolError(SlangError):
@@ -72,6 +87,28 @@ def _require(payload: Dict[str, Any], key: str, kind: type) -> Any:
     return value
 
 
+def _optional_budget(payload: Dict[str, Any]) -> Optional[BudgetSpec]:
+    """Parse the optional per-request ``budget`` object.
+
+    Clients can only *tighten* the engine's configured limits — the
+    engine takes the minimum of each dimension — so a hostile budget
+    cannot widen a deadline the operator set.
+    """
+    value = payload.get("budget")
+    if value is None:
+        return None
+    if not isinstance(value, dict):
+        raise ProtocolError(
+            'field "budget" must be an object like '
+            '{"deadline_ms": 500, "max_traversals": 100, '
+            '"max_nodes": 20000}'
+        )
+    try:
+        return BudgetSpec.from_dict(value)
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
+
+
 def _check_version(payload: Dict[str, Any]) -> None:
     version = payload.get("version", PROTOCOL_VERSION)
     if version != PROTOCOL_VERSION:
@@ -89,6 +126,7 @@ class SliceRequest:
     line: int
     var: str
     algorithm: str = "agrawal"
+    budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
     op: str = field(default="slice", init=False)
 
@@ -100,6 +138,7 @@ class SliceRequest:
             line=_require(payload, "line", int),
             var=_require(payload, "var", str),
             algorithm=payload.get("algorithm", "agrawal"),
+            budget=_optional_budget(payload),
             id=payload.get("id"),
         )
 
@@ -111,6 +150,7 @@ class CompareRequest:
     source: str
     line: int
     var: str
+    budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
     op: str = field(default="compare", init=False)
 
@@ -121,6 +161,7 @@ class CompareRequest:
             source=_require(payload, "source", str),
             line=_require(payload, "line", int),
             var=_require(payload, "var", str),
+            budget=_optional_budget(payload),
             id=payload.get("id"),
         )
 
@@ -131,6 +172,7 @@ class GraphRequest:
 
     source: str
     kind: str = "cfg"
+    budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
     op: str = field(default="graph", init=False)
 
@@ -140,6 +182,7 @@ class GraphRequest:
         return cls(
             source=_require(payload, "source", str),
             kind=payload.get("kind", "cfg"),
+            budget=_optional_budget(payload),
             id=payload.get("id"),
         )
 
@@ -150,6 +193,7 @@ class MetricsRequest:
 
     source: str
     algorithm: str = "agrawal"
+    budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
     op: str = field(default="metrics", init=False)
 
@@ -159,6 +203,7 @@ class MetricsRequest:
         return cls(
             source=_require(payload, "source", str),
             algorithm=payload.get("algorithm", "agrawal"),
+            budget=_optional_budget(payload),
             id=payload.get("id"),
         )
 
@@ -188,6 +233,7 @@ class CheckRequest:
     source: str
     select: Optional[tuple] = None
     ignore: Optional[tuple] = None
+    budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
     op: str = field(default="check", init=False)
 
@@ -198,6 +244,7 @@ class CheckRequest:
             source=_require(payload, "source", str),
             select=_optional_codes(payload, "select"),
             ignore=_optional_codes(payload, "ignore"),
+            budget=_optional_budget(payload),
             id=payload.get("id"),
         )
 
@@ -245,6 +292,9 @@ def request_to_dict(request: ServiceRequest) -> Dict[str, Any]:
         value = getattr(request, key, None)
         if value is not None:
             payload[key] = list(value) if isinstance(value, tuple) else value
+    budget = getattr(request, "budget", None)
+    if budget is not None:
+        payload["budget"] = budget.to_dict()
     return payload
 
 
@@ -291,9 +341,16 @@ def error_payload(error: BaseException) -> Dict[str, Any]:
         # get_algorithm / render_all raise ValueError on unknown names.
         code = "bad-request"
     payload: Dict[str, Any] = {"code": code, "message": str(error)}
+    payload["retryable"] = code in TRANSIENT_ERROR_CODES
     location = getattr(error, "location", None)
     if location is not None:
         payload["location"] = {"line": location.line, "column": location.column}
+    if isinstance(error, BudgetExceededError):
+        payload["reason"] = error.reason
+        payload["phase"] = error.phase
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
     return payload
 
 

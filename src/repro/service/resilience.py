@@ -1,0 +1,426 @@
+"""Resilience primitives: deadlines, budgets, admission, and backoff.
+
+The service survives pathological inputs by making every expensive loop
+*cooperative*: a per-request :class:`Budget` (wall-clock deadline,
+fixed-point iteration cap, CFG-node cap) is installed in a
+``contextvars.ContextVar`` for the duration of one request, and the
+long-running loops — the Fig. 7 traversal fixed point, Lyle's fixed
+point, the dataflow worklist solver, and the SL20x slice verifier —
+poll it via :func:`budget_tick` / :func:`budget_round`.  Exhaustion
+raises a structured :class:`BudgetExceededError` instead of letting one
+huge program stall a worker indefinitely.
+
+Exhaustion of an *exact* algorithm need not mean failure: the paper's
+own Fig. 13 conservative on-the-fly algorithm "may be larger but is
+never wrong" on structured programs, so the engine can soundly downgrade
+an over-budget Fig. 7 request to a Fig. 13 slice (tagged
+``degraded: true``) instead of erroring — the policy knob is
+:attr:`EngineLimits.degrade`.  Crucially, Fig. 13 performs *zero*
+traversal rounds, so it still completes under the very iteration cap
+that stopped Fig. 7.
+
+The module deliberately imports nothing above :mod:`repro.lang.errors`
+— the slicing and analysis layers import it, so it must sit at the
+bottom of the dependency order even though it lives in the service
+package (``repro/service/__init__.py`` re-exports lazily for the same
+reason).
+
+The other half of the survivability story is *admission*:
+:class:`EngineLimits` bounds request size up front
+(:class:`PayloadTooLargeError`), :class:`AdmissionGate` bounds in-flight
+work and sheds the excess with :class:`OverloadedError` (HTTP 503 +
+``Retry-After``) instead of queueing unboundedly, and
+:class:`RetryPolicy` gives the batch runner deterministic jittered
+exponential backoff for those transient errors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+from repro.lang.errors import SlangError
+
+#: Budget phases with fixed-point semantics count *rounds* against
+#: ``max_traversals``; everything else only polls the deadline.
+__all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "BudgetSpec",
+    "OverloadedError",
+    "PayloadTooLargeError",
+    "EngineLimits",
+    "AdmissionGate",
+    "RetryPolicy",
+    "current_budget",
+    "use_budget",
+    "budget_tick",
+    "budget_round",
+    "budget_check_nodes",
+]
+
+
+class BudgetExceededError(SlangError):
+    """A cooperative budget ran out mid-analysis.
+
+    Attributes
+    ----------
+    reason:
+        ``"deadline"`` (wall clock), ``"traversals"`` (fixed-point
+        iteration cap), or ``"nodes"`` (CFG-node cap).
+    phase:
+        Which loop noticed — e.g. ``"fig7-traversal"``, ``"dataflow"``,
+        ``"slice-verify"`` — for observability, not dispatch.
+    """
+
+    def __init__(self, message: str, *, reason: str, phase: str) -> None:
+        self.reason = reason
+        self.phase = phase
+        super().__init__(message)
+
+
+class OverloadedError(SlangError):
+    """The engine shed this request instead of queueing it unboundedly.
+
+    Carries ``retry_after`` (seconds) so the HTTP front end can emit a
+    ``Retry-After`` header and the batch runner can pace its retries.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class PayloadTooLargeError(SlangError):
+    """A request body or program exceeded the configured size limits."""
+
+
+class Budget:
+    """A mutable per-request budget, polled cooperatively.
+
+    ``deadline_seconds`` is converted to an absolute monotonic deadline
+    at construction; ``max_traversals`` caps fixed-point *rounds*
+    (:meth:`tick_round`); ``max_nodes`` caps the CFG size an analysis
+    may have (:meth:`check_nodes`).  ``None`` disables a dimension.
+
+    One budget belongs to one request (one thread); it is not shared.
+    """
+
+    __slots__ = ("started", "deadline", "max_traversals", "max_nodes", "rounds")
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        max_traversals: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+    ) -> None:
+        self.started = time.monotonic()
+        self.deadline = (
+            self.started + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+        self.max_traversals = max_traversals
+        self.max_nodes = max_nodes
+        self.rounds = 0
+
+    # -- queries -------------------------------------------------------
+
+    def remaining_seconds(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def elapsed_seconds(self) -> float:
+        return time.monotonic() - self.started
+
+    # -- cooperative checks --------------------------------------------
+
+    def tick(self, phase: str) -> None:
+        """Poll the wall-clock deadline (cheap; call from hot loops)."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise BudgetExceededError(
+                f"deadline exceeded after {self.elapsed_seconds():.3f}s "
+                f"(in {phase})",
+                reason="deadline",
+                phase=phase,
+            )
+
+    def tick_round(self, phase: str) -> None:
+        """Account one fixed-point round; enforce the iteration cap."""
+        self.rounds += 1
+        if (
+            self.max_traversals is not None
+            and self.rounds > self.max_traversals
+        ):
+            raise BudgetExceededError(
+                f"fixed-point iteration cap of {self.max_traversals} "
+                f"round(s) exceeded (in {phase})",
+                reason="traversals",
+                phase=phase,
+            )
+        self.tick(phase)
+
+    def check_nodes(self, count: int, phase: str) -> None:
+        """Enforce the CFG-node cap against an actual node count."""
+        if self.max_nodes is not None and count > self.max_nodes:
+            raise BudgetExceededError(
+                f"program has {count} CFG nodes, over the "
+                f"{self.max_nodes}-node cap (in {phase})",
+                reason="nodes",
+                phase=phase,
+            )
+        self.tick(phase)
+
+    def exhaust_traversals(self) -> None:
+        """Force the iteration cap shut (deterministic fault injection):
+        the next :meth:`tick_round` — the first Fig. 7 round — raises,
+        while zero-round algorithms (Fig. 13) still complete."""
+        self.max_traversals = min(self.rounds, self.max_traversals or 0)
+
+
+#: The per-request budget, visible to every analysis loop on the
+#: request's thread.  Threads start with an empty context, so worker
+#: threads never inherit another request's budget.
+_BUDGET: ContextVar[Optional[Budget]] = ContextVar(
+    "slang_budget", default=None
+)
+
+
+def current_budget() -> Optional[Budget]:
+    """The budget of the request running on this thread, if any."""
+    return _BUDGET.get()
+
+
+@contextmanager
+def use_budget(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
+    """Install *budget* as the current budget for the dynamic extent."""
+    token = _BUDGET.set(budget)
+    try:
+        yield budget
+    finally:
+        _BUDGET.reset(token)
+
+
+def budget_tick(phase: str) -> None:
+    """Deadline poll against the current budget (no-op when none).
+
+    Hot loops that iterate many times should hoist
+    :func:`current_budget` once and call ``budget.tick`` directly.
+    """
+    budget = _BUDGET.get()
+    if budget is not None:
+        budget.tick(phase)
+
+
+def budget_round(phase: str) -> None:
+    """Account one fixed-point round against the current budget."""
+    budget = _BUDGET.get()
+    if budget is not None:
+        budget.tick_round(phase)
+
+
+def budget_check_nodes(count: int, phase: str) -> None:
+    """Enforce the CFG-node cap of the current budget."""
+    budget = _BUDGET.get()
+    if budget is not None:
+        budget.check_nodes(count, phase)
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A client-supplied budget *request* (the optional ``budget`` field
+    of the wire protocol).  Clients can only tighten the engine's
+    limits, never widen them — :meth:`EngineLimits.budget_for` takes the
+    minimum of each dimension."""
+
+    deadline_ms: Optional[float] = None
+    max_traversals: Optional[int] = None
+    max_nodes: Optional[int] = None
+
+    _FIELDS = ("deadline_ms", "max_traversals", "max_nodes")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BudgetSpec":
+        unknown = set(payload) - set(cls._FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown budget field(s) {sorted(unknown)}; "
+                f"known: {list(cls._FIELDS)}"
+            )
+        values: Dict[str, Any] = {}
+        for key in cls._FIELDS:
+            value = payload.get(key)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ValueError(f"budget field {key!r} must be a number")
+            if value < 0:
+                raise ValueError(f"budget field {key!r} must be >= 0")
+            if key != "deadline_ms":
+                value = int(value)
+            values[key] = value
+        return cls(**values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            key: getattr(self, key)
+            for key in self._FIELDS
+            if getattr(self, key) is not None
+        }
+
+
+def _tightest(*values: Optional[float]) -> Optional[float]:
+    present = [value for value in values if value is not None]
+    return min(present) if present else None
+
+
+@dataclass(frozen=True)
+class EngineLimits:
+    """Engine-wide resilience policy (admission + default budgets).
+
+    Everything defaults to "unlimited" so an unconfigured engine
+    behaves exactly as before this layer existed; ``degrade`` defaults
+    to ``"conservative"`` but only matters once a budget can actually
+    be exceeded.
+    """
+
+    deadline_seconds: Optional[float] = None
+    max_traversals: Optional[int] = None
+    max_cfg_nodes: Optional[int] = None
+    max_source_bytes: Optional[int] = None
+    max_inflight: Optional[int] = None
+    degrade: str = "conservative"
+    retry_after_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.degrade not in ("off", "conservative"):
+            raise ValueError(
+                f"unknown degrade policy {self.degrade!r}; "
+                "use 'off' or 'conservative'"
+            )
+
+    def admit_source(self, source: str) -> None:
+        """Reject oversized programs before any analysis runs."""
+        if self.max_source_bytes is None:
+            return
+        size = len(source.encode("utf-8"))
+        if size > self.max_source_bytes:
+            raise PayloadTooLargeError(
+                f"program of {size} bytes exceeds the "
+                f"{self.max_source_bytes}-byte source limit"
+            )
+
+    def budget_for(self, spec: Optional[BudgetSpec] = None) -> Budget:
+        """One fresh budget: engine defaults tightened by *spec*."""
+        deadline = self.deadline_seconds
+        traversals = self.max_traversals
+        nodes = self.max_cfg_nodes
+        if spec is not None:
+            deadline = _tightest(
+                deadline,
+                spec.deadline_ms / 1000.0
+                if spec.deadline_ms is not None
+                else None,
+            )
+            traversals = _tightest(traversals, spec.max_traversals)
+            nodes = _tightest(nodes, spec.max_nodes)
+        return Budget(
+            deadline_seconds=deadline,
+            max_traversals=int(traversals) if traversals is not None else None,
+            max_nodes=int(nodes) if nodes is not None else None,
+        )
+
+
+class AdmissionGate:
+    """A bounded in-flight counter: the service's work queue.
+
+    ``admit()`` either reserves a slot for the request's whole lifetime
+    or raises :class:`OverloadedError` immediately — load is shed, not
+    queued, so a burst can never build an unbounded backlog behind a
+    slow request.  ``max_inflight=None`` admits everything (but still
+    counts, for ``/readyz``).
+    """
+
+    def __init__(
+        self,
+        max_inflight: Optional[int] = None,
+        retry_after: float = 1.0,
+    ) -> None:
+        self.max_inflight = max_inflight
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self.shed = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        with self._lock:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self.shed += 1
+                raise OverloadedError(
+                    f"engine is at its in-flight limit "
+                    f"({self.max_inflight}); retry after "
+                    f"{self.retry_after:g}s",
+                    retry_after=self.retry_after,
+                )
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "shed": self.shed,
+            }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient batch failures.
+
+    ``delay(attempt, rng)`` for attempt 0, 1, 2, … is
+    ``min(max_backoff, backoff * multiplier**attempt)`` scaled by a
+    jitter factor drawn uniformly from ``[1 - jitter, 1]`` — seeding
+    *rng* makes a whole retry schedule reproducible, which the fault
+    injection tests rely on.
+    """
+
+    max_retries: int = 0
+    backoff_seconds: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_seconds: float = 5.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(
+            self.max_backoff_seconds,
+            self.backoff_seconds * (self.multiplier ** attempt),
+        )
+        if self.jitter <= 0:
+            return base
+        return base * (1.0 - self.jitter * rng.random())

@@ -8,10 +8,12 @@ Routes (all JSON, all protocol version :data:`PROTOCOL_VERSION`)::
     POST /metrics    one MetricsRequest      -> cohesion envelope
     POST /check      one CheckRequest        -> lint-report envelope
     POST /batch      {"requests": [...]}     -> {"responses": [...]}
-    GET  /stats      request/latency/cache counters
+    GET  /stats      request/latency/cache/admission counters
     GET  /algorithms capability discovery (correct-general vs
                      structured-only vs baseline)
-    GET  /healthz    {"ok": true}
+    GET  /healthz    liveness: {"ok": true} while the process serves
+    GET  /readyz     readiness: 200 while the admission gate has
+                     headroom, 503 (with queue gauges) while shedding
 
 Each connection is handled on its own thread (``ThreadingHTTPServer``);
 concurrency is safe because every worker shares one
@@ -20,11 +22,19 @@ concurrency is safe because every worker shares one
 with ``sort_keys=True`` via :func:`repro.service.protocol.dump_json`,
 so a server response is byte-identical to the CLI's ``--json`` output
 for the same request.
+
+Resilience at the HTTP edge: bodies must announce their size (no
+``Content-Length`` → 411, over the cap → 413, both with the structured
+``payload-too-large`` error), engine-shed requests map to 503 with a
+``Retry-After`` header, and over-budget requests that could not be
+degraded map to 504 — every error status still carries the structured
+JSON error envelope.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -35,8 +45,18 @@ from repro.service.protocol import (
     dump_json,
     error_envelope,
 )
+from repro.service.resilience import PayloadTooLargeError
 
 MAX_BODY_BYTES = 8 * 1024 * 1024  # refuse absurd uploads
+
+#: error code -> HTTP status (anything else that fails is a 400).
+_STATUS_BY_CODE = {
+    "overloaded": 503,
+    "payload-too-large": 413,
+    "budget-exceeded": 504,
+    "fault-injected": 500,
+    "internal-error": 500,
+}
 
 
 class SlicingHTTPServer(ThreadingHTTPServer):
@@ -49,10 +69,12 @@ class SlicingHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         engine: Optional[SlicingEngine] = None,
         verbose: bool = False,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
         super().__init__(address, SlicingRequestHandler)
         self.engine = engine if engine is not None else SlicingEngine()
         self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
 
 
 class SlicingRequestHandler(BaseHTTPRequestHandler):
@@ -69,20 +91,58 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict[str, Any],
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = dump_json(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_envelope(self, envelope: Dict[str, Any]) -> None:
+        """Send a response envelope with the status (and ``Retry-After``
+        header) its error code implies."""
+        if envelope.get("ok"):
+            self._send_json(envelope)
+            return
+        error = envelope.get("error", {})
+        status = _STATUS_BY_CODE.get(error.get("code"), 400)
+        headers = None
+        retry_after = error.get("retry_after")
+        if retry_after is not None:
+            headers = {"Retry-After": str(max(1, math.ceil(retry_after)))}
+        self._send_json(envelope, status=status, headers=headers)
+
     def _read_body(self) -> Any:
-        length = int(self.headers.get("Content-Length", 0))
-        if length > MAX_BODY_BYTES:
+        """Read and parse the JSON body, enforcing the announced-size
+        contract: a body must carry ``Content-Length``, and the length
+        must be under the server cap — we never read unboundedly."""
+        header = self.headers.get("Content-Length")
+        if header is None:
+            raise PayloadTooLargeError(
+                "request has no Content-Length header; bodies of "
+                "unannounced size are refused"
+            )
+        try:
+            length = int(header)
+        except ValueError:
             raise ProtocolError(
+                f"Content-Length {header!r} is not an integer"
+            ) from None
+        if length < 0:
+            raise ProtocolError(f"Content-Length {length} is negative")
+        max_bytes = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
+        if length > max_bytes:
+            raise PayloadTooLargeError(
                 f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit"
+                f"{max_bytes}-byte limit"
             )
         raw = self.rfile.read(length) if length else b""
         if not raw:
@@ -104,6 +164,9 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
             self._send_json(capabilities_payload())
         elif path == "/healthz":
             self._send_json({"ok": True})
+        elif path == "/readyz":
+            payload = self.engine.readiness()
+            self._send_json(payload, status=200 if payload["ok"] else 503)
         else:
             self._send_json(
                 error_envelope(
@@ -125,6 +188,10 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._read_body()
+        except PayloadTooLargeError as error:
+            status = 411 if self.headers.get("Content-Length") is None else 413
+            self._send_json(error_envelope(op, error), status=status)
+            return
         except ProtocolError as error:
             self._send_json(error_envelope(op, error), status=400)
             return
@@ -145,8 +212,7 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
                     status=400,
                 )
                 return
-        envelope = self.engine.handle_payload(payload)
-        self._send_json(envelope, status=200 if envelope.get("ok") else 400)
+        self._send_envelope(self.engine.handle_payload(payload))
 
     def _handle_batch(self, payload: Any) -> None:
         if not isinstance(payload, dict) or not isinstance(
@@ -171,7 +237,10 @@ def make_server(
     port: int = 8377,
     engine: Optional[SlicingEngine] = None,
     verbose: bool = False,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> SlicingHTTPServer:
     """Bind a server (``port=0`` picks a free port; serve with
     ``serve_forever()``, stop with ``shutdown()``)."""
-    return SlicingHTTPServer((host, port), engine, verbose=verbose)
+    return SlicingHTTPServer(
+        (host, port), engine, verbose=verbose, max_body_bytes=max_body_bytes
+    )

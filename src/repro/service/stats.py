@@ -82,6 +82,7 @@ class ServiceStats:
         self._errors: Dict[str, int] = {}
         self._latency: Dict[str, LatencyHistogram] = {}
         self._diagnostics: Dict[str, int] = {}
+        self._events: Dict[str, int] = {}
 
     @staticmethod
     def _key(op: str, algorithm: Optional[str]) -> str:
@@ -114,6 +115,17 @@ class ServiceStats:
                     self._diagnostics.get(code, 0) + count
                 )
 
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Count one resilience outcome (``shed``, ``budget-exceeded``,
+        ``degraded``, ``retry``, ``retry:recovered``, …) — the counters
+        the fault-injection suite reconciles against responses."""
+        with self._lock:
+            self._events[name] = self._events.get(name, 0) + count
+
+    def event_count(self, name: str) -> int:
+        with self._lock:
+            return self._events.get(name, 0)
+
     def time(self, op: str, algorithm: Optional[str] = None):
         """Context manager that records one request's latency."""
         return _Timer(self, op, algorithm)
@@ -124,6 +136,7 @@ class ServiceStats:
                 "uptime_seconds": round(time.time() - self._started, 3),
                 "requests": dict(sorted(self._requests.items())),
                 "errors": dict(sorted(self._errors.items())),
+                "events": dict(sorted(self._events.items())),
                 "diagnostics": dict(sorted(self._diagnostics.items())),
                 "latency": {
                     key: histogram.snapshot()

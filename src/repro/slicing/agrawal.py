@@ -27,6 +27,7 @@ from typing import List, Optional, Set
 
 from repro.lang.errors import SliceError
 from repro.pdg.builder import ProgramAnalysis
+from repro.service.resilience import budget_round, budget_tick
 from repro.slicing.common import (
     SliceResult,
     conventional_base,
@@ -76,6 +77,7 @@ def _prune_redundant_jumps(
     while changed:
         changed = False
         for jump in sorted(jumps):
+            budget_tick("fig7-prune")
             candidate = rebuild(jumps - {jump})
             npd = nearest_in_slice(analysis.pdt, jump, candidate, cfg.exit_id)
             nls = nearest_in_slice(analysis.lst, jump, candidate, cfg.exit_id)
@@ -156,11 +158,16 @@ def agrawal_slice(
             raise AssertionError(
                 "Fig. 7 fixed point failed to converge; this is a bug"
             )
+        # One cooperative budget round per traversal: the request-scoped
+        # deadline / traversal cap (if any) is enforced here, so a hard
+        # program raises BudgetExceededError instead of running long.
+        budget_round("fig7-traversal")
         added_jump = False
         for node_id in order_tree.preorder():
             node = cfg.nodes.get(node_id)
             if node is None or not node.is_jump or node_id in slice_set:
                 continue
+            budget_tick("fig7-jump")
             npd = nearest_in_slice(
                 analysis.pdt, node_id, slice_set, cfg.exit_id
             )

@@ -20,6 +20,7 @@ from typing import AbstractSet, Dict, FrozenSet, List, Set
 from repro.analysis.tree import Tree
 from repro.cfg.graph import NodeKind
 from repro.pdg.builder import ProgramAnalysis
+from repro.service.resilience import budget_tick
 from repro.slicing.criterion import ResolvedCriterion
 
 
@@ -159,4 +160,5 @@ def conventional_base(
     statements (§3: an included predicate brings its jump along) needs no
     extra work — the predicate and its goto are one node.
     """
+    budget_tick("conventional-base")
     return set(analysis.pdg.backward_closure(resolved.seeds))

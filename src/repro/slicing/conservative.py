@@ -18,6 +18,7 @@ from typing import Set
 from repro.lang.errors import SliceError
 from repro.pdg.builder import ProgramAnalysis
 from repro.analysis.lexical import is_structured_program
+from repro.service.resilience import budget_tick
 from repro.slicing.common import SliceResult, conventional_base, reassociate_labels
 from repro.slicing.criterion import SlicingCriterion, resolve_criterion
 from repro.slicing.structured import (
@@ -66,6 +67,7 @@ def conservative_slice(
     slice_set: Set[int] = conventional_base(analysis, resolved)
 
     for node in cfg.jump_nodes():
+        budget_tick("fig13-jump")
         if node.id in slice_set:
             continue
         if _controlled_by_slice_predicate(analysis, node.id, slice_set):

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, Set
 
 from repro.cfg.graph import NodeKind
 from repro.pdg.builder import ProgramAnalysis
+from repro.service.resilience import budget_round
 from repro.slicing.common import SliceResult, conventional_base, reassociate_labels
 from repro.slicing.criterion import SlicingCriterion, resolve_criterion
 
@@ -50,6 +51,7 @@ def lyle_slice(
     jumps = [node.id for node in cfg.jump_nodes()]
     changed = True
     while changed:
+        budget_round("lyle-fixed-point")
         changed = False
         for jump_id in jumps:
             if jump_id in slice_set:

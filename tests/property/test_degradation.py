@@ -1,0 +1,92 @@
+"""Soundness of the engine's budget-exhaustion degradation target.
+
+When the engine degrades an over-budget exact slice to the Fig. 13
+conservative slicer, the acceptance bar is: wherever the exact
+algorithm *would* have completed, the degraded slice must contain it
+(the paper: Fig. 13's slice "may be larger but is never wrong").  The
+engine-level path is exercised by the fault-injection integration
+tests; this property pins the underlying algorithmic containment on
+random structured programs, plus the end-to-end engine property that a
+degraded response is a superset of the exact response for the same
+request.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gen.generator import random_criterion
+from repro.lang.errors import SliceError
+from repro.lang.pretty import pretty
+from repro.pdg.builder import analyze_program
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.conservative import conservative_slice
+from repro.slicing.criterion import SlicingCriterion
+from tests.property.strategies import assume_live, structured_programs
+
+
+def stmts(result):
+    return set(result.statement_nodes())
+
+
+class TestDegradationSoundness:
+    @given(structured_programs(), st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_conservative_contains_agrawal(self, program, salt):
+        """Fig. 13 (the degradation target) ⊇ Fig. 7 (the exact
+        algorithm it stands in for) on structured programs."""
+        analysis = analyze_program(program)
+        line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
+        criterion = SlicingCriterion(line, var)
+        try:
+            exact = agrawal_slice(analysis, criterion)
+            degraded = conservative_slice(analysis, criterion)
+        except SliceError:
+            assume(False)
+        assert stmts(exact) <= stmts(degraded)
+
+    @given(structured_programs(), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_degraded_superset_of_exact(self, program, salt):
+        """End to end: under forced budget exhaustion the engine's
+        ``degraded: true`` slice contains the slice an unbudgeted
+        engine returns for the identical request."""
+        from repro.service.engine import SlicingEngine
+        from repro.service.faults import FaultPlan
+        from repro.service.resilience import EngineLimits
+
+        analysis = analyze_program(program)
+        line, var = random_criterion(random.Random(salt), program)
+        assume_live(analysis, line)
+        request = {
+            "op": "slice",
+            "source": pretty(program),
+            "line": line,
+            "var": var,
+            "algorithm": "agrawal",
+        }
+        with SlicingEngine(workers=1) as exact_engine:
+            exact_response = exact_engine.handle_payload(request)
+        assume(exact_response["ok"])
+        plan = FaultPlan.from_dict(
+            {"rules": [{"kind": "exhaust-budget", "every": 1}]}
+        )
+        with SlicingEngine(
+            workers=1, limits=EngineLimits(), faults=plan
+        ) as degraded_engine:
+            degraded_response = degraded_engine.handle_payload(request)
+        if not degraded_response["ok"]:
+            # Fig. 13 refused (e.g. an exit-diverting predicate): the
+            # engine must surface the original budget error.
+            assert (
+                degraded_response["error"]["code"] == "budget-exceeded"
+            )
+            return
+        result = degraded_response["result"]
+        assert result["degraded"] is True
+        assert result["degraded_from"] == "agrawal"
+        assert set(exact_response["result"]["nodes"]) <= set(
+            result["nodes"]
+        )

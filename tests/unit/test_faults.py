@@ -1,0 +1,129 @@
+"""Unit tests for the deterministic fault-injection plans in
+:mod:`repro.service.faults`."""
+
+import json
+import time
+
+import pytest
+
+from repro.service.faults import FaultPlan, FaultRule, InjectedFaultError
+from repro.service.resilience import Budget, BudgetExceededError
+
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="explode")
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(kind="error", rate=1.5)
+        with pytest.raises(ValueError, match="seconds"):
+            FaultRule(kind="latency", seconds=-1)
+
+    def test_matching(self):
+        rule = FaultRule(kind="error", op="slice", algorithm="agrawal")
+        assert rule.matches("slice", "agrawal")
+        assert not rule.matches("slice", "conservative")
+        assert not rule.matches("compare", "agrawal")
+        assert FaultRule(kind="error").matches("anything", None)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault rule field"):
+            FaultRule.from_dict({"kind": "error", "when": "always"})
+        with pytest.raises(ValueError, match="missing required"):
+            FaultRule.from_dict({"op": "slice"})
+
+
+class TestFaultPlan:
+    def test_from_dict_validation(self):
+        with pytest.raises(ValueError, match="fault plan"):
+            FaultPlan.from_dict({"rules": "all"})
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan.from_dict({"rules": [], "seed": "x"})
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {"seed": 3, "rules": [{"kind": "error", "first_n": 1}]}
+            )
+        )
+        plan = FaultPlan.from_json_file(str(path))
+        assert plan.seed == 3
+        assert plan.rules[0].kind == "error"
+
+    def test_first_n_schedule(self):
+        plan = FaultPlan([FaultRule(kind="error", first_n=2)])
+        budget = Budget()
+        for _ in range(2):
+            with pytest.raises(InjectedFaultError):
+                plan.apply("slice", "agrawal", budget)
+        plan.apply("slice", "agrawal", budget)  # third call passes
+        snapshot = plan.snapshot()
+        assert snapshot["rules"][0]["seen"] == 3
+        assert snapshot["rules"][0]["fired"] == 2
+
+    def test_every_schedule(self):
+        plan = FaultPlan([FaultRule(kind="error", every=3)])
+        budget = Budget()
+        outcomes = []
+        for _ in range(6):
+            try:
+                plan.apply("slice", None, budget)
+                outcomes.append("ok")
+            except InjectedFaultError:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "ok", "fault", "ok", "ok", "fault"]
+
+    def test_rate_schedule_is_seeded(self):
+        def run(seed):
+            plan = FaultPlan(
+                [FaultRule(kind="error", rate=0.5)], seed=seed
+            )
+            outcomes = []
+            for _ in range(20):
+                try:
+                    plan.apply("slice", None, Budget())
+                    outcomes.append(0)
+                except InjectedFaultError:
+                    outcomes.append(1)
+            return outcomes
+
+        assert run(7) == run(7)  # deterministic per seed
+        assert 0 < sum(run(7)) < 20  # actually mixes
+
+    def test_non_matching_requests_untouched(self):
+        plan = FaultPlan([FaultRule(kind="error", op="slice")])
+        plan.apply("compare", None, Budget())
+        assert plan.snapshot()["rules"][0]["seen"] == 0
+
+    def test_latency_capped_at_remaining_deadline(self):
+        plan = FaultPlan([FaultRule(kind="latency", seconds=30.0)])
+        budget = Budget(deadline_seconds=0.05)
+        start = time.monotonic()
+        # The sleep is capped at the remaining deadline, after which the
+        # post-sleep tick notices the deadline has passed.
+        with pytest.raises(BudgetExceededError) as info:
+            plan.apply("slice", None, budget)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0  # nowhere near the 30s the rule asked for
+        assert info.value.phase == "fault-latency"
+
+    def test_exhaust_budget_trips_next_round(self):
+        plan = FaultPlan([FaultRule(kind="exhaust-budget")])
+        budget = Budget(deadline_seconds=60.0)
+        plan.apply("slice", "agrawal", budget)
+        budget.tick("fig13-jump")  # zero-round algorithms still pass
+        with pytest.raises(BudgetExceededError):
+            budget.tick_round("fig7-traversal")
+
+    def test_composed_rules_latency_then_error(self):
+        plan = FaultPlan(
+            [
+                FaultRule(kind="latency", seconds=0.01),
+                FaultRule(kind="error", message="crash"),
+            ]
+        )
+        start = time.monotonic()
+        with pytest.raises(InjectedFaultError, match="crash"):
+            plan.apply("slice", None, Budget())
+        assert time.monotonic() - start >= 0.01

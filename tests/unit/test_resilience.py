@@ -1,0 +1,223 @@
+"""Unit tests for the resilience primitives (budgets, admission,
+backoff) in :mod:`repro.service.resilience`."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.resilience import (
+    AdmissionGate,
+    Budget,
+    BudgetExceededError,
+    BudgetSpec,
+    EngineLimits,
+    OverloadedError,
+    PayloadTooLargeError,
+    RetryPolicy,
+    budget_round,
+    budget_tick,
+    current_budget,
+    use_budget,
+)
+
+
+class TestBudget:
+    def test_unlimited_budget_never_raises(self):
+        budget = Budget()
+        for _ in range(100):
+            budget.tick("x")
+            budget.tick_round("x")
+        budget.check_nodes(10**9, "x")
+        assert budget.remaining_seconds() is None
+
+    def test_deadline_raises_with_reason_and_phase(self):
+        budget = Budget(deadline_seconds=0.0)
+        time.sleep(0.005)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.tick("fig7-traversal")
+        assert info.value.reason == "deadline"
+        assert info.value.phase == "fig7-traversal"
+
+    def test_traversal_cap(self):
+        budget = Budget(max_traversals=2)
+        budget.tick_round("a")
+        budget.tick_round("a")
+        with pytest.raises(BudgetExceededError) as info:
+            budget.tick_round("a")
+        assert info.value.reason == "traversals"
+        assert budget.rounds == 3
+
+    def test_node_cap(self):
+        budget = Budget(max_nodes=10)
+        budget.check_nodes(10, "dataflow")
+        with pytest.raises(BudgetExceededError) as info:
+            budget.check_nodes(11, "dataflow")
+        assert info.value.reason == "nodes"
+
+    def test_exhaust_traversals_stops_next_round_only(self):
+        """After exhaustion the *next* round raises, but plain ticks
+        (zero-round algorithms like Fig. 13) still pass."""
+        budget = Budget(deadline_seconds=60.0)
+        budget.exhaust_traversals()
+        budget.tick("fig13-jump")  # still fine
+        with pytest.raises(BudgetExceededError) as info:
+            budget.tick_round("fig7-traversal")
+        assert info.value.reason == "traversals"
+
+    def test_exhaust_traversals_mid_iteration(self):
+        budget = Budget(max_traversals=100)
+        budget.tick_round("a")
+        budget.tick_round("a")
+        budget.exhaust_traversals()
+        assert budget.max_traversals == 2
+        with pytest.raises(BudgetExceededError):
+            budget.tick_round("a")
+
+    def test_remaining_seconds_clamps_at_zero(self):
+        budget = Budget(deadline_seconds=0.0)
+        time.sleep(0.002)
+        assert budget.remaining_seconds() == 0.0
+        assert budget.elapsed_seconds() > 0.0
+
+
+class TestBudgetContext:
+    def test_default_is_none_and_helpers_are_noops(self):
+        assert current_budget() is None
+        budget_tick("x")
+        budget_round("x")
+
+    def test_use_budget_installs_and_restores(self):
+        budget = Budget(max_traversals=1)
+        with use_budget(budget):
+            assert current_budget() is budget
+            budget_round("x")
+            with pytest.raises(BudgetExceededError):
+                budget_round("x")
+        assert current_budget() is None
+
+    def test_threads_do_not_inherit_budget(self):
+        seen = []
+        with use_budget(Budget(max_traversals=0)):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_budget())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestBudgetSpec:
+    def test_from_dict_roundtrip(self):
+        spec = BudgetSpec.from_dict(
+            {"deadline_ms": 250, "max_traversals": 3, "max_nodes": 100}
+        )
+        assert spec.deadline_ms == 250
+        assert spec.max_traversals == 3
+        assert spec.to_dict() == {
+            "deadline_ms": 250,
+            "max_traversals": 3,
+            "max_nodes": 100,
+        }
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown budget field"):
+            BudgetSpec.from_dict({"deadline": 5})
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"deadline_ms": "fast"},
+            {"max_traversals": True},
+            {"max_nodes": -1},
+        ],
+    )
+    def test_from_dict_rejects_bad_values(self, payload):
+        with pytest.raises(ValueError):
+            BudgetSpec.from_dict(payload)
+
+    def test_client_can_only_tighten(self):
+        limits = EngineLimits(deadline_seconds=1.0, max_traversals=10)
+        budget = limits.budget_for(
+            BudgetSpec(deadline_ms=5000, max_traversals=3, max_nodes=50)
+        )
+        # Client deadline (5s) is looser than the engine's (1s): engine
+        # wins.  Client traversal cap (3) is tighter: client wins.
+        assert budget.deadline is not None
+        assert budget.deadline - budget.started <= 1.01
+        assert budget.max_traversals == 3
+        assert budget.max_nodes == 50
+
+    def test_budget_for_without_spec_uses_engine_defaults(self):
+        budget = EngineLimits().budget_for(None)
+        assert budget.deadline is None
+        assert budget.max_traversals is None
+        assert budget.max_nodes is None
+
+
+class TestEngineLimits:
+    def test_degrade_policy_validated(self):
+        with pytest.raises(ValueError, match="degrade"):
+            EngineLimits(degrade="maybe")
+
+    def test_admit_source(self):
+        limits = EngineLimits(max_source_bytes=10)
+        limits.admit_source("x" * 10)
+        with pytest.raises(PayloadTooLargeError):
+            limits.admit_source("x" * 11)
+        EngineLimits().admit_source("x" * 10**6)  # unlimited
+
+
+class TestAdmissionGate:
+    def test_sheds_at_capacity(self):
+        gate = AdmissionGate(max_inflight=1, retry_after=2.5)
+        with gate.admit():
+            with pytest.raises(OverloadedError) as info:
+                with gate.admit():
+                    pass
+            assert info.value.retry_after == 2.5
+        assert gate.snapshot() == {
+            "inflight": 0,
+            "max_inflight": 1,
+            "shed": 1,
+        }
+        # Slot freed: admits again.
+        with gate.admit():
+            assert gate.inflight == 1
+
+    def test_unbounded_gate_counts_but_never_sheds(self):
+        gate = AdmissionGate()
+        with gate.admit():
+            with gate.admit():
+                assert gate.inflight == 2
+        assert gate.snapshot()["shed"] == 0
+
+    def test_releases_slot_on_exception(self):
+        gate = AdmissionGate(max_inflight=1)
+        with pytest.raises(RuntimeError):
+            with gate.admit():
+                raise RuntimeError("boom")
+        assert gate.inflight == 0
+
+
+class TestRetryPolicy:
+    def test_delay_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.1,
+            multiplier=2.0,
+            max_backoff_seconds=0.3,
+            jitter=0.0,
+        )
+        rng = policy.rng()
+        assert policy.delay(0, rng) == pytest.approx(0.1)
+        assert policy.delay(1, rng) == pytest.approx(0.2)
+        assert policy.delay(2, rng) == pytest.approx(0.3)  # capped
+        assert policy.delay(10, rng) == pytest.approx(0.3)
+
+    def test_jitter_shrinks_within_bounds_and_is_seeded(self):
+        policy = RetryPolicy(backoff_seconds=1.0, jitter=0.5, seed=42)
+        delays_a = [policy.delay(0, policy.rng()) for _ in range(5)]
+        delays_b = [policy.delay(0, policy.rng()) for _ in range(5)]
+        assert delays_a == delays_b  # same seed, same schedule
+        for delay in delays_a:
+            assert 0.5 <= delay <= 1.0
