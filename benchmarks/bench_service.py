@@ -51,8 +51,25 @@ def run_cold(source: str, criteria) -> None:
 
 
 def run_warm(engine: SlicingEngine, source: str, criteria) -> None:
-    """Warm path: one cached analysis, slices fanned over the pool."""
-    engine.bulk_slice(source, algorithm=ALGORITHM, criteria=criteria)
+    """Warm path: every request does its own cache lookup (one hit per
+    request), so the reported hit rate reflects the batch size instead
+    of the number of distinct programs — a 100-request warm batch
+    reports ~0.99, not 0.5.  ``run_batch`` fans over the same pool as
+    ``bulk_slice``; the per-request protocol overhead is what a real
+    warm client pays."""
+    payloads = [
+        {
+            "op": "slice",
+            "source": source,
+            "line": criterion.line,
+            "var": criterion.var,
+            "algorithm": ALGORITHM,
+        }
+        for criterion in criteria
+    ]
+    responses = engine.run_batch(payloads)
+    failed = [r for r in responses if not r.get("ok")]
+    assert not failed, failed[:1]
 
 
 def test_bench_service_cold(benchmark):

@@ -18,6 +18,13 @@ Subcommands::
     slang batch   FILE.jsonl [--stats] [--strict]
                   [--max-retries N] [--backoff S]   run a request batch
 
+``slang slice``, ``compare``, ``check``, and ``batch`` accept
+``--trace FILE`` (write a Chrome trace-event JSON profile of the run —
+every pipeline phase as a span) and ``--trace-summary`` (per-phase cost
+table on stderr); ``slang serve --slow-trace-ms N`` traces every
+request and retains exemplar span trees for slow ones under ``/stats``.
+See the README "Observability" section.
+
 ``slang serve`` and ``slang batch`` accept the shared resilience flags
 (``--deadline-ms``, ``--max-traversals``, ``--max-nodes``,
 ``--max-source-bytes``, ``--degrade``, ``--fault-plan``); see the
@@ -39,7 +46,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro.interp.interpreter import run_program
 from repro.lang.errors import SlangError
@@ -51,6 +59,55 @@ from repro.slicing.criterion import SlicingCriterion
 from repro.slicing.extract import extract_source
 from repro.slicing.registry import algorithm_names, get_algorithm
 from repro.viz.dot import ascii_tree, render_all
+
+
+@contextmanager
+def _maybe_trace(args: argparse.Namespace, root: str) -> Iterator[None]:
+    """Run a command body under a tracer when ``--trace`` or
+    ``--trace-summary`` was given; afterwards write the Chrome
+    trace-event JSON and/or print the per-phase summary to stderr.
+    Exports run even when the command fails, so slow *failing* runs can
+    be profiled too."""
+    trace_file = getattr(args, "trace", None)
+    want_summary = getattr(args, "trace_summary", False)
+    if not trace_file and not want_summary:
+        yield
+        return
+    from repro.obs import (
+        Tracer,
+        dump_chrome_trace,
+        summary_table,
+        use_tracer,
+    )
+
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            with tracer.span(root):
+                yield
+    finally:
+        if trace_file:
+            dump_chrome_trace(tracer, trace_file)
+        if want_summary:
+            print(summary_table(tracer), file=sys.stderr)
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write a Chrome trace-event JSON profile of this run "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        ),
+    )
+    group.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="print a per-phase cost table to stderr afterwards",
+    )
 
 
 def _read_source(path: str) -> str:
@@ -120,7 +177,16 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 
 
 def _cmd_slice(args: argparse.Namespace) -> int:
-    analysis = analyze_program(_read_source(args.file))
+    with _maybe_trace(args, "slice"):
+        return _do_slice(args)
+
+
+def _do_slice(args: argparse.Namespace) -> int:
+    from repro.obs.tracer import trace_span
+
+    with trace_span("read-source"):
+        source = _read_source(args.file)
+    analysis = analyze_program(source)
     criterion = SlicingCriterion(line=args.line, var=args.var)
     if args.json:
         from repro.service.engine import perform_slice
@@ -129,8 +195,12 @@ def _cmd_slice(args: argparse.Namespace) -> int:
         if args.explain:
             print("--explain and --json are mutually exclusive", file=sys.stderr)
             return 2
-        payload = perform_slice(analysis, args.line, args.var, args.algorithm)
-        print(dump_json(ok_envelope("slice", payload)))
+        with trace_span("slice-algorithm", algorithm=args.algorithm):
+            payload = perform_slice(
+                analysis, args.line, args.var, args.algorithm
+            )
+        with trace_span("emit"):
+            print(dump_json(ok_envelope("slice", payload)))
         return 0
     if args.explain:
         if args.algorithm not in ("agrawal", "agrawal-lst"):
@@ -146,19 +216,22 @@ def _cmd_slice(args: argparse.Namespace) -> int:
         drive = "lexical" if args.algorithm == "agrawal-lst" else (
             "postdominator"
         )
-        result = agrawal_slice(
-            analysis, criterion, drive_tree=drive, explain=log
-        )
+        with trace_span("slice-algorithm", algorithm=args.algorithm):
+            result = agrawal_slice(
+                analysis, criterion, drive_tree=drive, explain=log
+            )
         for line in log:
             print(f"# {line}")
         print()
     else:
         slicer = get_algorithm(args.algorithm)
-        result = slicer(analysis, criterion)
-    if args.nodes:
-        print(result.describe())
-    else:
-        sys.stdout.write(extract_source(result))
+        with trace_span("slice-algorithm", algorithm=args.algorithm):
+            result = slicer(analysis, criterion)
+    with trace_span("emit"):
+        if args.nodes:
+            print(result.describe())
+        else:
+            sys.stdout.write(extract_source(result))
     return 0
 
 
@@ -209,6 +282,11 @@ def _cmd_pyslice(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    with _maybe_trace(args, "compare"):
+        return _do_compare(args)
+
+
+def _do_compare(args: argparse.Namespace) -> int:
     analysis = analyze_program(_read_source(args.file))
     criterion = SlicingCriterion(line=args.line, var=args.var)
     if args.json:
@@ -247,6 +325,11 @@ def _split_codes(value: Optional[str]) -> Optional[List[str]]:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    with _maybe_trace(args, "check"):
+        return _do_check(args)
+
+
+def _do_check(args: argparse.Namespace) -> int:
     from repro.lint.rules import run_lint
 
     report = run_lint(
@@ -289,12 +372,14 @@ def _make_engine(args: argparse.Namespace):
     from repro.service.cache import AnalysisCache
     from repro.service.engine import SlicingEngine
 
+    slow_ms = getattr(args, "slow_trace_ms", None)
     cache = AnalysisCache(capacity=args.cache_size, prewarm=True)
     return SlicingEngine(
         cache=cache,
         workers=args.workers,
         limits=_limits_from_args(args),
         faults=_faults_from_args(args),
+        slow_trace_seconds=slow_ms / 1000.0 if slow_ms is not None else None,
     )
 
 
@@ -356,7 +441,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"slang service listening on http://{host}:{port}", file=sys.stderr)
     print(
         "endpoints: POST /slice /compare /graph /metrics /check /batch; "
-        "GET /stats /algorithms /healthz /readyz",
+        "GET /stats /metrics.prom /algorithms /healthz /readyz",
         file=sys.stderr,
     )
     try:
@@ -375,26 +460,34 @@ EXIT_TEMPFAIL = 75
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    with _maybe_trace(args, "batch"):
+        return _do_batch(args)
+
+
+def _do_batch(args: argparse.Namespace) -> int:
     import json
 
     from repro.service.protocol import TRANSIENT_ERROR_CODES, dump_json
     from repro.service.resilience import RetryPolicy
 
+    from repro.obs.tracer import trace_span
+
     engine = _make_engine(args)
     payloads = []
-    text = _read_source(args.file)
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            payloads.append(json.loads(line))
-        except json.JSONDecodeError as error:
-            print(
-                f"error: {args.file}:{lineno}: not valid JSON: {error}",
-                file=sys.stderr,
-            )
-            return 2
+    with trace_span("read-requests"):
+        text = _read_source(args.file)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payloads.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                print(
+                    f"error: {args.file}:{lineno}: not valid JSON: {error}",
+                    file=sys.stderr,
+                )
+                return 2
     retry = None
     if args.max_retries:
         retry = RetryPolicy(
@@ -403,7 +496,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             seed=args.retry_seed,
         )
     try:
-        responses = engine.run_batch(payloads, retry=retry)
+        # Per-request pipeline spans live in the workers' own tracers
+        # (request payloads may ask with "trace": true); this span is
+        # the batch's wall clock.
+        with trace_span("run-batch", requests=len(payloads)):
+            responses = engine.run_batch(payloads, retry=retry)
     finally:
         engine.close()
     permanent = transient = 0
@@ -487,6 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the service protocol envelope (same bytes as POST /slice)",
     )
+    _add_trace_args(p_slice)
     p_slice.set_defaults(func=_cmd_slice)
 
     p_compare = sub.add_parser(
@@ -500,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the service protocol envelope (same bytes as POST /compare)",
     )
+    _add_trace_args(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
 
     p_check = sub.add_parser(
@@ -520,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore",
         help="comma-separated code prefixes to drop (applied after --select)",
     )
+    _add_trace_args(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_dynamic = sub.add_parser(
@@ -581,6 +681,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=8 * 1024 * 1024,
         help="reject HTTP bodies larger than this (413)",
     )
+    p_serve.add_argument(
+        "--slow-trace-ms",
+        type=float,
+        default=None,
+        help=(
+            "trace every request and retain exemplar span trees for "
+            "requests at least this slow (surfaced under /stats)"
+        ),
+    )
     _add_resilience_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -624,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed the backoff jitter for reproducible schedules",
     )
+    _add_trace_args(p_batch)
     _add_resilience_args(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 

@@ -61,6 +61,7 @@ from repro.lang.ast_nodes import (
 from repro.lang.errors import LexError, ParseError
 from repro.lang.parser import parse_program
 from repro.lang.validate import CODE_SYNTAX_ERROR, check_program_diagnostics
+from repro.obs.tracer import trace_span
 from repro.lint.diagnostics import (
     Diagnostic,
     LintReport,
@@ -554,7 +555,8 @@ def run_lint(
     else:
         source = source_or_program
         try:
-            program = parse_program(source)
+            with trace_span("lint-parse", bytes=len(source)):
+                program = parse_program(source)
         except (LexError, ParseError) as error:
             location = error.location
             diagnostics.append(
@@ -568,11 +570,14 @@ def run_lint(
                 )
             )
     if program is not None:
-        front = check_program_diagnostics(program)
+        with trace_span("lint-validate"):
+            front = check_program_diagnostics(program)
         diagnostics.extend(front)
         if not any(d.severity is Severity.ERROR for d in front):
             context = LintContext(program, source=source)
-            for code in sorted(RULES):
-                diagnostics.extend(RULES[code].check(context))
+            with trace_span("lint-rules", rules=len(RULES)) as span:
+                for code in sorted(RULES):
+                    diagnostics.extend(RULES[code].check(context))
+                span.set(diagnostics=len(diagnostics))
     kept = filter_diagnostics(diagnostics, select=select, ignore=ignore)
     return LintReport(diagnostics=sort_diagnostics(kept))

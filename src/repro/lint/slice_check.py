@@ -44,6 +44,7 @@ from repro.analysis.postdominance import build_postdominator_tree
 from repro.analysis.reaching_defs import compute_reaching_definitions
 from repro.cfg.graph import ControlFlowGraph
 from repro.lint.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.obs.tracer import trace_span
 from repro.pdg.builder import ProgramAnalysis
 from repro.service.resilience import budget_tick
 from repro.slicing.common import SliceResult
@@ -289,10 +290,13 @@ def verify_slice(
     checker: Optional[SliceChecker] = None,
 ) -> List[Diagnostic]:
     """Audit an arbitrary node set as a slice of *analysis*' program."""
-    checker = checker if checker is not None else SliceChecker(analysis)
-    return checker.verify(
-        nodes, criterion_node=criterion_node, conditions=conditions
-    )
+    with trace_span("sl20x-verify") as span:
+        checker = checker if checker is not None else SliceChecker(analysis)
+        diagnostics = checker.verify(
+            nodes, criterion_node=criterion_node, conditions=conditions
+        )
+        span.set(diagnostics=len(diagnostics))
+    return diagnostics
 
 
 def verify_result(

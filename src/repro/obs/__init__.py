@@ -1,0 +1,50 @@
+"""Observability: structured tracing, trace export, and metrics
+exposition for the slicing stack.
+
+* :mod:`repro.obs.tracer` — nested spans + span events in a
+  ``ContextVar`` (the :class:`~repro.service.resilience.Budget`
+  pattern), Chrome trace-event export, per-phase summaries.
+* :mod:`repro.obs.prom` — Prometheus text exposition rendered from a
+  :meth:`~repro.service.engine.SlicingEngine.stats_payload` snapshot.
+
+Imports nothing from the rest of :mod:`repro`, so any layer may
+instrument itself without cycles.
+"""
+
+from repro.obs.tracer import (
+    Span,
+    SpanEvent,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    dump_chrome_trace,
+    phase_totals,
+    span_tree,
+    summary_table,
+    trace_event,
+    trace_span,
+    use_tracer,
+)
+from repro.obs.prom import (
+    PROM_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+)
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace",
+    "current_tracer",
+    "dump_chrome_trace",
+    "phase_totals",
+    "span_tree",
+    "summary_table",
+    "trace_event",
+    "trace_span",
+    "use_tracer",
+    "PROM_CONTENT_TYPE",
+    "parse_prometheus",
+    "render_prometheus",
+]

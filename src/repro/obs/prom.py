@@ -1,0 +1,262 @@
+"""Prometheus text exposition (version 0.0.4), derived from one stats
+snapshot.
+
+:func:`render_prometheus` turns the JSON payload of ``GET /stats``
+(:meth:`repro.service.engine.SlicingEngine.stats_payload`) into the
+plain-text format Prometheus scrapes at ``GET /metrics.prom``.  Because
+both endpoints render the *same* snapshot structure — and a snapshot is
+taken under one lock (see :mod:`repro.service.stats`) — every number in
+the exposition reconciles exactly with the JSON counters; the
+observability CI smoke and ``tests/integration/test_observability.py``
+assert that.
+
+The request/latency keys of a snapshot are ``"op"`` or
+``"op:algorithm"`` strings; they are split into ``op`` / ``algorithm``
+labels here.  Snapshot histogram buckets are per-bucket counts;
+Prometheus buckets are cumulative with an explicit ``+Inf`` bound, so
+the renderer accumulates.
+
+:func:`parse_prometheus` is the tiny inverse used by the tests and the
+CI smoke to reconcile a scrape against ``/stats`` without external
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["render_prometheus", "parse_prometheus", "PROM_CONTENT_TYPE"]
+
+#: The content type Prometheus expects for the text exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(pairs: Dict[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in pairs.items()
+    )
+    return "{" + inner + "}"
+
+
+def _split_key(key: str) -> Dict[str, str]:
+    op, _, algorithm = key.partition(":")
+    labels = {"op": op}
+    if algorithm:
+        labels["algorithm"] = algorithm
+    return labels
+
+
+def _format(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def head(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self, name: str, labels: Dict[str, str], value: Any
+    ) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {_format(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _histogram(
+    writer: _Writer,
+    name: str,
+    labels: Dict[str, str],
+    snapshot: Dict[str, Any],
+) -> None:
+    """One snapshot histogram as cumulative Prometheus buckets."""
+    bounds: List[Tuple[float, str, int]] = []
+    for key, count in snapshot["buckets"].items():
+        bound = key[len("le_"):]
+        if bound == "inf":
+            bounds.append((float("inf"), "+Inf", count))
+        else:
+            bounds.append((float(bound), bound, count))
+    bounds.sort(key=lambda item: item[0])
+    cumulative = 0
+    for _, text, count in bounds:
+        cumulative += count
+        writer.sample(
+            f"{name}_bucket", {**labels, "le": text}, cumulative
+        )
+    writer.sample(f"{name}_sum", labels, snapshot["sum_seconds"])
+    writer.sample(f"{name}_count", labels, snapshot["count"])
+
+
+def render_prometheus(payload: Dict[str, Any]) -> str:
+    """Render one ``stats_payload()`` snapshot as exposition text."""
+    writer = _Writer()
+
+    writer.head(
+        "slang_uptime_seconds", "gauge", "Seconds since stats started."
+    )
+    writer.sample("slang_uptime_seconds", {}, payload["uptime_seconds"])
+
+    writer.head(
+        "slang_requests_total", "counter", "Requests handled, by op."
+    )
+    for key, count in payload["requests"].items():
+        writer.sample("slang_requests_total", _split_key(key), count)
+
+    writer.head(
+        "slang_errors_total", "counter", "Requests that errored, by op."
+    )
+    for key, count in payload["errors"].items():
+        writer.sample("slang_errors_total", _split_key(key), count)
+
+    writer.head(
+        "slang_events_total",
+        "counter",
+        "Resilience outcomes (shed, budget-exceeded, degraded, retry...).",
+    )
+    for name, count in payload["events"].items():
+        writer.sample("slang_events_total", {"event": name}, count)
+
+    writer.head(
+        "slang_diagnostics_total",
+        "counter",
+        "Lint diagnostics emitted, by stable code.",
+    )
+    for code, count in payload["diagnostics"].items():
+        writer.sample("slang_diagnostics_total", {"code": code}, count)
+
+    writer.head(
+        "slang_request_duration_seconds",
+        "histogram",
+        "Request latency, by op.",
+    )
+    for key, snapshot in payload["latency"].items():
+        _histogram(
+            writer,
+            "slang_request_duration_seconds",
+            _split_key(key),
+            snapshot,
+        )
+
+    writer.head(
+        "slang_phase_duration_seconds",
+        "histogram",
+        "Per-phase span durations from traced requests.",
+    )
+    for phase, snapshot in payload.get("phases", {}).items():
+        _histogram(
+            writer,
+            "slang_phase_duration_seconds",
+            {"phase": phase},
+            snapshot,
+        )
+
+    cache = payload.get("cache")
+    if cache is not None:
+        for field, kind, help_text in (
+            ("hits", "counter", "Analysis cache lookups that hit."),
+            ("misses", "counter", "Analysis cache lookups that missed."),
+            ("evictions", "counter", "Analysis cache LRU evictions."),
+            ("entries", "gauge", "Analyses currently cached."),
+        ):
+            name = f"slang_cache_{field}"
+            if kind == "counter":
+                name += "_total"
+            writer.head(name, kind, help_text)
+            writer.sample(name, {}, cache[field])
+
+    admission = payload.get("admission")
+    if admission is not None:
+        writer.head(
+            "slang_inflight_requests", "gauge", "Requests in flight."
+        )
+        writer.sample(
+            "slang_inflight_requests", {}, admission["inflight"]
+        )
+        writer.head(
+            "slang_shed_total",
+            "counter",
+            "Requests shed at the admission gate.",
+        )
+        writer.sample("slang_shed_total", {}, admission["shed"])
+
+    return writer.text()
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse exposition text back into
+    ``metric name -> {sorted label tuple -> value}``.
+
+    Supports exactly what :func:`render_prometheus` emits (no exotic
+    escapes beyond the three it writes); used by the tests and CI smoke
+    to reconcile ``/metrics.prom`` against ``/stats``.
+    """
+    out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if "{" in name_part:
+            name, _, rest = name_part.partition("{")
+            body = rest.rstrip("}")
+            labels: List[Tuple[str, str]] = []
+            # Split on '","' boundaries safely: every label value is
+            # quoted, and our escapes never produce a bare '",'.
+            for piece in _split_labels(body):
+                key, _, raw = piece.partition("=")
+                value = raw[1:-1]
+                value = (
+                    value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels.append((key, value))
+        else:
+            name, labels = name_part, []
+        out.setdefault(name, {})[tuple(sorted(labels))] = float(value_part)
+    return out
+
+
+def _split_labels(body: str) -> List[str]:
+    pieces: List[str] = []
+    current: List[str] = []
+    in_quote = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quote = not in_quote
+            current.append(char)
+            continue
+        if char == "," and not in_quote:
+            pieces.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pieces.append("".join(current))
+    return pieces

@@ -1,0 +1,413 @@
+"""Structured tracing: nested spans and span events, zero dependencies.
+
+One :class:`Tracer` records one request (or one CLI invocation) as a
+tree of :class:`Span`\\ s — each a named, timed interval with optional
+attributes — plus point-in-time :class:`SpanEvent`\\ s (budget
+exhaustion, degradation, shedding, fault injection).  The pipeline and
+service code never hold a tracer; they call the module-level
+:func:`trace_span` / :func:`trace_event`, which consult a
+``contextvars.ContextVar`` — the same request-scoped pattern as
+:class:`repro.service.resilience.Budget` — and are near-free no-ops
+when no tracer is installed (no allocation: a shared null context
+manager is returned).
+
+Like a ``Budget``, one tracer belongs to one request on one thread; the
+engine creates one per traced request inside the worker, so pool
+fan-out never shares a span stack.
+
+This module deliberately imports **nothing** from :mod:`repro` — it
+sits at the very bottom of the dependency order so every layer
+(``analysis``, ``slicing``, ``service``, ``lint``) may instrument
+itself without cycles.
+
+Export formats live next door: :func:`chrome_trace` renders the
+``chrome://tracing`` / Perfetto trace-event JSON, :func:`summary_table`
+a per-phase text table, and :func:`phase_totals` the aggregate the
+service feeds into its per-phase latency histograms.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+    "trace_span",
+    "trace_event",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "summary_table",
+    "phase_totals",
+    "span_tree",
+]
+
+
+class SpanEvent:
+    """A point-in-time annotation inside a span (``ph: "i"`` in the
+    Chrome trace-event format)."""
+
+    __slots__ = ("name", "ts_ns", "args")
+
+    def __init__(self, name: str, ts_ns: int, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.ts_ns = ts_ns
+        self.args = args
+
+
+class Span:
+    """One named, timed interval in the trace tree.
+
+    ``dur_ns`` is ``None`` while the span is open; :class:`Tracer`
+    always closes spans (the context manager's ``finally``), including
+    on the error paths, in which case ``error`` records the exception
+    type name.
+    """
+
+    __slots__ = (
+        "name",
+        "start_ns",
+        "dur_ns",
+        "args",
+        "children",
+        "events",
+        "error",
+    )
+
+    def __init__(self, name: str, start_ns: int, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.start_ns = start_ns
+        self.dur_ns: Optional[int] = None
+        self.args = args
+        self.children: List["Span"] = []
+        self.events: List[SpanEvent] = []
+        self.error: Optional[str] = None
+
+    @property
+    def seconds(self) -> float:
+        return (self.dur_ns or 0) / 1e9
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span after it was opened (e.g. the
+        jumps-examined counter known only at the end of a traversal)."""
+        self.args.update(attrs)
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out when tracing is disabled.
+
+    ``set`` swallows attributes so instrumentation sites never need an
+    ``if span is not None`` guard.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager that pushes/pops one span on its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.error = exc_type.__name__
+        self._tracer._pop(self._span)
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        self._span.set(**attrs)
+
+
+class Tracer:
+    """Records one request's span tree.
+
+    Not thread-safe by design — one tracer per request per thread,
+    exactly like :class:`repro.service.resilience.Budget`.  The span
+    stack is plain Python list state; installing the same tracer on two
+    threads at once would interleave their stacks.
+    """
+
+    __slots__ = ("roots", "_stack", "origin_ns")
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self.origin_ns = time.perf_counter_ns()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _OpenSpan:
+        return _OpenSpan(
+            self, Span(name, time.perf_counter_ns(), dict(attrs))
+        )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        event = SpanEvent(name, time.perf_counter_ns(), dict(attrs))
+        if self._stack:
+            self._stack[-1].events.append(event)
+        else:
+            # An event outside any span still deserves a home: wrap it
+            # in a zero-length root span so no export path loses it.
+            span = Span(name, event.ts_ns, dict(attrs))
+            span.dur_ns = 0
+            self.roots.append(span)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.dur_ns = time.perf_counter_ns() - span.start_ns
+        # Tolerate a mis-nested pop rather than corrupting the stack:
+        # close every span opened after (and including) this one.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.dur_ns is None:
+                top.dur_ns = time.perf_counter_ns() - top.start_ns
+
+    # -- queries -------------------------------------------------------
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+
+#: The tracer of the request running on this thread/context, if any.
+#: Worker threads start with an empty context, so a request's tracer is
+#: never visible to another request (same guarantee as the budget).
+_TRACER: ContextVar[Optional[Tracer]] = ContextVar(
+    "slang_tracer", default=None
+)
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _TRACER.get()
+
+
+class _UseTracer:
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer: Optional[Tracer]) -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> Optional[Tracer]:
+        self._token = _TRACER.set(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _TRACER.reset(self._token)
+        return False
+
+
+def use_tracer(tracer: Optional[Tracer]) -> _UseTracer:
+    """Install *tracer* as the current tracer for the dynamic extent."""
+    return _UseTracer(tracer)
+
+
+def trace_span(name: str, **attrs: Any):
+    """Open a span on the current tracer — or return the shared no-op
+    context manager when tracing is off (no allocation on the fast
+    path; the disabled cost is one ``ContextVar.get`` plus a ``None``
+    check)."""
+    tracer = _TRACER.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def trace_event(name: str, **attrs: Any) -> None:
+    """Record a point-in-time event on the current span, if tracing."""
+    tracer = _TRACER.get()
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# Export: Chrome trace-event JSON, text summary, per-phase aggregates.
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(
+    tracer: Tracer, pid: int = 1, tid: int = 1
+) -> Dict[str, Any]:
+    """The tracer's spans as a Chrome trace-event JSON object
+    (loadable in ``chrome://tracing`` or https://ui.perfetto.dev).
+
+    Spans become complete events (``ph: "X"``, microsecond ``ts`` and
+    ``dur`` relative to the tracer's origin); span events become
+    thread-scoped instants (``ph: "i"``).
+    """
+    events: List[Dict[str, Any]] = []
+    origin = tracer.origin_ns
+    for span in tracer.walk():
+        args = {key: _jsonable(val) for key, val in span.args.items()}
+        if span.error is not None:
+            args["error"] = span.error
+        events.append(
+            {
+                "name": span.name,
+                "cat": "slang",
+                "ph": "X",
+                "ts": (span.start_ns - origin) / 1000.0,
+                "dur": (span.dur_ns or 0) / 1000.0,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for event in span.events:
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": "slang",
+                    "ph": "i",
+                    "ts": (event.ts_ns - origin) / 1000.0,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": {
+                        key: _jsonable(val)
+                        for key, val in event.args.items()
+                    },
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def span_tree(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The span forest as plain JSON-ready dicts — the shape embedded in
+    a service response envelope when the request asked ``trace: true``.
+    Durations are reported in microseconds (integers) to keep envelopes
+    compact and deterministic in shape."""
+
+    def render(span: Span) -> Dict[str, Any]:
+        node: Dict[str, Any] = {
+            "name": span.name,
+            "start_us": (span.start_ns - tracer.origin_ns) // 1000,
+            "dur_us": (span.dur_ns or 0) // 1000,
+        }
+        if span.args:
+            node["args"] = {
+                key: _jsonable(val) for key, val in span.args.items()
+            }
+        if span.error is not None:
+            node["error"] = span.error
+        if span.events:
+            node["events"] = [
+                {
+                    "name": event.name,
+                    "ts_us": (event.ts_ns - tracer.origin_ns) // 1000,
+                    **(
+                        {
+                            "args": {
+                                key: _jsonable(val)
+                                for key, val in event.args.items()
+                            }
+                        }
+                        if event.args
+                        else {}
+                    ),
+                }
+                for event in span.events
+            ]
+        if span.children:
+            node["children"] = [render(child) for child in span.children]
+        return node
+
+    return [render(root) for root in tracer.roots]
+
+
+def phase_totals(tracer: Tracer) -> Dict[str, Tuple[int, float]]:
+    """Aggregate ``span name -> (count, total seconds)`` over the whole
+    tree — what the service records into its per-phase histograms and
+    what the summary table prints."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for span in tracer.walk():
+        count, seconds = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (count + 1, seconds + span.seconds)
+    return totals
+
+
+def summary_table(tracer: Tracer) -> str:
+    """A human-readable per-phase cost table (``--trace-summary``).
+
+    Phases are ranked by total self time; the ``total`` column is
+    wall-clock inside spans of that name, ``self`` excludes child
+    spans, so the table answers "where did the time actually go".
+    """
+    selfs: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for span in tracer.walk():
+        child_ns = sum(child.dur_ns or 0 for child in span.children)
+        selfs[span.name] = selfs.get(span.name, 0.0) + max(
+            0, (span.dur_ns or 0) - child_ns
+        ) / 1e9
+        counts[span.name] = counts.get(span.name, 0) + 1
+    totals = phase_totals(tracer)
+    wall = sum(root.seconds for root in tracer.roots) or 1e-12
+    width = max([len(name) for name in totals] + [5])
+    lines = [
+        f"{'phase':<{width}}  {'count':>5}  {'total':>10}  "
+        f"{'self':>10}  {'self%':>6}"
+    ]
+    for name in sorted(selfs, key=lambda n: -selfs[n]):
+        count, total = totals[name]
+        lines.append(
+            f"{name:<{width}}  {count:>5}  {total:>9.4f}s  "
+            f"{selfs[name]:>9.4f}s  {100.0 * selfs[name] / wall:>5.1f}%"
+        )
+    lines.append(
+        f"{'(wall)':<{width}}  {'':>5}  {wall:>9.4f}s  {'':>10}  {'':>6}"
+    )
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ from repro.cfg.builder import build_cfg
 from repro.cfg.graph import ControlFlowGraph
 from repro.lang.ast_nodes import Program
 from repro.lang.parser import parse_program
+from repro.obs.tracer import trace_span
 from repro.pdg.graph import CONTROL, DATA, ProgramDependenceGraph
 
 
@@ -105,13 +106,17 @@ class ProgramAnalysis:
     @property
     def augmented_cfg(self) -> ControlFlowGraph:
         if self._augmented_cfg is None:
-            self._augmented_cfg = build_augmented_cfg(self.cfg)
+            with trace_span("augmented-cfg"):
+                self._augmented_cfg = build_augmented_cfg(self.cfg)
         return self._augmented_cfg
 
     @property
     def augmented_pdg(self) -> ProgramDependenceGraph:
         if self._augmented_pdg is None:
-            self._augmented_pdg = build_augmented_pdg(self.cfg, ddg=self.ddg)
+            with trace_span("augmented-pdg"):
+                self._augmented_pdg = build_augmented_pdg(
+                    self.cfg, ddg=self.ddg
+                )
         return self._augmented_pdg
 
     def node_text(self, node_id: int) -> str:
@@ -122,7 +127,8 @@ class ProgramAnalysis:
         *node_id* (used to resolve criteria naming a variable the
         criterion statement does not itself use)."""
         if self.reaching is None:
-            self.reaching = compute_reaching_definitions(self.cfg)
+            with trace_span("reaching-defs"):
+                self.reaching = compute_reaching_definitions(self.cfg)
         return sorted(
             {
                 definition.node
@@ -144,18 +150,38 @@ def analyze_program(
     chain_io: bool = True,
     dominator_algorithm: str = "iterative",
 ) -> ProgramAnalysis:
-    """Run the full analysis pipeline on SL source text or a parsed AST."""
-    if isinstance(source_or_program, str):
-        program = parse_program(source_or_program)
-    else:
-        program = source_or_program
-    cfg = build_cfg(program, fuse_cond_goto=fuse_cond_goto, chain_io=chain_io)
-    pdt = build_postdominator_tree(cfg, algorithm=dominator_algorithm)
-    lst = build_lst(cfg)
-    cdg = compute_control_dependence(cfg, pdt)
-    reaching = compute_reaching_definitions(cfg)
-    ddg = compute_data_dependence(cfg, reaching)
-    pdg = build_pdg(cfg, cdg=cdg, ddg=ddg)
+    """Run the full analysis pipeline on SL source text or a parsed AST.
+
+    Each phase runs under an observability span (no-ops unless a
+    :class:`repro.obs.Tracer` is installed), so a traced request or a
+    ``slang slice --trace`` run can attribute front-end cost to parse
+    vs. CFG vs. dominance vs. dependence construction.
+    """
+    with trace_span("analyze") as span:
+        if isinstance(source_or_program, str):
+            with trace_span("parse", bytes=len(source_or_program)):
+                program = parse_program(source_or_program)
+        else:
+            program = source_or_program
+        with trace_span("cfg-build"):
+            cfg = build_cfg(
+                program, fuse_cond_goto=fuse_cond_goto, chain_io=chain_io
+            )
+        span.set(nodes=len(cfg.nodes))
+        with trace_span("postdominance", algorithm=dominator_algorithm):
+            pdt = build_postdominator_tree(
+                cfg, algorithm=dominator_algorithm
+            )
+        with trace_span("lexical-successor-tree"):
+            lst = build_lst(cfg)
+        with trace_span("control-dependence"):
+            cdg = compute_control_dependence(cfg, pdt)
+        with trace_span("reaching-defs"):
+            reaching = compute_reaching_definitions(cfg)
+        with trace_span("data-dependence"):
+            ddg = compute_data_dependence(cfg, reaching)
+        with trace_span("pdg-build"):
+            pdg = build_pdg(cfg, cdg=cdg, ddg=ddg)
     return ProgramAnalysis(
         program=program,
         cfg=cfg,

@@ -25,6 +25,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.obs.tracer import trace_event, trace_span
 from repro.pdg.builder import ProgramAnalysis, analyze_program
 
 
@@ -120,7 +121,9 @@ class AnalysisCache:
         key = analysis_key(
             source, fuse_cond_goto, chain_io, dominator_algorithm
         )
-        analysis = self.get(key)
+        with trace_span("cache-lookup") as span:
+            analysis = self.get(key)
+            span.set(hit=analysis is not None)
         if analysis is None:
             analysis = analyze_program(
                 source,
@@ -136,6 +139,12 @@ class AnalysisCache:
         if max_nodes is not None and len(analysis.cfg.nodes) > max_nodes:
             from repro.service.resilience import BudgetExceededError
 
+            trace_event(
+                "budget-exceeded",
+                reason="nodes",
+                phase="analysis-cache",
+                nodes=len(analysis.cfg.nodes),
+            )
             raise BudgetExceededError(
                 f"program has {len(analysis.cfg.nodes)} CFG nodes, over "
                 f"the {max_nodes}-node cap",

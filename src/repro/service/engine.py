@@ -28,6 +28,14 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.analysis.lexical import is_structured_program
 from repro.lang.errors import SlangError, SliceError
 from repro.metrics import output_criteria, slice_based_metrics
+from repro.obs.tracer import (
+    Tracer,
+    phase_totals,
+    span_tree,
+    trace_event,
+    trace_span,
+    use_tracer,
+)
 from repro.pdg.builder import ProgramAnalysis
 from repro.service.cache import AnalysisCache
 from repro.lint.rules import run_lint
@@ -202,7 +210,16 @@ class SlicingEngine:
     faults:
         An optional :class:`FaultPlan`, consulted once per admitted
         request (deterministic fault injection for the test suite).
+    slow_trace_seconds:
+        When set, *every* request runs under a tracer and requests whose
+        wall time reaches the threshold leave an exemplar span tree
+        behind (:meth:`exemplars`, bounded ring) — so the one slow
+        request in a thousand can be explained after the fact.  ``None``
+        (the default) traces only requests that ask (``trace: true``).
     """
+
+    #: How many slow-request exemplar traces are retained (newest win).
+    MAX_EXEMPLARS = 8
 
     def __init__(
         self,
@@ -211,6 +228,7 @@ class SlicingEngine:
         stats: Optional[ServiceStats] = None,
         limits: Optional[EngineLimits] = None,
         faults: Optional[FaultPlan] = None,
+        slow_trace_seconds: Optional[float] = None,
     ) -> None:
         self.cache = cache if cache is not None else AnalysisCache(
             capacity=128, prewarm=True
@@ -222,6 +240,9 @@ class SlicingEngine:
             max_inflight=self.limits.max_inflight,
             retry_after=self.limits.retry_after_seconds,
         )
+        self.slow_trace_seconds = slow_trace_seconds
+        self._exemplars: List[Dict[str, Any]] = []
+        self._exemplar_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="slang-worker"
         )
@@ -270,13 +291,65 @@ class SlicingEngine:
     def _handle_admitted(
         self, request: ServiceRequest, algorithm: Optional[str]
     ) -> Dict[str, Any]:
+        """Run one admitted request, under a tracer when asked.
+
+        A tracer is created when the request carries ``trace: true`` or
+        the engine has a slow-trace threshold; otherwise every
+        ``trace_span`` below is a shared no-op and the request runs
+        exactly as before the observability layer existed.  Tracers are
+        request-scoped like budgets — worker threads start with an
+        empty context, so one never leaks across requests.
+        """
+        traced = (
+            getattr(request, "trace", False)
+            or self.slow_trace_seconds is not None
+        )
+        if not traced:
+            return self._execute(request, algorithm)
+        tracer = Tracer()
+        start = time.perf_counter()
+        with use_tracer(tracer):
+            with tracer.span(
+                request.op, **({"algorithm": algorithm} if algorithm else {})
+            ):
+                envelope = self._execute(request, algorithm)
+        elapsed = time.perf_counter() - start
+        self.stats.record_phases(
+            {
+                phase: seconds
+                for phase, (_, seconds) in phase_totals(tracer).items()
+            }
+        )
+        tree = span_tree(tracer)
+        if getattr(request, "trace", False):
+            envelope["trace"] = tree
+        if (
+            self.slow_trace_seconds is not None
+            and elapsed >= self.slow_trace_seconds
+        ):
+            exemplar = {
+                "op": request.op,
+                "id": request.id,
+                "seconds": round(elapsed, 6),
+                "ok": bool(envelope.get("ok")),
+                "trace": tree,
+            }
+            with self._exemplar_lock:
+                self._exemplars.append(exemplar)
+                del self._exemplars[: -self.MAX_EXEMPLARS]
+        return envelope
+
+    def _execute(
+        self, request: ServiceRequest, algorithm: Optional[str]
+    ) -> Dict[str, Any]:
         try:
-            source = getattr(request, "source", None)
-            if source is not None:
-                self.limits.admit_source(source)
-            budget = self.limits.budget_for(
-                getattr(request, "budget", None)
-            )
+            with trace_span("admission"):
+                source = getattr(request, "source", None)
+                if source is not None:
+                    self.limits.admit_source(source)
+                budget = self.limits.budget_for(
+                    getattr(request, "budget", None)
+                )
             with use_budget(budget):
                 with self.stats.time(request.op, algorithm):
                     try:
@@ -284,19 +357,28 @@ class SlicingEngine:
                             self.faults.apply(
                                 request.op, algorithm, budget
                             )
-                        result = self._dispatch(request)
+                        with trace_span("dispatch"):
+                            result = self._dispatch(request)
                     except BudgetExceededError as error:
                         self.stats.record_event("budget-exceeded")
                         # Raises the original error when degradation is
                         # off, inapplicable, or itself over budget.
-                        result = self._degrade(request, error)
+                        with trace_span(
+                            "degrade", reason=error.reason, phase=error.phase
+                        ):
+                            result = self._degrade(request, error)
                         self.stats.record_event("degraded")
+                        trace_event("degraded", reason=error.reason)
         except InjectedFaultError as error:
             self.stats.record_event("fault-injected")
-            return error_envelope(request.op, error, request.id)
+            trace_event("fault-injected")
+            with trace_span("response-encode"):
+                return error_envelope(request.op, error, request.id)
         except (SlangError, ValueError) as error:
-            return error_envelope(request.op, error, request.id)
-        return ok_envelope(request.op, result, request.id)
+            with trace_span("response-encode"):
+                return error_envelope(request.op, error, request.id)
+        with trace_span("response-encode"):
+            return ok_envelope(request.op, result, request.id)
 
     def _dispatch(self, request: ServiceRequest) -> Dict[str, Any]:
         if isinstance(request, SliceRequest):
@@ -503,12 +585,21 @@ class SlicingEngine:
 
     # -- observability -------------------------------------------------
 
+    def exemplars(self) -> List[Dict[str, Any]]:
+        """Retained slow-request span trees, oldest first (bounded at
+        :attr:`MAX_EXEMPLARS`); empty unless ``slow_trace_seconds`` is
+        configured."""
+        with self._exemplar_lock:
+            return [dict(exemplar) for exemplar in self._exemplars]
+
     def stats_payload(self) -> Dict[str, Any]:
         payload = self.stats.snapshot()
         payload["cache"] = self.cache.stats()
         payload["admission"] = self.gate.snapshot()
         if self.faults is not None:
             payload["faults"] = self.faults.snapshot()
+        if self.slow_trace_seconds is not None:
+            payload["exemplars"] = self.exemplars()
         return payload
 
     def readiness(self) -> Dict[str, Any]:

@@ -109,6 +109,17 @@ def _optional_budget(payload: Dict[str, Any]) -> Optional[BudgetSpec]:
         raise ProtocolError(str(error)) from None
 
 
+def _optional_trace(payload: Dict[str, Any]) -> bool:
+    """Parse the optional ``trace`` flag: ask the engine to run this
+    request under a tracer and embed the span tree in the envelope."""
+    value = payload.get("trace", False)
+    if not isinstance(value, bool):
+        raise ProtocolError(
+            f'field "trace" must be a boolean, got {type(value).__name__}'
+        )
+    return value
+
+
 def _check_version(payload: Dict[str, Any]) -> None:
     version = payload.get("version", PROTOCOL_VERSION)
     if version != PROTOCOL_VERSION:
@@ -128,6 +139,7 @@ class SliceRequest:
     algorithm: str = "agrawal"
     budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
+    trace: bool = False
     op: str = field(default="slice", init=False)
 
     @classmethod
@@ -140,6 +152,7 @@ class SliceRequest:
             algorithm=payload.get("algorithm", "agrawal"),
             budget=_optional_budget(payload),
             id=payload.get("id"),
+            trace=_optional_trace(payload),
         )
 
 
@@ -152,6 +165,7 @@ class CompareRequest:
     var: str
     budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
+    trace: bool = False
     op: str = field(default="compare", init=False)
 
     @classmethod
@@ -163,6 +177,7 @@ class CompareRequest:
             var=_require(payload, "var", str),
             budget=_optional_budget(payload),
             id=payload.get("id"),
+            trace=_optional_trace(payload),
         )
 
 
@@ -174,6 +189,7 @@ class GraphRequest:
     kind: str = "cfg"
     budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
+    trace: bool = False
     op: str = field(default="graph", init=False)
 
     @classmethod
@@ -184,6 +200,7 @@ class GraphRequest:
             kind=payload.get("kind", "cfg"),
             budget=_optional_budget(payload),
             id=payload.get("id"),
+            trace=_optional_trace(payload),
         )
 
 
@@ -195,6 +212,7 @@ class MetricsRequest:
     algorithm: str = "agrawal"
     budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
+    trace: bool = False
     op: str = field(default="metrics", init=False)
 
     @classmethod
@@ -205,6 +223,7 @@ class MetricsRequest:
             algorithm=payload.get("algorithm", "agrawal"),
             budget=_optional_budget(payload),
             id=payload.get("id"),
+            trace=_optional_trace(payload),
         )
 
 
@@ -235,6 +254,7 @@ class CheckRequest:
     ignore: Optional[tuple] = None
     budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
+    trace: bool = False
     op: str = field(default="check", init=False)
 
     @classmethod
@@ -246,6 +266,7 @@ class CheckRequest:
             ignore=_optional_codes(payload, "ignore"),
             budget=_optional_budget(payload),
             id=payload.get("id"),
+            trace=_optional_trace(payload),
         )
 
 
@@ -295,6 +316,8 @@ def request_to_dict(request: ServiceRequest) -> Dict[str, Any]:
     budget = getattr(request, "budget", None)
     if budget is not None:
         payload["budget"] = budget.to_dict()
+    if getattr(request, "trace", False):
+        payload["trace"] = True
     return payload
 
 

@@ -20,10 +20,13 @@ traversal rounds, so it still completes under the very iteration cap
 that stopped Fig. 7.
 
 The module deliberately imports nothing above :mod:`repro.lang.errors`
-— the slicing and analysis layers import it, so it must sit at the
+and :mod:`repro.obs.tracer` (which imports nothing from ``repro`` at
+all) — the slicing and analysis layers import it, so it must sit at the
 bottom of the dependency order even though it lives in the service
 package (``repro/service/__init__.py`` re-exports lazily for the same
-reason).
+reason).  Budget exhaustion and load shedding announce themselves as
+span events on the current tracer, so a traced request shows *where*
+its budget ran out.
 
 The other half of the survivability story is *admission*:
 :class:`EngineLimits` bounds request size up front
@@ -45,6 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional
 
 from repro.lang.errors import SlangError
+from repro.obs.tracer import trace_event
 
 #: Budget phases with fixed-point semantics count *rounds* against
 #: ``max_traversals``; everything else only polls the deadline.
@@ -144,6 +148,9 @@ class Budget:
     def tick(self, phase: str) -> None:
         """Poll the wall-clock deadline (cheap; call from hot loops)."""
         if self.deadline is not None and time.monotonic() > self.deadline:
+            trace_event(
+                "budget-exceeded", reason="deadline", phase=phase
+            )
             raise BudgetExceededError(
                 f"deadline exceeded after {self.elapsed_seconds():.3f}s "
                 f"(in {phase})",
@@ -158,6 +165,12 @@ class Budget:
             self.max_traversals is not None
             and self.rounds > self.max_traversals
         ):
+            trace_event(
+                "budget-exceeded",
+                reason="traversals",
+                phase=phase,
+                rounds=self.rounds,
+            )
             raise BudgetExceededError(
                 f"fixed-point iteration cap of {self.max_traversals} "
                 f"round(s) exceeded (in {phase})",
@@ -169,6 +182,12 @@ class Budget:
     def check_nodes(self, count: int, phase: str) -> None:
         """Enforce the CFG-node cap against an actual node count."""
         if self.max_nodes is not None and count > self.max_nodes:
+            trace_event(
+                "budget-exceeded",
+                reason="nodes",
+                phase=phase,
+                nodes=count,
+            )
             raise BudgetExceededError(
                 f"program has {count} CFG nodes, over the "
                 f"{self.max_nodes}-node cap (in {phase})",
@@ -373,6 +392,11 @@ class AdmissionGate:
                 and self._inflight >= self.max_inflight
             ):
                 self.shed += 1
+                trace_event(
+                    "shed",
+                    inflight=self._inflight,
+                    max_inflight=self.max_inflight,
+                )
                 raise OverloadedError(
                     f"engine is at its in-flight limit "
                     f"({self.max_inflight}); retry after "

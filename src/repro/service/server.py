@@ -8,12 +8,20 @@ Routes (all JSON, all protocol version :data:`PROTOCOL_VERSION`)::
     POST /metrics    one MetricsRequest      -> cohesion envelope
     POST /check      one CheckRequest        -> lint-report envelope
     POST /batch      {"requests": [...]}     -> {"responses": [...]}
-    GET  /stats      request/latency/cache/admission counters
+    GET  /stats      request/latency/phase/cache/admission counters
+    GET  /metrics.prom  the same snapshot as Prometheus text exposition
+                     (version 0.0.4); reconciles exactly with /stats
+                     because both render one locked snapshot
     GET  /algorithms capability discovery (correct-general vs
                      structured-only vs baseline)
     GET  /healthz    liveness: {"ok": true} while the process serves
     GET  /readyz     readiness: 200 while the admission gate has
                      headroom, 503 (with queue gauges) while shedding
+
+Every response echoes an ``X-Request-Id`` header — the client's, when
+one was sent, or a freshly generated hex id — so a traced request
+(``trace: true`` in the body, span tree in the envelope) can be
+correlated with proxy and client logs.
 
 Each connection is handled on its own thread (``ThreadingHTTPServer``);
 concurrency is safe because every worker shares one
@@ -35,9 +43,11 @@ from __future__ import annotations
 
 import json
 import math
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.prom import PROM_CONTENT_TYPE, render_prometheus
 from repro.service.engine import SlicingEngine
 from repro.service.protocol import (
     ProtocolError,
@@ -91,20 +101,44 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
+    def _request_id(self) -> str:
+        """The id echoed on every response: the client's
+        ``X-Request-Id`` when one was sent, else a generated one
+        (stable for the duration of this request)."""
+        cached = getattr(self, "_request_id_value", None)
+        if cached is None:
+            cached = self.headers.get("X-Request-Id") or uuid.uuid4().hex
+            self._request_id_value = cached
+        return cached
+
+    def _send_body(
+        self,
+        body: bytes,
+        content_type: str,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self._request_id())
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_json(
         self,
         payload: Dict[str, Any],
         status: int = 200,
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = dump_json(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(
+            dump_json(payload).encode("utf-8"),
+            "application/json; charset=utf-8",
+            status=status,
+            headers=headers,
+        )
 
     def _send_envelope(self, envelope: Dict[str, Any]) -> None:
         """Send a response envelope with the status (and ``Retry-After``
@@ -157,9 +191,17 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        self._request_id_value = None  # new request on this connection
         path = self.path.split("?", 1)[0]
         if path == "/stats":
             self._send_json(self.engine.stats_payload())
+        elif path == "/metrics.prom":
+            self._send_body(
+                render_prometheus(self.engine.stats_payload()).encode(
+                    "utf-8"
+                ),
+                PROM_CONTENT_TYPE,
+            )
         elif path == "/algorithms":
             self._send_json(capabilities_payload())
         elif path == "/healthz":
@@ -176,6 +218,7 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        self._request_id_value = None  # new request on this connection
         path = self.path.split("?", 1)[0]
         op = path.lstrip("/")
         if op not in ("slice", "compare", "graph", "metrics", "check", "batch"):

@@ -1,9 +1,21 @@
 """Observability counters for the slicing service.
 
 Everything here is stdlib-only and cheap enough to sit on the hot path:
-per-(op, algorithm) request/error counts and a fixed-bucket latency
-histogram.  A snapshot is a plain JSON-ready dict, exposed at
-``GET /stats`` and by ``slang batch --stats``.
+per-(op, algorithm) request/error counts, a fixed-bucket latency
+histogram, and per-phase histograms fed by traced requests.  A snapshot
+is a plain JSON-ready dict, exposed at ``GET /stats``, rendered as
+Prometheus text at ``GET /metrics.prom``, and printed by ``slang batch
+--stats``.
+
+Consistency contract (audited by ``tests/unit/test_service_stats.py``):
+:meth:`ServiceStats.snapshot` holds the one internal lock across the
+*entire* snapshot, and :meth:`ServiceStats.record` performs its
+counter increment and histogram observation under one acquisition of
+the same lock — so a snapshot taken while writers spin can never tear
+(``requests[key]`` always equals ``latency[key].count``, and a
+histogram's bucket counts always sum to its ``count``).  The
+``/metrics.prom`` exposition is rendered from one such snapshot, which
+is what makes it reconcile exactly with ``/stats``.
 """
 
 from __future__ import annotations
@@ -83,6 +95,7 @@ class ServiceStats:
         self._latency: Dict[str, LatencyHistogram] = {}
         self._diagnostics: Dict[str, int] = {}
         self._events: Dict[str, int] = {}
+        self._phases: Dict[str, LatencyHistogram] = {}
 
     @staticmethod
     def _key(op: str, algorithm: Optional[str]) -> str:
@@ -115,6 +128,28 @@ class ServiceStats:
                     self._diagnostics.get(code, 0) + count
                 )
 
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """Observe one pipeline-phase duration (``parse``,
+        ``postdominance``, ``fig7-traversal``, …), harvested from a
+        traced request's span tree; surfaced under the ``phases`` key of
+        :meth:`snapshot` and as ``slang_phase_duration_seconds`` in the
+        Prometheus exposition."""
+        with self._lock:
+            histogram = self._phases.get(phase)
+            if histogram is None:
+                histogram = self._phases[phase] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def record_phases(self, totals: Dict[str, float]) -> None:
+        """Observe a whole request's phase totals under one lock
+        acquisition (one observation per phase)."""
+        with self._lock:
+            for phase, seconds in totals.items():
+                histogram = self._phases.get(phase)
+                if histogram is None:
+                    histogram = self._phases[phase] = LatencyHistogram()
+                histogram.observe(seconds)
+
     def record_event(self, name: str, count: int = 1) -> None:
         """Count one resilience outcome (``shed``, ``budget-exceeded``,
         ``degraded``, ``retry``, ``retry:recovered``, …) — the counters
@@ -141,6 +176,10 @@ class ServiceStats:
                 "latency": {
                     key: histogram.snapshot()
                     for key, histogram in sorted(self._latency.items())
+                },
+                "phases": {
+                    phase: histogram.snapshot()
+                    for phase, histogram in sorted(self._phases.items())
                 },
             }
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from repro.lang.errors import SliceError
+from repro.obs.tracer import trace_span
 from repro.pdg.builder import ProgramAnalysis
 from repro.service.resilience import budget_round, budget_tick
 from repro.slicing.common import (
@@ -136,7 +137,8 @@ def agrawal_slice(
 
     resolved = resolve_criterion(analysis, criterion)
     cfg = analysis.cfg
-    slice_set: Set[int] = conventional_base(analysis, resolved)
+    with trace_span("conventional-base"):
+        slice_set: Set[int] = conventional_base(analysis, resolved)
     base = frozenset(slice_set)
     if explain is not None:
         members = sorted(
@@ -163,49 +165,59 @@ def agrawal_slice(
         # program raises BudgetExceededError instead of running long.
         budget_round("fig7-traversal")
         added_jump = False
-        for node_id in order_tree.preorder():
-            node = cfg.nodes.get(node_id)
-            if node is None or not node.is_jump or node_id in slice_set:
-                continue
-            budget_tick("fig7-jump")
-            npd = nearest_in_slice(
-                analysis.pdt, node_id, slice_set, cfg.exit_id
-            )
-            nls = nearest_in_slice(
-                analysis.lst, node_id, slice_set, cfg.exit_id
-            )
-            if npd != nls:
-                closure = analysis.pdg.backward_closure([node_id])
-                if explain is not None:
-                    brought = sorted(
-                        n
-                        for n in closure - slice_set - {node_id}
-                        if cfg.nodes[n].stmt is not None
-                    )
-                    extra = f"; closure adds {brought}" if brought else ""
+        jumps_examined = 0
+        jumps_added = 0
+        with trace_span("fig7-traversal", round=rounds) as round_span:
+            for node_id in order_tree.preorder():
+                node = cfg.nodes.get(node_id)
+                if node is None or not node.is_jump or node_id in slice_set:
+                    continue
+                budget_tick("fig7-jump")
+                jumps_examined += 1
+                npd = nearest_in_slice(
+                    analysis.pdt, node_id, slice_set, cfg.exit_id
+                )
+                nls = nearest_in_slice(
+                    analysis.lst, node_id, slice_set, cfg.exit_id
+                )
+                if npd != nls:
+                    closure = analysis.pdg.backward_closure([node_id])
+                    if explain is not None:
+                        brought = sorted(
+                            n
+                            for n in closure - slice_set - {node_id}
+                            if cfg.nodes[n].stmt is not None
+                        )
+                        extra = f"; closure adds {brought}" if brought else ""
+                        explain.append(
+                            f"traversal {traversals + 1}: jump {node_id} "
+                            f"({node.text!r}, line {node.line}) — nearest "
+                            f"postdominator in slice {npd} != nearest lexical "
+                            f"successor in slice {nls}: INCLUDE{extra}"
+                        )
+                    slice_set.add(node_id)
+                    slice_set |= closure
+                    added_jump = True
+                    jumps_added += 1
+                elif explain is not None:
                     explain.append(
                         f"traversal {traversals + 1}: jump {node_id} "
-                        f"({node.text!r}, line {node.line}) — nearest "
-                        f"postdominator in slice {npd} != nearest lexical "
-                        f"successor in slice {nls}: INCLUDE{extra}"
+                        f"({node.text!r}, line {node.line}) — both nearest "
+                        f"postdominator and lexical successor in slice are "
+                        f"{npd}: skip"
                     )
-                slice_set.add(node_id)
-                slice_set |= closure
-                added_jump = True
-            elif explain is not None:
-                explain.append(
-                    f"traversal {traversals + 1}: jump {node_id} "
-                    f"({node.text!r}, line {node.line}) — both nearest "
-                    f"postdominator and lexical successor in slice are "
-                    f"{npd}: skip"
-                )
+            round_span.set(
+                jumps_examined=jumps_examined, jumps_added=jumps_added
+            )
         if not added_jump:
             break
         traversals += 1
 
     if prune_redundant:
         before = frozenset(slice_set)
-        _prune_redundant_jumps(analysis, slice_set, base)
+        with trace_span("fig7-prune") as prune_span:
+            _prune_redundant_jumps(analysis, slice_set, base)
+            prune_span.set(removed=len(before - slice_set))
         if explain is not None and before != frozenset(slice_set):
             removed = sorted(before - slice_set)
             explain.append(f"prune: removed redundant nodes {removed}")

@@ -16,6 +16,7 @@ random programs.
 
 from __future__ import annotations
 
+from repro.obs.tracer import trace_span
 from repro.pdg.builder import ProgramAnalysis
 from repro.slicing.common import SliceResult, reassociate_labels
 from repro.slicing.criterion import SlicingCriterion, resolve_criterion
@@ -26,7 +27,10 @@ def ball_horwitz_slice(
 ) -> SliceResult:
     """Slice by backward reachability over the augmented PDG."""
     resolved = resolve_criterion(analysis, criterion)
-    nodes = frozenset(analysis.augmented_pdg.backward_closure(resolved.seeds))
+    with trace_span("augmented-closure"):
+        nodes = frozenset(
+            analysis.augmented_pdg.backward_closure(resolved.seeds)
+        )
     return SliceResult(
         algorithm="ball-horwitz",
         resolved=resolved,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Set
 
 from repro.lang.errors import SliceError
+from repro.obs.tracer import trace_span
 from repro.pdg.builder import ProgramAnalysis
 from repro.analysis.lexical import is_structured_program
 from repro.service.resilience import budget_tick
@@ -64,27 +65,39 @@ def conservative_slice(
 
     resolved = resolve_criterion(analysis, criterion)
     cfg = analysis.cfg
-    slice_set: Set[int] = conventional_base(analysis, resolved)
+    with trace_span("conventional-base"):
+        slice_set: Set[int] = conventional_base(analysis, resolved)
 
-    for node in cfg.jump_nodes():
-        budget_tick("fig13-jump")
-        if node.id in slice_set:
-            continue
-        if _controlled_by_slice_predicate(analysis, node.id, slice_set):
-            slice_set.add(node.id)
-            # The paper adds no closure here, justified by its property
-            # 2 (an added jump's dependences are already in the slice).
-            # We union the closure anyway: it is a no-op exactly when
-            # property 2 holds, and it keeps the slice well-formed (a
-            # jump never appears without its enclosing construct) in the
-            # corner cases the property misses — e.g. a jump controlled
-            # only by the dummy entry predicate.
-            slice_set |= analysis.pdg.backward_closure([node.id])
+    with trace_span("fig13-sweep") as span:
+        jumps_examined = 0
+        jumps_added = 0
+        for node in cfg.jump_nodes():
+            budget_tick("fig13-jump")
+            if node.id in slice_set:
+                continue
+            jumps_examined += 1
+            if _controlled_by_slice_predicate(analysis, node.id, slice_set):
+                slice_set.add(node.id)
+                jumps_added += 1
+                # The paper adds no closure here, justified by its property
+                # 2 (an added jump's dependences are already in the slice).
+                # We union the closure anyway: it is a no-op exactly when
+                # property 2 holds, and it keeps the slice well-formed (a
+                # jump never appears without its enclosing construct) in the
+                # corner cases the property misses — e.g. a jump controlled
+                # only by the dummy entry predicate.
+                slice_set |= analysis.pdg.backward_closure([node.id])
+        span.set(jumps_examined=jumps_examined, jumps_added=jumps_added)
 
     # Fig. 13 leans on the same property 2 as Fig. 12, so it inherits
     # the same defensive repair (erratum E4 — see jump_repair_pass);
     # force=True means "exactly as published" and skips it.
-    repaired = set() if force else jump_repair_pass(analysis, slice_set)
+    if force:
+        repaired = set()
+    else:
+        with trace_span("jump-repair") as span:
+            repaired = jump_repair_pass(analysis, slice_set)
+            span.set(jumps_added=len(repaired))
 
     nodes = frozenset(slice_set)
     notes = [] if structured else ["ran on an unstructured program (force)"]

@@ -59,6 +59,7 @@ from repro.lang.ast_nodes import (
     walk_statements,
 )
 from repro.lang.errors import SliceError
+from repro.obs.tracer import trace_span
 from repro.slicing.common import SliceResult
 
 
@@ -371,7 +372,8 @@ class _Extractor:
 def extract_slice(result: SliceResult) -> ExtractedSlice:
     """Materialise *result* as a runnable SL program (see module
     docstring for the rules)."""
-    return _Extractor(result).run()
+    with trace_span("extract", nodes=len(result.nodes)):
+        return _Extractor(result).run()
 
 
 @dataclass

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Set
 
 from repro.cfg.graph import NodeKind
+from repro.obs.tracer import trace_span
 from repro.pdg.builder import ProgramAnalysis
 from repro.service.resilience import budget_round
 from repro.slicing.common import SliceResult, conventional_base, reassociate_labels
@@ -38,7 +39,8 @@ def lyle_slice(
     """Slice with the reconstruction of Lyle's algorithm."""
     resolved = resolve_criterion(analysis, criterion)
     cfg = analysis.cfg
-    slice_set: Set[int] = conventional_base(analysis, resolved)
+    with trace_span("conventional-base"):
+        slice_set: Set[int] = conventional_base(analysis, resolved)
     criterion_node = resolved.node_id
 
     reach_cache: Dict[int, FrozenSet[int]] = {}
@@ -49,25 +51,31 @@ def lyle_slice(
         return reach_cache[start]
 
     jumps = [node.id for node in cfg.jump_nodes()]
-    changed = True
-    while changed:
-        budget_round("lyle-fixed-point")
-        changed = False
-        for jump_id in jumps:
-            if jump_id in slice_set:
-                continue
-            if criterion_node not in reachable(jump_id):
-                continue
-            feeds = any(
-                jump_id in reachable(member)
-                for member in slice_set
-                if cfg.nodes[member].kind
-                not in (NodeKind.ENTRY, NodeKind.EXIT)
-            )
-            if feeds:
-                slice_set.add(jump_id)
-                slice_set |= analysis.pdg.backward_closure([jump_id])
-                changed = True
+    with trace_span("lyle-fixed-point") as span:
+        rounds = 0
+        jumps_added = 0
+        changed = True
+        while changed:
+            rounds += 1
+            budget_round("lyle-fixed-point")
+            changed = False
+            for jump_id in jumps:
+                if jump_id in slice_set:
+                    continue
+                if criterion_node not in reachable(jump_id):
+                    continue
+                feeds = any(
+                    jump_id in reachable(member)
+                    for member in slice_set
+                    if cfg.nodes[member].kind
+                    not in (NodeKind.ENTRY, NodeKind.EXIT)
+                )
+                if feeds:
+                    slice_set.add(jump_id)
+                    slice_set |= analysis.pdg.backward_closure([jump_id])
+                    changed = True
+                    jumps_added += 1
+        span.set(rounds=rounds, jumps_added=jumps_added)
 
     nodes = frozenset(slice_set)
     return SliceResult(

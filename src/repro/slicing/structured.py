@@ -22,6 +22,7 @@ from typing import Set
 
 from repro.cfg.graph import NodeKind
 from repro.lang.errors import SliceError
+from repro.obs.tracer import trace_span
 from repro.pdg.builder import ProgramAnalysis
 from repro.analysis.lexical import is_structured_program
 from repro.slicing.common import (
@@ -181,23 +182,41 @@ def structured_slice(
 
     resolved = resolve_criterion(analysis, criterion)
     cfg = analysis.cfg
-    slice_set: Set[int] = conventional_base(analysis, resolved)
+    with trace_span("conventional-base"):
+        slice_set: Set[int] = conventional_base(analysis, resolved)
 
-    for node_id in analysis.pdt.preorder():
-        node = cfg.nodes.get(node_id)
-        if node is None or not node.is_jump or node_id in slice_set:
-            continue
-        if not _controlled_by_slice_predicate(analysis, node_id, slice_set):
-            continue
-        npd = nearest_in_slice(analysis.pdt, node_id, slice_set, cfg.exit_id)
-        nls = nearest_in_slice(analysis.lst, node_id, slice_set, cfg.exit_id)
-        if npd != nls:
-            slice_set.add(node_id)
-            # Defensive closure — a no-op when the paper's property 2
-            # holds (see the matching comment in conservative.py).
-            slice_set |= analysis.pdg.backward_closure([node_id])
+    with trace_span("fig12-traversal") as span:
+        jumps_examined = 0
+        jumps_added = 0
+        for node_id in analysis.pdt.preorder():
+            node = cfg.nodes.get(node_id)
+            if node is None or not node.is_jump or node_id in slice_set:
+                continue
+            if not _controlled_by_slice_predicate(
+                analysis, node_id, slice_set
+            ):
+                continue
+            jumps_examined += 1
+            npd = nearest_in_slice(
+                analysis.pdt, node_id, slice_set, cfg.exit_id
+            )
+            nls = nearest_in_slice(
+                analysis.lst, node_id, slice_set, cfg.exit_id
+            )
+            if npd != nls:
+                slice_set.add(node_id)
+                # Defensive closure — a no-op when the paper's property 2
+                # holds (see the matching comment in conservative.py).
+                slice_set |= analysis.pdg.backward_closure([node_id])
+                jumps_added += 1
+        span.set(jumps_examined=jumps_examined, jumps_added=jumps_added)
 
-    repaired = set() if force else jump_repair_pass(analysis, slice_set)
+    if force:
+        repaired = set()
+    else:
+        with trace_span("jump-repair") as span:
+            repaired = jump_repair_pass(analysis, slice_set)
+            span.set(jumps_added=len(repaired))
 
     nodes = frozenset(slice_set)
     notes = [] if structured else ["ran on an unstructured program (force)"]

@@ -61,6 +61,61 @@ class TestServiceStats:
         assert snapshot["requests"] == {"slice:lyle": 1}
         assert snapshot["errors"] == {"slice:lyle": 1}
 
+    def test_record_phases_lands_in_snapshot(self):
+        stats = ServiceStats()
+        stats.record_phase("parse", 0.001)
+        stats.record_phases({"parse": 0.002, "fig7-traversal": 0.003})
+        snapshot = stats.snapshot()
+        assert snapshot["phases"]["parse"]["count"] == 2
+        assert snapshot["phases"]["fig7-traversal"]["count"] == 1
+
+    def test_snapshot_never_tears_while_writers_spin(self):
+        """The consistency contract (module docstring): a snapshot
+        taken mid-storm must be internally consistent — every
+        ``requests[key]`` equals its ``latency[key].count``, and every
+        histogram's buckets sum to its count.  Both invariants would
+        tear if ``record`` dropped the lock between the counter
+        increment and the histogram observation, or if ``snapshot``
+        released it between keys."""
+        stats = ServiceStats()
+        stop = threading.Event()
+
+        def spin():
+            while not stop.is_set():
+                stats.record("slice", "agrawal", 0.001)
+                stats.record("slice", "agrawal", 0.02, error=True)
+                stats.record_phases({"parse": 0.001, "pdg-build": 0.002})
+
+        writers = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in writers:
+            thread.start()
+        try:
+            for _ in range(200):
+                snapshot = stats.snapshot()
+                for key, count in snapshot["requests"].items():
+                    latency = snapshot["latency"][key]
+                    assert latency["count"] == count, key
+                    assert sum(latency["buckets"].values()) == count, key
+                for key, errors in snapshot["errors"].items():
+                    assert errors <= snapshot["requests"][key], key
+                phases = snapshot["phases"]
+                if phases:
+                    # record_phases is atomic: both phases observed
+                    # under one lock acquisition, so counts match.
+                    assert (
+                        phases["parse"]["count"]
+                        == phases["pdg-build"]["count"]
+                    )
+                    for phase in phases.values():
+                        assert (
+                            sum(phase["buckets"].values())
+                            == phase["count"]
+                        )
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join()
+
     def test_concurrent_recording_loses_nothing(self):
         stats = ServiceStats()
 
