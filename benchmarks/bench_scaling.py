@@ -24,7 +24,7 @@ from repro.slicing.registry import get_algorithm
 
 from benchmarks.conftest import sized_programs
 
-SIZES = [50, 150, 300]
+SIZES = [50, 150, 300, 600]
 UNSTRUCTURED = {
     size: analyze_program(program)
     for size, program in sized_programs("unstructured", SIZES)

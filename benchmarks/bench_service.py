@@ -91,7 +91,7 @@ def test_bench_service_warm(benchmark):
 
 def test_warm_cache_speedup():
     """The acceptance-criterion check: warm ≥ 5× faster than cold."""
-    cold, warm, speedup, _ = measure()
+    cold, warm, speedup, _, _ = measure()
     assert speedup >= 5.0, (
         f"warm batch only {speedup:.1f}x faster (cold {cold:.3f}s, "
         f"warm {warm:.3f}s); expected >= 5x"
@@ -112,12 +112,19 @@ def measure():
     run_warm(engine, source, criteria)
     warm = time.perf_counter() - start
     cache_stats = engine.cache.stats()
+    slice_cache_stats = engine.slice_cache_stats.stats()
     engine.close()
-    return cold, warm, cold / warm if warm else float("inf"), cache_stats
+    return (
+        cold,
+        warm,
+        cold / warm if warm else float("inf"),
+        cache_stats,
+        slice_cache_stats,
+    )
 
 
 def main() -> None:
-    cold, warm, speedup, cache_stats = measure()
+    cold, warm, speedup, cache_stats, slice_cache_stats = measure()
     report = {
         "bench": "service-batch-throughput",
         "program": PROGRAM,
@@ -129,6 +136,7 @@ def main() -> None:
         "cold_rps": round(BATCH / cold, 1),
         "warm_rps": round(BATCH / warm, 1),
         "cache": cache_stats,
+        "slice_cache": slice_cache_stats,
     }
     with open("BENCH_service.json", "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

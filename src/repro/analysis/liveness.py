@@ -7,7 +7,7 @@ instance exercising the generic framework from the other direction).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 from repro.analysis.dataflow import (
     BACKWARD,
@@ -18,11 +18,14 @@ from repro.analysis.dataflow import (
 from repro.cfg.graph import ControlFlowGraph
 
 
-def compute_liveness(cfg: ControlFlowGraph) -> DataflowResult[str]:
+def compute_liveness(
+    cfg: ControlFlowGraph, engine: Optional[str] = None
+) -> DataflowResult[str]:
     """Solve live variables for *cfg*.
 
     ``result.in_[n]`` is the set of variables live on entry to node ``n``
-    (``use(n) ∪ (live-out(n) − def(n))``).
+    (``use(n) ∪ (live-out(n) − def(n))``).  *engine* picks the solver
+    (see :func:`repro.analysis.dataflow.solve_dataflow`).
     """
     gen_cache: Dict[int, FrozenSet[str]] = {}
     kill_cache: Dict[int, FrozenSet[str]] = {}
@@ -35,4 +38,4 @@ def compute_liveness(cfg: ControlFlowGraph) -> DataflowResult[str]:
         kill=kill_cache.__getitem__,
         direction=BACKWARD,
     )
-    return solve_dataflow(cfg, problem)
+    return solve_dataflow(cfg, problem, engine=engine)

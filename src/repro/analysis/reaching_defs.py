@@ -9,7 +9,7 @@ data-dependence edges of the PDG (paper §2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 from repro.analysis.dataflow import FORWARD, DataflowResult, GenKillProblem, solve_dataflow
 from repro.cfg.graph import ControlFlowGraph
@@ -28,6 +28,7 @@ class Definition:
 
 def compute_reaching_definitions(
     cfg: ControlFlowGraph,
+    engine: Optional[str] = None,
 ) -> DataflowResult[Definition]:
     """Solve reaching definitions for *cfg*.
 
@@ -35,6 +36,7 @@ def compute_reaching_definitions(
     ``n``.  Variables never defined on some path simply have no reaching
     definition there (SL reads of unwritten variables default to zero at
     run time; the slicers treat them as having no data dependence).
+    *engine* picks the solver (see :func:`repro.analysis.dataflow.solve_dataflow`).
     """
     all_defs: Dict[str, FrozenSet[Definition]] = {}
     for node in cfg.sorted_nodes():
@@ -58,4 +60,4 @@ def compute_reaching_definitions(
         kill=kill_cache.__getitem__,
         direction=FORWARD,
     )
-    return solve_dataflow(cfg, problem)
+    return solve_dataflow(cfg, problem, engine=engine)

@@ -14,7 +14,7 @@ slicing algorithms live on are:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 
 class Tree:
@@ -42,6 +42,10 @@ class Tree:
         for kids in self._children.values():
             kids.sort()
         self._depth = self._compute_depths()
+        #: node -> its full proper-ancestor chain, filled on demand.
+        #: Safe to memoize because the tree is immutable; Fig. 7 walks
+        #: the same chains on every traversal round.
+        self._chain: Dict[int, Tuple[int, ...]] = {}
 
     def _compute_depths(self) -> Dict[int, int]:
         depth: Dict[int, int] = {self.root: 0}
@@ -81,12 +85,34 @@ class Tree:
     def depth_of(self, node: int) -> int:
         return self._depth[node]
 
+    def ancestor_chain(self, node: int) -> Tuple[int, ...]:
+        """Proper ancestors of *node*, nearest first, as a cached tuple.
+
+        Chains are filled bottom-up without recursion (LST chains on
+        large flat programs exceed the interpreter's recursion limit),
+        reusing every already-cached suffix.  Unknown nodes get the
+        empty chain, matching the old generator's behaviour.
+        """
+        chain = self._chain.get(node)
+        if chain is not None:
+            return chain
+        path: List[int] = []
+        current = node
+        while current not in self._chain:
+            parent = self._parent.get(current)
+            if parent is None:
+                self._chain[current] = ()
+                break
+            path.append(current)
+            current = parent
+        for member in reversed(path):
+            parent = self._parent[member]
+            self._chain[member] = (parent,) + self._chain[parent]
+        return self._chain[node]
+
     def ancestors(self, node: int) -> Iterator[int]:
         """Proper ancestors of *node*, nearest first, ending at the root."""
-        current = self._parent.get(node)
-        while current is not None:
-            yield current
-            current = self._parent.get(current)
+        return iter(self.ancestor_chain(node))
 
     def is_ancestor(self, ancestor: int, node: int, strict: bool = False) -> bool:
         """True when *ancestor* is an ancestor of *node*.

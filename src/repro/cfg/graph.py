@@ -139,6 +139,10 @@ class ControlFlowGraph:
         #: builder, wrapped by repro.analysis.lexical.
         self.lexical_parent: Dict[int, int] = {}
         self._next_id = 0
+        #: start node id -> reachable set; criterion resolution asks for
+        #: reachability from ENTRY on every query, so memoize per start
+        #: and invalidate on any structural mutation.
+        self._reach_cache: Dict[int, FrozenSet[int]] = {}
 
     # ------------------------------------------------------------------
     # Construction.
@@ -168,6 +172,7 @@ class ControlFlowGraph:
         self.nodes[node.id] = node
         self._succ[node.id] = []
         self._pred[node.id] = []
+        self._reach_cache.clear()
         return node
 
     def add_edge(self, src: int, dst: int, label: str) -> None:
@@ -177,6 +182,7 @@ class ControlFlowGraph:
             raise KeyError(f"edge ({src}, {dst}) references unknown node")
         self._succ[src].append((dst, label))
         self._pred[dst].append((src, label))
+        self._reach_cache.clear()
 
     def map_stmt(self, stmt: Stmt, node_id: int) -> None:
         self._stmt_node[id(stmt)] = node_id
@@ -251,7 +257,14 @@ class ControlFlowGraph:
     # ------------------------------------------------------------------
 
     def reachable_from(self, start: int) -> FrozenSet[int]:
-        """Node ids reachable from *start* (inclusive) along edges."""
+        """Node ids reachable from *start* (inclusive) along edges.
+
+        Memoized per start node; the cache is cleared by ``new_node`` and
+        ``add_edge`` so mutation during construction stays safe.
+        """
+        cached = self._reach_cache.get(start)
+        if cached is not None:
+            return cached
         seen = {start}
         stack = [start]
         while stack:
@@ -260,7 +273,9 @@ class ControlFlowGraph:
                 if nxt not in seen:
                     seen.add(nxt)
                     stack.append(nxt)
-        return frozenset(seen)
+        result = frozenset(seen)
+        self._reach_cache[start] = result
+        return result
 
     def reaches(self, start: int, goal: int) -> bool:
         """True when *goal* is reachable from *start*."""

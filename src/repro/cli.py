@@ -110,6 +110,28 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_perf_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("performance")
+    group.add_argument(
+        "--closure-index",
+        choices=["on", "off"],
+        default="on",
+        help=(
+            "precompute the condensed-PDG closure index so every "
+            "backward closure is answered from bitset masks (default "
+            "on; off falls back to per-query BFS, the reference path)"
+        ),
+    )
+
+
+def _apply_perf_args(args: argparse.Namespace) -> None:
+    choice = getattr(args, "closure_index", None)
+    if choice is not None:
+        from repro.pdg.closure import set_closure_index_enabled
+
+        set_closure_index_enabled(choice == "on")
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -585,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the service protocol envelope (same bytes as POST /slice)",
     )
     _add_trace_args(p_slice)
+    _add_perf_args(p_slice)
     p_slice.set_defaults(func=_cmd_slice)
 
     p_compare = sub.add_parser(
@@ -599,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the service protocol envelope (same bytes as POST /compare)",
     )
     _add_trace_args(p_compare)
+    _add_perf_args(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
 
     p_check = sub.add_parser(
@@ -691,6 +715,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_resilience_args(p_serve)
+    _add_perf_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_batch = sub.add_parser(
@@ -735,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_args(p_batch)
     _add_resilience_args(p_batch)
+    _add_perf_args(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
     return parser
@@ -743,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_perf_args(args)
     try:
         return args.func(args)
     except SlangError as error:

@@ -41,6 +41,8 @@ from repro.analysis.lexical import (
     build_lst,
     unstructured_jump_ids,
 )
+from repro.analysis.bitset import definite_assignment, reverse_reachable
+from repro.analysis.dataflow import ENGINE_BITSET, get_dataflow_engine
 from repro.analysis.liveness import compute_liveness
 from repro.analysis.reaching_defs import compute_reaching_definitions
 from repro.cfg.builder import INPUT_CURSOR, build_cfg
@@ -90,6 +92,7 @@ class LintContext:
         self._lst: Optional[LexicalSuccessorTree] = None
         self._reachable: Optional[FrozenSet[int]] = None
         self._reaches_exit: Optional[FrozenSet[int]] = None
+        self._definitely_assigned: Optional[Dict[int, FrozenSet[str]]] = None
 
     @property
     def liveness(self):
@@ -118,18 +121,79 @@ class LintContext:
 
     @property
     def reaches_exit(self) -> FrozenSet[int]:
-        """Node ids from which EXIT is reachable (reverse search)."""
+        """Node ids from which EXIT is reachable (reverse search).
+
+        Follows the process-wide dataflow engine knob: mask propagation
+        on the bitset engine, the reverse DFS reference otherwise.
+        """
         if self._reaches_exit is None:
-            seen = {self.cfg.exit_id}
-            stack = [self.cfg.exit_id]
-            while stack:
-                current = stack.pop()
-                for pred in self.cfg.pred_ids(current):
-                    if pred not in seen:
-                        seen.add(pred)
-                        stack.append(pred)
-            self._reaches_exit = frozenset(seen)
+            if get_dataflow_engine() == ENGINE_BITSET:
+                self._reaches_exit = reverse_reachable(
+                    self.cfg, self.cfg.exit_id
+                )
+            else:
+                seen = {self.cfg.exit_id}
+                stack = [self.cfg.exit_id]
+                while stack:
+                    current = stack.pop()
+                    for pred in self.cfg.pred_ids(current):
+                        if pred not in seen:
+                            seen.add(pred)
+                            stack.append(pred)
+                self._reaches_exit = frozenset(seen)
         return self._reaches_exit
+
+    @property
+    def definitely_assigned(self) -> Dict[int, FrozenSet[str]]:
+        """node id → variables assigned on every ENTRY path (SL103's
+        must dataflow), computed by the engine the knob selects."""
+        if self._definitely_assigned is None:
+            if get_dataflow_engine() == ENGINE_BITSET:
+                self._definitely_assigned = definite_assignment(
+                    self.cfg, self.reachable
+                )
+            else:
+                self._definitely_assigned = _definite_assignment_sets(
+                    self.cfg, self.reachable
+                )
+        return self._definitely_assigned
+
+
+def _definite_assignment_sets(
+    cfg: ControlFlowGraph, reachable: FrozenSet[int]
+) -> Dict[int, FrozenSet[str]]:
+    """Set-based reference for SL103's definite assignment (must
+    dataflow: IN is the intersection over reachable predecessors)."""
+    all_vars = set()
+    for node in cfg.statement_nodes():
+        all_vars |= node.defs
+    assigned_in: Dict[int, FrozenSet[str]] = {}
+    assigned_out: Dict[int, FrozenSet[str]] = {
+        node_id: frozenset(all_vars) for node_id in reachable
+    }
+    assigned_out[cfg.entry_id] = frozenset()
+    worklist = [n for n in sorted(reachable) if n != cfg.entry_id]
+    while worklist:
+        node_id = worklist.pop(0)
+        preds = [p for p in cfg.pred_ids(node_id) if p in reachable]
+        in_set: FrozenSet[str] = (
+            frozenset.intersection(*(assigned_out[p] for p in preds))
+            if preds
+            else frozenset()
+        )
+        node = cfg.nodes[node_id]
+        out_set = in_set | node.defs
+        if (
+            assigned_in.get(node_id) == in_set
+            and assigned_out[node_id] == out_set
+        ):
+            continue
+        assigned_in[node_id] = in_set
+        assigned_out[node_id] = out_set
+        for succ in cfg.succ_ids(node_id):
+            if succ in reachable and succ not in worklist:
+                worklist.append(succ)
+    return assigned_in
 
 
 @dataclass(frozen=True)
@@ -257,35 +321,7 @@ def _check_uninitialized(ctx: LintContext) -> List[Diagnostic]:
     # so IN is the intersection over predecessors (reaching definitions
     # — a may analysis — would miss a variable set on just one branch).
     cfg = ctx.cfg
-    all_vars = set()
-    for node in cfg.statement_nodes():
-        all_vars |= node.defs
-    assigned_in: Dict[int, FrozenSet[str]] = {}
-    assigned_out: Dict[int, FrozenSet[str]] = {
-        node_id: frozenset(all_vars) for node_id in ctx.reachable
-    }
-    assigned_out[cfg.entry_id] = frozenset()
-    worklist = [n for n in sorted(ctx.reachable) if n != cfg.entry_id]
-    while worklist:
-        node_id = worklist.pop(0)
-        preds = [p for p in cfg.pred_ids(node_id) if p in ctx.reachable]
-        in_set: FrozenSet[str] = (
-            frozenset.intersection(*(assigned_out[p] for p in preds))
-            if preds
-            else frozenset()
-        )
-        node = cfg.nodes[node_id]
-        out_set = in_set | node.defs
-        if (
-            assigned_in.get(node_id) == in_set
-            and assigned_out[node_id] == out_set
-        ):
-            continue
-        assigned_in[node_id] = in_set
-        assigned_out[node_id] = out_set
-        for succ in cfg.succ_ids(node_id):
-            if succ in ctx.reachable and succ not in worklist:
-                worklist.append(succ)
+    assigned_in = ctx.definitely_assigned
     out = []
     for node in cfg.statement_nodes():
         if node.id not in ctx.reachable:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis.bitset import node_universe
 from repro.analysis.lexical import build_lst_syntactic
 from repro.analysis.postdominance import build_postdominator_tree
 from repro.analysis.reaching_defs import compute_reaching_definitions
@@ -120,14 +121,36 @@ class SliceChecker:
         self.lst = build_lst_syntactic(analysis.program, cfg)
         self._data_parents = self._derive_data_parents(cfg)
         self._control_parents = self._derive_control_parents(cfg)
+        # Mask tables for the closure checks: one AND per slice member
+        # instead of a per-member set difference.  Pure representation —
+        # the parents they encode come from the checker's own
+        # derivations above, so auditor independence is intact.
+        self._universe = node_universe(sorted(cfg.nodes))
+        self._boundary_mask = self._universe.mask_of(
+            (cfg.entry_id, cfg.exit_id)
+        )
+        self._data_mask = {
+            member: self._universe.mask_of(parents)
+            for member, parents in self._data_parents.items()
+        }
+        self._control_mask = {
+            member: self._universe.mask_of(parents)
+            for member, parents in self._control_parents.items()
+        }
 
     # -- independent dependence derivations ----------------------------
 
     @staticmethod
     def _derive_data_parents(cfg: ControlFlowGraph) -> Dict[int, Set[int]]:
         """node → defining nodes it is data dependent on (def-use chains
-        from a fresh reaching-definitions fixed point)."""
-        reaching = compute_reaching_definitions(cfg)
+        from a fresh reaching-definitions fixed point).
+
+        Pinned to the set-based solver: the verifier audits slices the
+        production path computes with the bitset kernels, so its own
+        derivation must not share that code path (a kernel bug would
+        otherwise corrupt auditor and audited identically).
+        """
+        reaching = compute_reaching_definitions(cfg, engine="sets")
         parents: Dict[int, Set[int]] = {}
         for node in cfg.sorted_nodes():
             wanted = node.uses
@@ -209,14 +232,19 @@ class SliceChecker:
                     )
                 )
 
+        universe = self._universe
+        members_mask = universe.mask_of(
+            member for member in slice_nodes if member in universe
+        )
+        outside_mask = ~(members_mask | self._boundary_mask)
+
         if "data" in wanted:
             for member in sorted(slice_nodes - boundary):
                 budget_tick("verifier-data")
-                for parent in sorted(
-                    self._data_parents.get(member, set()) - slice_nodes
-                ):
-                    if parent in boundary:
-                        continue
+                missing = self._data_mask.get(member, 0) & outside_mask
+                if not missing:
+                    continue
+                for parent in sorted(universe.decode(missing)):
                     out.append(
                         self._violation(
                             "data",
@@ -231,11 +259,10 @@ class SliceChecker:
 
         if "control" in wanted:
             for member in sorted(slice_nodes - boundary):
-                for parent in sorted(
-                    self._control_parents.get(member, set()) - slice_nodes
-                ):
-                    if parent in boundary:
-                        continue
+                missing = self._control_mask.get(member, 0) & outside_mask
+                if not missing:
+                    continue
+                for parent in sorted(universe.decode(missing)):
                     out.append(
                         self._violation(
                             "control",

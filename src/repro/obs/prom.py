@@ -181,6 +181,17 @@ def render_prometheus(payload: Dict[str, Any]) -> str:
             writer.head(name, kind, help_text)
             writer.sample(name, {}, cache[field])
 
+    slice_cache = payload.get("slice_cache")
+    if slice_cache is not None:
+        for field, help_text in (
+            ("hits", "Slice memo lookups that hit."),
+            ("misses", "Slice memo lookups that missed."),
+            ("evictions", "Slice memo LRU evictions."),
+        ):
+            name = f"slang_slice_cache_{field}_total"
+            writer.head(name, "counter", help_text)
+            writer.sample(name, {}, slice_cache[field])
+
     admission = payload.get("admission")
     if admission is not None:
         writer.head(

@@ -10,7 +10,7 @@ computed lazily since only that baseline needs them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.control_dependence import (
     ControlDependenceGraph,
@@ -24,7 +24,7 @@ from repro.analysis.postdominance import build_postdominator_tree
 from repro.analysis.tree import Tree
 from repro.cfg.augmented import build_augmented_cfg
 from repro.cfg.builder import build_cfg
-from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.graph import ControlFlowGraph, NodeKind
 from repro.lang.ast_nodes import Program
 from repro.lang.parser import parse_program
 from repro.obs.tracer import trace_span
@@ -102,6 +102,31 @@ class ProgramAnalysis:
     _augmented_pdg: Optional[ProgramDependenceGraph] = field(
         default=None, repr=False
     )
+    #: (node, var) -> reaching definition sites, built on the first
+    #: reaching_defs_of call; criterion resolution hits that method per
+    #: query, so the old linear scan of reaching.in_[node] was O(defs)
+    #: per lookup in batch workloads.
+    _reaching_index: Optional[Dict[Tuple[int, str], List[int]]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Per-analysis slice memo slot, owned and populated by
+    #: repro.service.cache.SliceMemo via the engine; lives here so the
+    #: memo's lifetime is exactly the analysis's (an evicted analysis
+    #: takes its memo with it, and a recycled id can never alias).
+    _slice_memo: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+    #: line -> statement node ids at that line (criterion resolution
+    #: runs once per request; the scan of every statement node per
+    #: lookup dominated multi-criterion batches).
+    _line_index: Optional[Dict[int, Tuple[int, ...]]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: (node id, label, target id) for every goto/condgoto, in node-id
+    #: order — the only nodes label re-association can touch.
+    _goto_sites: Optional[Tuple[Tuple[int, str, int], ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def augmented_cfg(self) -> ControlFlowGraph:
@@ -122,20 +147,70 @@ class ProgramAnalysis:
     def node_text(self, node_id: int) -> str:
         return self.cfg.nodes[node_id].text
 
+    def nodes_at_line(self, line: int) -> Tuple[int, ...]:
+        """Statement node ids at *line*, from a per-analysis index.
+
+        Safe to build once: the analysis (and its CFG) is immutable
+        after construction (DESIGN.md §7)."""
+        index = self._line_index
+        if index is None:
+            index = {}
+            for node in self.cfg.statement_nodes():
+                index.setdefault(node.line, []).append(node.id)
+            index = {
+                line_no: tuple(ids) for line_no, ids in index.items()
+            }
+            self._line_index = index
+        return index.get(line, ())
+
+    def statement_lines(self) -> List[int]:
+        """All lines that hold at least one statement, sorted."""
+        if self._line_index is None:
+            self.nodes_at_line(0)
+        return sorted(self._line_index)
+
+    def goto_sites(self) -> Tuple[Tuple[int, str, int], ...]:
+        """(node id, label, target node id) for every goto/condgoto, in
+        node-id order — precomputed so label re-association visits only
+        jump sites instead of scanning the whole slice."""
+        sites = self._goto_sites
+        if sites is None:
+            cfg = self.cfg
+            sites = tuple(
+                (node.id, node.goto_target, cfg.label_entry[node.goto_target])
+                for node in cfg.statement_nodes()
+                if node.goto_target is not None
+                and node.kind in (NodeKind.GOTO, NodeKind.CONDGOTO)
+            )
+            self._goto_sites = sites
+        return sites
+
     def reaching_defs_of(self, node_id: int, var: str):
         """Nodes whose definition of *var* may reach the entry of
         *node_id* (used to resolve criteria naming a variable the
-        criterion statement does not itself use)."""
-        if self.reaching is None:
-            with trace_span("reaching-defs"):
-                self.reaching = compute_reaching_definitions(self.cfg)
-        return sorted(
-            {
-                definition.node
-                for definition in self.reaching.in_[node_id]
-                if definition.var == var
-            }
-        )
+        criterion statement does not itself use).
+
+        Answers come from a per-(node, var) index built on first call —
+        one pass over the fixed point instead of a linear scan of
+        ``reaching.in_[node_id]`` per query.
+        """
+        index = self._reaching_index
+        if index is None:
+            if self.reaching is None:
+                with trace_span("reaching-defs"):
+                    self.reaching = compute_reaching_definitions(self.cfg)
+            built: Dict[Tuple[int, str], List[int]] = {}
+            for entry_node, definitions in self.reaching.in_.items():
+                per_var: Dict[str, set] = {}
+                for definition in definitions:
+                    per_var.setdefault(definition.var, set()).add(
+                        definition.node
+                    )
+                for var_name, sites in per_var.items():
+                    built[(entry_node, var_name)] = sorted(sites)
+            index = built
+            self._reaching_index = index
+        return list(index.get((node_id, var), []))
 
     def lines_of(self, node_ids) -> Dict[int, int]:
         """Map node id → source line for a node set (reporting helper)."""

@@ -1,0 +1,214 @@
+"""Condensed-PDG closure index — amortized backward slicing.
+
+Every slice the reproduction computes bottoms out in
+``backward_closure``: the conventional base, each jump Fig. 7 adds, each
+jump Fig. 13 and Lyle add, and the SL20x verifier's re-derivation.  A
+breadth-first search per query re-walks the same dependence edges over
+and over; on the batch/bulk service paths that is the dominant cost.
+
+This module pays the walk once per graph.  The PDG is condensed by
+strongly connected components (Tarjan, iterative — dependence cycles
+through loops are common), and the condensation — a DAG — admits a
+one-pass transitive-closure computation: visiting components
+suppliers-first, each component's closure mask is its own bit OR the
+(already complete) masks of its supplier components.  After that a
+``backward_closure(seeds)`` query is one OR over the seeds' component
+masks plus a decode — no graph traversal at all.
+
+The index is *query infrastructure*, not a different algorithm: decoded
+results are node-for-node identical to the BFS reference, which the
+differential property suite enforces across every registry algorithm.
+
+Construction is budget-ticked (phase ``"closure-index"``) and traced
+under its own span.  Under deadline pressure the caller should skip
+building and fall back to BFS — :func:`index_build_allowed` encodes the
+rule — because an index built at the deadline's edge helps nobody.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.obs.tracer import trace_span
+from repro.service.resilience import current_budget
+
+#: Process-wide enablement knob (CLI ``--closure-index on|off``).  The
+#: index is pure acceleration, so it defaults on; the knob exists for
+#: differential testing and for benchmarking the reference path.
+_enabled = True
+
+#: Don't start an index build with less than this much wall clock left —
+#: the build would eat the remaining deadline that a plain BFS answer
+#: could have fit into.
+MIN_BUILD_HEADROOM_SECONDS = 0.05
+
+
+def closure_index_enabled() -> bool:
+    return _enabled
+
+
+def set_closure_index_enabled(enabled: bool) -> None:
+    global _enabled
+    _enabled = bool(enabled)
+
+
+@contextlib.contextmanager
+def closure_index(enabled: bool) -> Iterator[None]:
+    """Temporarily force the index on or off (tests, benches)."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def index_build_allowed() -> bool:
+    """Whether a lazy index build should start right now.
+
+    False only under budget pressure: an active deadline with less than
+    :data:`MIN_BUILD_HEADROOM_SECONDS` remaining.  Node caps and
+    traversal caps are unaffected — the build ticks the budget itself
+    and aborts cleanly if they trip.
+    """
+    budget = current_budget()
+    if budget is None:
+        return True
+    remaining = budget.remaining_seconds()
+    return remaining is None or remaining >= MIN_BUILD_HEADROOM_SECONDS
+
+
+class ClosureIndex:
+    """Precomputed backward-transitive-closure masks over an SCC
+    condensation.
+
+    Immutable once built; the owning graph discards it on mutation.
+    """
+
+    __slots__ = ("_comp_of", "_comp_nodes", "_comp_mask", "node_count")
+
+    def __init__(
+        self,
+        comp_of: Dict[int, int],
+        comp_nodes: List[Tuple[int, ...]],
+        comp_mask: List[int],
+    ) -> None:
+        self._comp_of = comp_of
+        self._comp_nodes = comp_nodes
+        self._comp_mask = comp_mask
+        self.node_count = len(comp_of)
+
+    @property
+    def component_count(self) -> int:
+        return len(self._comp_nodes)
+
+    def backward_closure(self, seeds: Iterable[int]) -> FrozenSet[int]:
+        """All nodes the seeds transitively depend on, seeds included.
+
+        Seeds unknown to the index (nodes the PDG never saw an edge or
+        ``add_node`` for) contribute just themselves, mirroring the BFS
+        reference.
+        """
+        comp_of = self._comp_of
+        mask = 0
+        extra: List[int] = []
+        for seed in seeds:
+            comp = comp_of.get(seed)
+            if comp is None:
+                extra.append(seed)
+            else:
+                mask |= self._comp_mask[comp]
+        out = set(extra)
+        comp_nodes = self._comp_nodes
+        while mask:
+            low = mask & -mask
+            out.update(comp_nodes[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
+
+
+def build_closure_index(
+    node_ids: Sequence[int],
+    suppliers_of: Callable[[int], Iterable[int]],
+) -> ClosureIndex:
+    """Condense the dependence graph and precompute closure masks.
+
+    *suppliers_of(n)* yields the nodes *n* directly depends on (the
+    graph's backward adjacency).  Tarjan's algorithm finalizes an SCC
+    only after every SCC it can reach — here: its transitive suppliers —
+    so components emerge suppliers-first and one forward sweep over the
+    emission order completes every mask.
+    """
+    budget = current_budget()
+    with trace_span("closure-index-build", nodes=len(node_ids)) as span:
+        index_of: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Dict[int, bool] = {}
+        comp_of: Dict[int, int] = {}
+        comp_nodes: List[Tuple[int, ...]] = []
+        tarjan_stack: List[int] = []
+        counter = 0
+
+        for root in sorted(node_ids):
+            if root in index_of:
+                continue
+            # Iterative Tarjan: (node, iterator over its suppliers).
+            work: List[Tuple[int, Iterator[int]]] = []
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            tarjan_stack.append(root)
+            on_stack[root] = True
+            work.append((root, iter(suppliers_of(root))))
+            while work:
+                if budget is not None:
+                    budget.tick("closure-index")
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index_of:
+                        index_of[child] = lowlink[child] = counter
+                        counter += 1
+                        tarjan_stack.append(child)
+                        on_stack[child] = True
+                        work.append((child, iter(suppliers_of(child))))
+                        advanced = True
+                        break
+                    if on_stack.get(child):
+                        if index_of[child] < lowlink[node]:
+                            lowlink[node] = index_of[child]
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if lowlink[node] < lowlink[parent]:
+                        lowlink[parent] = lowlink[node]
+                if lowlink[node] == index_of[node]:
+                    members: List[int] = []
+                    while True:
+                        member = tarjan_stack.pop()
+                        on_stack[member] = False
+                        comp_of[member] = len(comp_nodes)
+                        members.append(member)
+                        if member == node:
+                            break
+                    comp_nodes.append(tuple(members))
+
+        # Suppliers-first sweep: every supplier component of comp was
+        # emitted earlier, so its mask is already complete.
+        comp_mask: List[int] = []
+        for comp, members in enumerate(comp_nodes):
+            if budget is not None:
+                budget.tick("closure-index")
+            mask = 1 << comp
+            for member in members:
+                for supplier in suppliers_of(member):
+                    supplier_comp = comp_of[supplier]
+                    if supplier_comp != comp:
+                        mask |= comp_mask[supplier_comp]
+            comp_mask.append(mask)
+
+        span.set(components=len(comp_nodes))
+        return ClosureIndex(comp_of, comp_nodes, comp_mask)

@@ -9,7 +9,14 @@ dependences of the appropriate node(s)").
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.pdg.closure import (
+    ClosureIndex,
+    build_closure_index,
+    closure_index_enabled,
+    index_build_allowed,
+)
 
 CONTROL = "control"
 DATA = "data"
@@ -30,9 +37,13 @@ class ProgramDependenceGraph:
         self._forward: Dict[int, List[Tuple[int, str, str]]] = {}
         self._edge_set: Set[Tuple[int, int, str, str]] = set()
         self.nodes: Set[int] = set()
+        #: Lazily built closure index (repro.pdg.closure); discarded on
+        #: any mutation so it can never serve stale closures.
+        self._closure_index: Optional[ClosureIndex] = None
 
     def add_node(self, node_id: int) -> None:
         self.nodes.add(node_id)
+        self._closure_index = None
 
     def add_edge(self, src: int, dst: int, kind: str, detail: str = "") -> None:
         """Record that *dst* depends on *src* (kind: control/data)."""
@@ -43,6 +54,7 @@ class ProgramDependenceGraph:
         self.nodes.add(dst)
         self._back.setdefault(dst, []).append((src, kind, detail))
         self._forward.setdefault(src, []).append((dst, kind, detail))
+        self._closure_index = None
 
     # ------------------------------------------------------------------
 
@@ -72,9 +84,39 @@ class ProgramDependenceGraph:
 
     # ------------------------------------------------------------------
 
+    def _suppliers(self, node: int) -> List[int]:
+        return [src for src, _, _ in self._back.get(node, [])]
+
+    def ensure_closure_index(self) -> Optional[ClosureIndex]:
+        """Build (or return) the closure index, honouring the global
+        enablement knob and the budget-pressure skip rule.
+
+        Returns None when the index is disabled or deferred; callers
+        then take the BFS path.  The index is assembled fully before the
+        single attribute assignment, so a budget abort mid-build leaves
+        no partial state and a concurrent reader sees either nothing or
+        a complete index.
+        """
+        if not closure_index_enabled():
+            return None
+        index = self._closure_index
+        if index is None:
+            if not index_build_allowed():
+                return None
+            index = build_closure_index(sorted(self.nodes), self._suppliers)
+            self._closure_index = index
+        return index
+
     def backward_closure(self, seeds: Iterable[int]) -> FrozenSet[int]:
         """All nodes the *seeds* transitively depend on, seeds included —
-        the conventional slice as a node set."""
+        the conventional slice as a node set.
+
+        Served from the closure index when enabled (one mask OR per
+        seed); the BFS below is the reference path and the fallback
+        under budget pressure."""
+        index = self.ensure_closure_index()
+        if index is not None:
+            return index.backward_closure(seeds)
         seen: Set[int] = set(seeds)
         queue = deque(seen)
         while queue:

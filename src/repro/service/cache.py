@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.tracer import trace_event, trace_span
 from repro.pdg.builder import ProgramAnalysis, analyze_program
@@ -135,6 +135,7 @@ class AnalysisCache:
                 # Force the lazy fields so the shared object is frozen.
                 analysis.augmented_cfg  # noqa: B018
                 analysis.augmented_pdg  # noqa: B018
+                analysis.pdg.ensure_closure_index()
             analysis = self.put(key, analysis)
         if max_nodes is not None and len(analysis.cfg.nodes) > max_nodes:
             from repro.service.resilience import BudgetExceededError
@@ -173,3 +174,97 @@ class AnalysisCache:
                 "evictions": self.evictions,
                 "hit_rate": round(self.hits / total, 4) if total else 0.0,
             }
+
+
+class SliceCacheStats:
+    """Engine-wide counters aggregated over every per-analysis
+    :class:`SliceMemo` (one engine, many programs, one hit rate)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def record(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    def record_eviction(self) -> None:
+        with self._lock:
+            self.evictions += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }
+
+
+class SliceMemo:
+    """A bounded LRU of slice results for **one** ``ProgramAnalysis``.
+
+    Keyed by ``(algorithm, line, var)``: the analysis itself pins the
+    program source and every analysis option (it is content-addressed by
+    :func:`analysis_key`), and criterion resolution is deterministic, so
+    those three values determine the slice completely.  Soundness rests
+    on ``ProgramAnalysis`` being immutable after construction (DESIGN.md
+    §7) — a memoized :class:`~repro.slicing.common.SliceResult` is the
+    byte-identical answer a recomputation would produce.
+
+    Stored values are the ``SliceResult`` objects, not encoded payloads:
+    results are never mutated by callers, while payload dicts could be.
+    Degraded (budget-downgraded) results must never be stored — the
+    engine only calls :meth:`put` on the successful exact path.
+
+    Lifetime: the memo hangs off ``ProgramAnalysis._slice_memo``, so
+    evicting the analysis from the :class:`AnalysisCache` drops its memo
+    with it and an ``id()`` recycle can never alias another program's
+    slices.  Counters live in a shared :class:`SliceCacheStats`.
+    """
+
+    def __init__(
+        self, capacity: int, stats: Optional[SliceCacheStats] = None
+    ) -> None:
+        self.capacity = capacity
+        self._stats = stats
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, int, str], Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Tuple[str, int, str]) -> Optional[Any]:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+        if self._stats is not None:
+            self._stats.record(hit=result is not None)
+        return result
+
+    def put(self, key: Tuple[str, int, str], result: Any) -> None:
+        if self.capacity <= 0:
+            return
+        evicted = 0
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if self._stats is not None:
+            for _ in range(evicted):
+                self._stats.record_eviction()

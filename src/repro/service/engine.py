@@ -37,7 +37,7 @@ from repro.obs.tracer import (
     use_tracer,
 )
 from repro.pdg.builder import ProgramAnalysis
-from repro.service.cache import AnalysisCache
+from repro.service.cache import AnalysisCache, SliceCacheStats, SliceMemo
 from repro.lint.rules import run_lint
 from repro.service.faults import FaultPlan, InjectedFaultError
 from repro.service.protocol import (
@@ -221,6 +221,12 @@ class SlicingEngine:
     #: How many slow-request exemplar traces are retained (newest win).
     MAX_EXEMPLARS = 8
 
+    #: Bound of each per-analysis slice memo (entries, LRU).  ``all``-
+    #: mode criterion families on big generated programs run a few
+    #: hundred criteria, so this holds a whole family per algorithm
+    #: pair without letting a hostile client grow memory unboundedly.
+    SLICE_MEMO_CAPACITY = 512
+
     def __init__(
         self,
         cache: Optional[AnalysisCache] = None,
@@ -243,6 +249,8 @@ class SlicingEngine:
         self.slow_trace_seconds = slow_trace_seconds
         self._exemplars: List[Dict[str, Any]] = []
         self._exemplar_lock = threading.Lock()
+        self.slice_cache_stats = SliceCacheStats()
+        self._memo_create_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="slang-worker"
         )
@@ -268,6 +276,51 @@ class SlicingEngine:
             source,
             max_nodes=budget.max_nodes if budget is not None else None,
         )
+
+    def _memo_for(self, analysis: ProgramAnalysis) -> SliceMemo:
+        """The per-analysis slice memo, created on first use.
+
+        The memo lives on the analysis object itself (see
+        :class:`SliceMemo` for the lifetime/soundness argument); the
+        engine only supplies the capacity and the shared counters.
+        """
+        memo = analysis._slice_memo
+        if memo is None:
+            with self._memo_create_lock:
+                memo = analysis._slice_memo
+                if memo is None:
+                    memo = SliceMemo(
+                        self.SLICE_MEMO_CAPACITY, self.slice_cache_stats
+                    )
+                    analysis._slice_memo = memo
+        return memo
+
+    def slice_cached(
+        self,
+        analysis: ProgramAnalysis,
+        line: int,
+        var: str,
+        algorithm: str,
+    ):
+        """One slice through the per-analysis memo.
+
+        Only successful exact slices are stored: an algorithm that
+        raises (refusal, budget exhaustion) caches nothing, and the
+        degraded path in :meth:`_degrade` never comes through here — a
+        budget-shaped answer must not be replayed to a request with a
+        different budget.
+        """
+        key = (algorithm, line, var)
+        memo = self._memo_for(analysis)
+        with trace_span("slice-cache-lookup") as span:
+            result = memo.get(key)
+            span.set(hit=result is not None)
+        if result is None:
+            result = get_algorithm(algorithm)(
+                analysis, SlicingCriterion(line=line, var=var)
+            )
+            memo.put(key, result)
+        return result
 
     def handle(self, request: ServiceRequest) -> Dict[str, Any]:
         """Execute one parsed request, returning a response envelope.
@@ -382,12 +435,12 @@ class SlicingEngine:
 
     def _dispatch(self, request: ServiceRequest) -> Dict[str, Any]:
         if isinstance(request, SliceRequest):
-            return perform_slice(
-                self.analysis_for(request.source),
-                request.line,
-                request.var,
-                request.algorithm,
+            analysis = self.analysis_for(request.source)
+            check_algorithm_capability(analysis, request.algorithm)
+            result = self.slice_cached(
+                analysis, request.line, request.var, request.algorithm
             )
+            return slice_result_payload(result)
         if isinstance(request, CompareRequest):
             return perform_compare(
                 self.analysis_for(request.source),
@@ -533,10 +586,11 @@ class SlicingEngine:
         on nested tasks would deadlock; the engine's own ``metrics``
         handler slices inline for exactly that reason.
         """
-        slicer = get_algorithm(algorithm)
-
         def one(criterion: SlicingCriterion) -> frozenset:
-            return frozenset(slicer(analysis, criterion).statement_nodes())
+            result = self.slice_cached(
+                analysis, criterion.line, criterion.var, algorithm
+            )
+            return frozenset(result.statement_nodes())
 
         return list(self._pool.map(one, criteria))
 
@@ -553,11 +607,13 @@ class SlicingEngine:
         check_algorithm_capability(analysis, algorithm)
         if criteria is None:
             criteria = enumerate_criteria(analysis, mode)
-        slicer = get_algorithm(algorithm)
 
         def one(criterion: SlicingCriterion) -> Dict[str, Any]:
             with self.stats.time("bulk-slice", algorithm):
-                return slice_result_payload(slicer(analysis, criterion))
+                result = self.slice_cached(
+                    analysis, criterion.line, criterion.var, algorithm
+                )
+                return slice_result_payload(result)
 
         return list(self._pool.map(one, criteria))
 
@@ -595,6 +651,7 @@ class SlicingEngine:
     def stats_payload(self) -> Dict[str, Any]:
         payload = self.stats.snapshot()
         payload["cache"] = self.cache.stats()
+        payload["slice_cache"] = self.slice_cache_stats.stats()
         payload["admission"] = self.gate.snapshot()
         if self.faults is not None:
             payload["faults"] = self.faults.snapshot()

@@ -33,7 +33,9 @@ def nearest_in_slice(
     Both trees the slicers walk (postdominator and lexical successor) are
     rooted at EXIT, so the walk always terminates with an answer.
     """
-    for ancestor in tree.ancestors(node_id):
+    # Iterate the memoized chain tuple directly: this is the hottest
+    # loop of the Fig. 7 family and of label re-association.
+    for ancestor in tree.ancestor_chain(node_id):
         if ancestor in slice_nodes or ancestor == exit_id:
             return ancestor
     raise AssertionError(
@@ -55,14 +57,12 @@ def reassociate_labels(
     """
     cfg = analysis.cfg
     mapping: Dict[str, int] = {}
-    for node_id in sorted(slice_nodes):
-        node = cfg.nodes.get(node_id)
-        if node is None or node.goto_target is None:
+    # Only goto/condgoto members can dangle a label; the precomputed
+    # site list (node-id order, matching the old sorted-slice scan)
+    # keeps this O(gotos in slice) instead of O(slice).
+    for node_id, label, target in analysis.goto_sites():
+        if node_id not in slice_nodes:
             continue
-        if node.kind not in (NodeKind.GOTO, NodeKind.CONDGOTO):
-            continue
-        label = node.goto_target
-        target = cfg.label_entry[label]
         if target in slice_nodes or target == cfg.exit_id:
             continue
         mapping[label] = nearest_in_slice(

@@ -59,16 +59,11 @@ def resolve_criterion(
         breaking the idempotence property).
     """
     cfg = analysis.cfg
-    candidates: List[int] = [
-        node.id
-        for node in cfg.statement_nodes()
-        if node.line == criterion.line
-    ]
+    candidates: List[int] = list(analysis.nodes_at_line(criterion.line))
     if not candidates:
-        lines = sorted({n.line for n in cfg.statement_nodes()})
         raise SliceError(
             f"no statement at line {criterion.line}; "
-            f"statement lines are {lines}"
+            f"statement lines are {analysis.statement_lines()}"
         )
     reachable = cfg.reachable_from(cfg.entry_id)
     live = [node_id for node_id in candidates if node_id in reachable]

@@ -132,3 +132,66 @@ class TestLiveness:
         cfg = cfg_of("if (c)\nx = 1;")
         result = compute_liveness(cfg)
         assert "c" in result.in_[1]
+
+
+class TestEngineKnob:
+    def test_default_engine_is_bitset(self):
+        from repro.analysis.dataflow import (
+            ENGINE_BITSET,
+            get_dataflow_engine,
+        )
+
+        assert get_dataflow_engine() == ENGINE_BITSET
+
+    def test_set_engine_rejects_unknown(self):
+        import pytest
+
+        from repro.analysis.dataflow import set_dataflow_engine
+
+        with pytest.raises(ValueError):
+            set_dataflow_engine("abacus")
+
+    def test_context_manager_restores(self):
+        from repro.analysis.dataflow import (
+            dataflow_engine,
+            get_dataflow_engine,
+        )
+
+        before = get_dataflow_engine()
+        with dataflow_engine("sets"):
+            assert get_dataflow_engine() == "sets"
+        assert get_dataflow_engine() == before
+
+    def test_engines_agree_on_framework_problem(self):
+        cfg = cfg_of("x = 1;\nwhile (x) {\nx = x - 1;\n}\nwrite(x);")
+        problem = GenKillProblem(
+            gen=lambda n: frozenset({n}) if n % 2 else frozenset(),
+            kill=lambda n: frozenset({n - 1}),
+            direction=FORWARD,
+        )
+        reference = solve_dataflow(cfg, problem, engine="sets")
+        fast = solve_dataflow(cfg, problem, engine="bitset")
+        assert reference.in_ == fast.in_
+        assert reference.out == fast.out
+
+    def test_custom_transfer_takes_the_sets_path(self):
+        """A subclass overriding ``transfer`` is not a pure gen/kill
+        problem; the bitset engine must defer to the reference solver
+        rather than mis-encode it."""
+
+        class Clamp(GenKillProblem):
+            def transfer(self, node_id, value):
+                return frozenset(list(sorted(value))[:1])
+
+        cfg = cfg_of("x = 1;\ny = 2;\nwrite(y);")
+        problem = Clamp(
+            gen=lambda n: frozenset({n}),
+            kill=lambda n: frozenset(),
+            direction=FORWARD,
+        )
+        reference = solve_dataflow(cfg, problem, engine="sets")
+        fast = solve_dataflow(cfg, problem, engine="bitset")
+        assert reference.in_ == fast.in_
+        assert reference.out == fast.out
+        for node_id, facts in fast.out.items():
+            assert len(facts) <= 1

@@ -123,3 +123,28 @@ class TestProgramAnalysis:
     def test_invalid_dominator_algorithm(self):
         with pytest.raises(ValueError):
             analyze_program("x = 1;", dominator_algorithm="nope")
+
+
+class TestReachingDefsIndex:
+    def test_index_matches_linear_scan_on_corpus(self):
+        """The per-(node, var) index answers exactly what the old
+        linear scan over ``reaching.in_`` answered."""
+        for name in sorted(PAPER_PROGRAMS):
+            analysis = analyze_program(PAPER_PROGRAMS[name].source)
+            for node in analysis.cfg.sorted_nodes():
+                for var in sorted(node.uses | node.defs):
+                    expected = sorted(
+                        d.node
+                        for d in analysis.reaching.in_[node.id]
+                        if d.var == var
+                    )
+                    assert (
+                        analysis.reaching_defs_of(node.id, var)
+                        == expected
+                    ), (name, node.id, var)
+
+    def test_result_lists_are_not_aliased(self):
+        analysis = analyze_program("x = 1;\nwrite(x);")
+        first = analysis.reaching_defs_of(2, "x")
+        first.append(999)
+        assert analysis.reaching_defs_of(2, "x") == [1]

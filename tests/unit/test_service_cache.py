@@ -100,3 +100,128 @@ class TestThreadSafety:
         # from here on serves one object.
         assert winner is not None
         assert cache.get(analysis_key(FIG3A)) is winner
+
+
+# ----------------------------------------------------------------------
+# Slice-level memoization (SliceCacheStats / SliceMemo / engine wiring)
+# ----------------------------------------------------------------------
+
+from repro.service.cache import SliceCacheStats, SliceMemo  # noqa: E402
+
+
+class TestSliceCacheStats:
+    def test_counters_and_hit_rate(self):
+        stats = SliceCacheStats()
+        stats.record(hit=False)
+        stats.record(hit=True)
+        stats.record(hit=True)
+        stats.record_eviction()
+        snapshot = stats.stats()
+        assert snapshot == {
+            "hits": 2,
+            "misses": 1,
+            "evictions": 1,
+            "hit_rate": round(2 / 3, 4),
+        }
+
+    def test_empty_hit_rate_is_zero(self):
+        assert SliceCacheStats().stats()["hit_rate"] == 0.0
+
+    def test_reset(self):
+        stats = SliceCacheStats()
+        stats.record(hit=True)
+        stats.record_eviction()
+        stats.reset()
+        assert stats.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
+
+
+class TestSliceMemo:
+    KEY = ("agrawal", 5, "x")
+
+    def test_miss_then_hit_same_object(self):
+        stats = SliceCacheStats()
+        memo = SliceMemo(4, stats)
+        assert memo.get(self.KEY) is None
+        sentinel = object()
+        memo.put(self.KEY, sentinel)
+        assert memo.get(self.KEY) is sentinel
+        assert stats.stats()["hits"] == 1
+        assert stats.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        stats = SliceCacheStats()
+        memo = SliceMemo(2, stats)
+        a, b, c = ("a", 1, "x"), ("b", 2, "y"), ("c", 3, "z")
+        memo.put(a, "A")
+        memo.put(b, "B")
+        memo.get(a)  # refresh a; b is now LRU
+        memo.put(c, "C")  # evicts b
+        assert memo.get(b) is None
+        assert memo.get(a) == "A"
+        assert memo.get(c) == "C"
+        assert stats.stats()["evictions"] == 1
+        assert len(memo) == 2
+
+    def test_zero_capacity_stores_nothing(self):
+        memo = SliceMemo(0)
+        memo.put(self.KEY, "value")
+        assert memo.get(self.KEY) is None
+        assert len(memo) == 0
+
+    def test_works_without_shared_stats(self):
+        memo = SliceMemo(2)
+        memo.put(self.KEY, "value")
+        assert memo.get(self.KEY) == "value"
+
+
+class TestEngineSliceMemoWiring:
+    def test_repeat_slice_is_a_hit_returning_the_same_result(self):
+        from repro.service.engine import SlicingEngine
+
+        with SlicingEngine(workers=1) as engine:
+            analysis = engine.analysis_for(FIG3A)
+            criterion = analysis.cfg.statement_nodes()[-1]
+            line = criterion.line
+            var = sorted(criterion.uses | criterion.defs)[0]
+            first = engine.slice_cached(analysis, line, var, "agrawal")
+            second = engine.slice_cached(analysis, line, var, "agrawal")
+            assert first is second
+            snapshot = engine.slice_cache_stats.stats()
+            assert snapshot["hits"] == 1
+            assert snapshot["misses"] == 1
+            payload = engine.stats_payload()
+            assert payload["slice_cache"]["hits"] == 1
+
+    def test_memo_is_per_analysis_and_per_algorithm(self):
+        from repro.service.engine import SlicingEngine
+
+        with SlicingEngine(workers=1) as engine:
+            analysis = engine.analysis_for(FIG3A)
+            node = analysis.cfg.statement_nodes()[-1]
+            var = sorted(node.uses | node.defs)[0]
+            a = engine.slice_cached(analysis, node.line, var, "agrawal")
+            b = engine.slice_cached(analysis, node.line, var, "weiser")
+            assert a is not b
+            assert engine.slice_cache_stats.stats()["misses"] == 2
+
+    def test_slice_cache_counters_reach_prometheus(self):
+        from repro.obs.prom import parse_prometheus, render_prometheus
+        from repro.service.engine import SlicingEngine
+
+        with SlicingEngine(workers=1) as engine:
+            analysis = engine.analysis_for(FIG3A)
+            node = analysis.cfg.statement_nodes()[-1]
+            var = sorted(node.uses | node.defs)[0]
+            engine.slice_cached(analysis, node.line, var, "agrawal")
+            engine.slice_cached(analysis, node.line, var, "agrawal")
+            metrics = parse_prometheus(
+                render_prometheus(engine.stats_payload())
+            )
+        assert metrics["slang_slice_cache_hits_total"][()] == 1.0
+        assert metrics["slang_slice_cache_misses_total"][()] == 1.0
+        assert metrics["slang_slice_cache_evictions_total"][()] == 0.0

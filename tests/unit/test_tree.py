@@ -1,5 +1,7 @@
 """Unit tests for the rooted-tree utility."""
 
+import sys
+
 import pytest
 
 from repro.analysis.tree import Tree
@@ -112,3 +114,62 @@ class TestTraversal:
         assert dict(
             (child, parent) for parent, child in sample.edges()
         ) == sample.as_parent_map()
+
+
+class TestAncestorChain:
+    def fresh_walk(self, tree, node):
+        chain = []
+        current = tree.parent_of(node)
+        while current is not None:
+            chain.append(current)
+            current = tree.parent_of(current)
+        return tuple(chain)
+
+    def test_chain_matches_fresh_parent_walk(self, sample):
+        for node in sample.nodes:
+            assert sample.ancestor_chain(node) == self.fresh_walk(
+                sample, node
+            )
+
+    def test_chain_is_cached(self, sample):
+        first = sample.ancestor_chain(2)
+        assert sample.ancestor_chain(2) is first
+        # Filling 2's chain also fills every prefix on the way up.
+        assert sample.ancestor_chain(3) == (5, 10)
+
+    def test_unknown_node_gets_empty_chain(self, sample):
+        assert sample.ancestor_chain(99) == ()
+        assert list(sample.ancestors(99)) == []
+
+    def test_deep_chain_does_not_recurse(self):
+        """LST chains on large flat programs are deep; the memo fill
+        must not hit the interpreter recursion limit."""
+        depth = sys.getrecursionlimit() + 500
+        tree = Tree({i: i - 1 for i in range(1, depth)}, root=0)
+        chain = tree.ancestor_chain(depth - 1)
+        assert len(chain) == depth - 1
+        assert chain[0] == depth - 2
+        assert chain[-1] == 0
+
+    def test_corpus_nearest_in_slice_unchanged(self):
+        """The memoized chains answer nearest-ancestor queries exactly
+        as a fresh walk does, over every PDT/LST in the corpus."""
+        from repro.corpus import PAPER_PROGRAMS
+        from repro.pdg.builder import analyze_program
+
+        for name in sorted(PAPER_PROGRAMS):
+            analysis = analyze_program(PAPER_PROGRAMS[name].source)
+            for tree in (analysis.pdt, analysis.lst):
+                members = set(
+                    list(sorted(tree.nodes))[:: max(1, len(tree) // 5)]
+                )
+                for node in sorted(tree.nodes):
+                    expected = None
+                    for ancestor in self.fresh_walk(tree, node):
+                        if ancestor in members:
+                            expected = ancestor
+                            break
+                    assert (
+                        tree.nearest_ancestor_in(node, members)
+                        == expected
+                    ), (name, node)
