@@ -1,0 +1,213 @@
+"""Experiment SDG-1 — cost profile of interprocedural slicing (our
+addition; Agrawal's paper is intraprocedural and reports no timings).
+
+The Horwitz–Reps–Binkley construction has two distinct cost centres:
+
+* the **summary-edge fixed point**, paid once per program — worklist
+  over (actual-in, actual-out) pairs across the call graph;
+* the **two-pass slice**, paid once per criterion — unit-local
+  closures (served by the condensed-PDG closure index) plus the
+  ascent/descent crossings and per-unit Fig. 7 jump rounds.
+
+This bench separates the two with the tracing layer the subsystem is
+instrumented with (``sdg-build`` / ``sdg-summary`` spans), then times a
+criterion family over the finished SDG, at three generated program
+sizes.  The shape claim: summary construction is a one-off cost
+amortised across criteria — per-criterion slice time must stay well
+under the build cost on every size.
+
+Besides the pytest-benchmark timings this module doubles as a
+standalone reporter::
+
+    PYTHONPATH=src python benchmarks/bench_sdg.py          # full run
+    PYTHONPATH=src python benchmarks/bench_sdg.py --smoke  # CI gate
+
+The full run writes ``BENCH_sdg.json``.  Smoke mode runs the smallest
+size once, checks the slice verifies clean (per-unit SL20x plus SL205
+call-site consistency), and exits 1 on any diagnostic — the CI
+tripwire for interprocedural soundness regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+
+import pytest
+
+from repro.gen.generator import (
+    GeneratorConfig,
+    generate_interprocedural,
+    random_criterion,
+    realize,
+)
+from repro.lang.errors import UnreachableCriterionError
+from repro.lint.slice_check import verify_interprocedural
+from repro.obs.tracer import Tracer, use_tracer
+from repro.pdg.builder import analyze_program
+from repro.sdg.builder import sdg_for_analysis
+from repro.sdg.slicer import sdg_slice
+from repro.slicing.criterion import SlicingCriterion
+
+#: label -> (num_procs, max_stmts); statement volume scales with both.
+SIZES = {
+    "small": (3, 5),
+    "medium": (6, 8),
+    "large": (10, 10),
+}
+SEED = 2026
+
+
+def _program(num_procs: int, max_stmts: int):
+    rng = random.Random(SEED + num_procs)
+    config = GeneratorConfig(
+        num_procs=num_procs,
+        max_stmts=max_stmts,
+        num_vars=6,
+        call_probability=0.35,
+    )
+    return realize(generate_interprocedural(rng, config)), rng
+
+
+def _criteria(program, rng, count: int = 8):
+    """A family of distinct criteria: main-unit writes plus one
+    proc-qualified criterion per procedure (the generator guarantees
+    every proc body ends with an assignment to a formal)."""
+    seen = set()
+    for _ in range(count * 4):
+        line, var = random_criterion(rng, program)
+        seen.add((line, var))
+        if len(seen) >= count:
+            break
+    family = [SlicingCriterion(line=line, var=var) for line, var in seen]
+    for proc in program.procs:
+        last = proc.body[-1]
+        family.append(
+            SlicingCriterion(line=last.line, var=last.target, proc=proc.name)
+        )
+    return family
+
+
+def _timed_build(program):
+    """Fresh analysis + SDG build under a tracer; returns the SDG plus
+    (total build seconds, summary-fixed-point seconds)."""
+    analysis = analyze_program(program)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        start = time.perf_counter()
+        sdg = sdg_for_analysis(analysis)
+        total = time.perf_counter() - start
+    summary_seconds = sum(
+        span.seconds for span in tracer.walk() if span.name == "sdg-summary"
+    )
+    return sdg, total, summary_seconds
+
+
+def measure(label: str, repeat: int = 3):
+    num_procs, max_stmts = SIZES[label]
+    program, rng = _program(num_procs, max_stmts)
+
+    builds = [_timed_build(program) for _ in range(repeat)]
+    sdg = builds[0][0]
+    build_seconds = min(entry[1] for entry in builds)
+    summary_seconds = min(entry[2] for entry in builds)
+
+    criteria = _criteria(program, rng)
+    slice_times = []
+    sliced = 0
+    for criterion in criteria:
+        try:
+            start = time.perf_counter()
+            result = sdg_slice(sdg, criterion)
+            slice_times.append(time.perf_counter() - start)
+        except UnreachableCriterionError:
+            continue
+        sliced += 1
+        diagnostics = verify_interprocedural(result)
+        assert not diagnostics, (
+            f"{label} {criterion}: {[str(d) for d in diagnostics]}"
+        )
+
+    vertices = sum(info.size for info in sdg.procs.values())
+    return {
+        "size": label,
+        "units": len(sdg.procs),
+        "vertices": vertices,
+        "summary_edges": sdg.summary_edges,
+        "summary_iterations": sdg.summary_iterations,
+        "build_seconds": round(build_seconds, 5),
+        "summary_seconds": round(summary_seconds, 5),
+        "criteria": sliced,
+        "slice_seconds_mean": round(
+            sum(slice_times) / max(1, len(slice_times)), 5
+        ),
+        "slice_seconds_max": round(max(slice_times, default=0.0), 5),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timings
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("label", ["small", "medium"])
+def test_bench_sdg_build(benchmark, label):
+    num_procs, max_stmts = SIZES[label]
+    program, _ = _program(num_procs, max_stmts)
+    benchmark.group = f"sdg {label}"
+    sdg = benchmark(lambda: _timed_build(program)[0])
+    assert sdg.summary_edges > 0
+
+
+@pytest.mark.parametrize("label", ["small", "medium"])
+def test_bench_sdg_slice(benchmark, label):
+    num_procs, max_stmts = SIZES[label]
+    program, rng = _program(num_procs, max_stmts)
+    sdg = sdg_for_analysis(analyze_program(program))
+    criteria = _criteria(program, rng)
+    benchmark.group = f"sdg {label}"
+
+    def run():
+        count = 0
+        for criterion in criteria:
+            try:
+                sdg_slice(sdg, criterion)
+                count += 1
+            except UnreachableCriterionError:
+                continue
+        return count
+
+    assert benchmark(run) >= 1
+
+
+# ----------------------------------------------------------------------
+# standalone reporter / CI smoke
+# ----------------------------------------------------------------------
+
+
+def smoke() -> int:
+    """Smallest size once; any verifier diagnostic fails the gate."""
+    entry = measure("small", repeat=1)
+    print(json.dumps({"bench": "sdg-smoke", **entry}, indent=2, sort_keys=True))
+    if entry["criteria"] < 1:
+        print("FAIL: no criterion produced a slice", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> None:
+    if "--smoke" in sys.argv[1:]:
+        raise SystemExit(smoke())
+    report = [measure(label) for label in SIZES]
+    path = "BENCH_sdg.json"
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

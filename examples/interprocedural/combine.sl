@@ -1,0 +1,14 @@
+read(x);
+read(y);
+call combine(x, y, s);
+call combine(y, y, t);
+write(s);
+write(t);
+
+proc combine(a, b, r) {
+    r = a * b;
+    if (a > b) {
+        return;
+    }
+    r = r + a;
+}

@@ -1,0 +1,13 @@
+read(n);
+f = 1;
+call fact(n, f);
+write(f);
+
+proc fact(n, acc) {
+    if (n <= 1) {
+        return;
+    }
+    acc = acc * n;
+    n = n - 1;
+    call fact(n, acc);
+}

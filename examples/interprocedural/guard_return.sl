@@ -1,0 +1,16 @@
+total = 0;
+count = 0;
+while (!eof()) {
+    read(x);
+    call accumulate(x, total, count);
+}
+write(total);
+write(count);
+
+proc accumulate(v, sum, n) {
+    if (v < 0) {
+        return;
+    }
+    sum = sum + v;
+    n = n + 1;
+}

@@ -1,0 +1,23 @@
+read(raw);
+read(limit);
+call scale(raw, limit, cooked);
+call audit(raw, seen);
+write(cooked);
+write(seen);
+
+proc scale(v, cap, out) {
+    out = v * 2;
+    call clamp(out, cap);
+}
+
+proc clamp(v, cap) {
+    if (v > cap) {
+        v = cap;
+    }
+}
+
+proc audit(v, count) {
+    if (v != 0) {
+        count = count + 1;
+    }
+}

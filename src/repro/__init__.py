@@ -25,6 +25,7 @@ paper-versus-measured record of every figure.
 from repro.corpus import PAPER_PROGRAMS, get_program
 from repro.gen import (
     GeneratorConfig,
+    generate_interprocedural,
     generate_structured,
     generate_unstructured,
     random_criterion,
@@ -43,6 +44,7 @@ from repro.lint import (
     Severity,
     SliceChecker,
     run_lint,
+    verify_interprocedural,
     verify_result,
     verify_slice,
 )
@@ -59,6 +61,8 @@ from repro.slicing import (
     chop,
     conservative_slice,
     conventional_slice,
+    extract_interprocedural,
+    extract_interprocedural_source,
     extract_slice,
     extract_source,
     forward_slice,
@@ -70,6 +74,7 @@ from repro.slicing import (
     structured_slice,
     weiser_slice,
 )
+from repro.sdg.slicer import interprocedural_slice
 
 __version__ = "1.0.0"
 
@@ -97,14 +102,18 @@ __all__ = [
     "conventional_slice",
     "criterion_trajectory",
     "dynamic_slice",
+    "extract_interprocedural",
+    "extract_interprocedural_source",
     "extract_slice",
     "extract_source",
     "forward_slice",
     "gallagher_slice",
+    "generate_interprocedural",
     "generate_structured",
     "generate_unstructured",
     "get_algorithm",
     "get_program",
+    "interprocedural_slice",
     "jiang_slice",
     "lyle_slice",
     "parse_program",
@@ -119,6 +128,7 @@ __all__ = [
     "slice_program",
     "structured_slice",
     "validate_program",
+    "verify_interprocedural",
     "verify_result",
     "verify_slice",
     "weiser_slice",

@@ -83,6 +83,15 @@ def build_lst_syntactic(
         parents[node_id] = follow
         if node.kind is NodeKind.CONDGOTO:
             return node_id
+        if node.kind is NodeKind.CALL:
+            # A call statement is one lexical unit: deleting it deletes
+            # the whole actual-in / call / actual-out chain, so every
+            # chain node's immediate lexical successor is what follows
+            # the statement, and the chain head is the entry.
+            chain = cfg.call_chains[node_id]
+            for member in chain:
+                parents[member] = follow
+            return chain[0]
         if isinstance(stmt, If):
             if stmt.then_branch is not None:
                 one(stmt.then_branch, follow)
@@ -119,7 +128,17 @@ def build_lst_syntactic(
         # Simple statements and jumps: nothing nested.
         return node_id
 
-    sequence(program.body, cfg.exit_id)
+    # Procedure units carry a formal-out prelude between the body and
+    # EXIT (and a formal-in prologue before the body): mirror the
+    # builder's placement so the cross-check holds per unit.
+    follow = cfg.exit_id
+    for node_id in reversed(cfg.formal_outs):
+        parents[node_id] = follow
+        follow = node_id
+    entry = sequence(program.body, follow)
+    for node_id in reversed(cfg.formal_ins):
+        parents[node_id] = entry
+        entry = node_id
     return LexicalSuccessorTree(parents, root=cfg.exit_id)
 
 

@@ -42,12 +42,14 @@ from repro.lang.ast_nodes import (
     Assign,
     Block,
     Break,
+    CallStmt,
     Continue,
     DoWhile,
     Expr,
     For,
     Goto,
     If,
+    MAIN_UNIT,
     Num,
     Program,
     Read,
@@ -87,29 +89,96 @@ class CFGBuilder:
         self._pending_gotos: List[Tuple[int, str, str]] = []
         #: Lexical successor of each statement node (wiring-time next).
         self._lexical_parent: Dict[int, int] = {}
+        #: Callee name -> parameter signature (multi-procedure programs).
+        self._signatures: Dict[str, object] = {}
+        #: Where a ``return`` transfers control: EXIT for main, the head
+        #: of the formal-out prelude for a procedure unit — the node a
+        #: return-as-jump targets when it crosses a call boundary.
+        self._return_target: int = -1
 
     # ------------------------------------------------------------------
     # Public entry point.
     # ------------------------------------------------------------------
 
-    def build(self, program: Program) -> ControlFlowGraph:
+    def build(
+        self, program: Program, unit: Optional[str] = None
+    ) -> ControlFlowGraph:
+        """Build the CFG of one unit of *program*.
+
+        ``unit=None`` builds the main unit (the whole program when there
+        are no procedures); ``unit="f"`` builds procedure ``f``'s body,
+        wrapped in its formal-in / formal-out parameter nodes.
+        """
         diagnostics = check_program(program)
         if diagnostics:
             raise ValidationError(
                 "cannot build CFG for an invalid program:\n  "
                 + "\n  ".join(diagnostics)
             )
+        proc = program.proc_named(unit) if unit else None
+        if unit and proc is None:
+            raise ValidationError(f"no procedure named {unit!r}")
+        if program.procs:
+            from repro.sdg.params import signatures as param_signatures
+
+            self._signatures = param_signatures(program)
+        body = proc.body if proc is not None else program.body
+        formals: List[str] = []
+        if proc is not None:
+            signature = self._signatures[proc.name]
+            formals = list(
+                signature.formals if self.chain_io else signature.declared
+            )
+
         cfg = self._cfg
+        cfg.unit_name = unit or MAIN_UNIT
         entry = cfg.new_node(NodeKind.ENTRY, text="ENTRY")
         cfg.entry_id = entry.id
-        for stmt in program.body:
+        for index, param in enumerate(formals):
+            node = cfg.new_node(
+                NodeKind.FORMAL_IN,
+                line=proc.line,
+                defs=frozenset({param}),
+                text=f"formal-in {param}",
+                call_name=proc.name,
+                param=param,
+                param_index=index,
+            )
+            cfg.formal_ins.append(node.id)
+        for stmt in body:
             self._create_nodes(stmt)
+        for index, param in enumerate(formals):
+            node = cfg.new_node(
+                NodeKind.FORMAL_OUT,
+                line=proc.line,
+                uses=frozenset({param}),
+                text=f"formal-out {param}",
+                call_name=proc.name,
+                param=param,
+                param_index=index,
+            )
+            cfg.formal_outs.append(node.id)
         exit_node = cfg.new_node(NodeKind.EXIT, text="EXIT")
         cfg.exit_id = exit_node.id
 
+        # Formal-out prelude: every path out of a procedure — including
+        # a `return`, which jumps like any other jump statement — runs
+        # the copy-out chain before EXIT, so value-result semantics hold
+        # on all exits.
+        following = exit_node.id
+        for node_id in reversed(cfg.formal_outs):
+            cfg.add_edge(node_id, following, EdgeLabel.FALL)
+            self._lexical_parent[node_id] = following
+            following = node_id
+        self._return_target = following
+
         first = self._wire_sequence(
-            program.body, nxt=exit_node.id, brk=None, cont=None
+            body, nxt=following, brk=None, cont=None
         )
+        for node_id in reversed(cfg.formal_ins):
+            cfg.add_edge(node_id, first, EdgeLabel.FALL)
+            self._lexical_parent[node_id] = first
+            first = node_id
         cfg.add_edge(entry.id, first, EdgeLabel.TRUE)
         self._resolve_gotos()
         cfg.lexical_parent = dict(self._lexical_parent)
@@ -276,11 +345,79 @@ class CFGBuilder:
                 goto_target=stmt.target,
             )
             cfg.map_stmt(stmt, node.id)
+        elif isinstance(stmt, CallStmt):
+            self._create_call_nodes(stmt)
         elif isinstance(stmt, Block):
             for inner in stmt.stmts:
                 self._create_nodes(inner)
         else:
             raise TypeError(f"unknown statement node: {stmt!r}")
+
+    def _create_call_nodes(self, stmt: CallStmt) -> None:
+        """Create the call-site node chain: one actual-in per argument,
+        the CALL node, one actual-out per variable argument (plus the
+        implicit ``$in`` pair when the callee touches input).
+
+        Actual-in nodes use the argument expression's variables but
+        define nothing in the caller (what the callee receives is the
+        SDG's business, carried by a param-in edge); actual-out nodes
+        define their variable but use nothing (their incoming dependence
+        is the param-out edge from the callee's formal-out plus summary
+        edges from the call's actual-ins).  Keeping both sides half-open
+        is what lets Horwitz–Reps–Binkley summary edges, not a
+        worst-case kill set, decide which argument reaches which result.
+        """
+        from repro.sdg.params import actuals_for
+
+        cfg = self._cfg
+        signature = self._signatures[stmt.name]
+        specs = actuals_for(stmt, signature)
+        if not self.chain_io:
+            specs = [spec for spec in specs if spec.expr is not None]
+        chain_ids: List[int] = []
+        for spec in specs:
+            if spec.expr is not None:
+                uses = _expr_uses(spec.expr, self.chain_io)
+                source = pretty_expr(spec.expr)
+            else:
+                uses = frozenset({INPUT_CURSOR})
+                source = INPUT_CURSOR
+            node = cfg.new_node(
+                NodeKind.ACTUAL_IN,
+                stmt,
+                stmt.line,
+                uses=uses,
+                text=f"{stmt.name}.{spec.param} <- {source}",
+                call_name=stmt.name,
+                param=spec.param,
+                param_index=spec.index,
+            )
+            chain_ids.append(node.id)
+        args = ", ".join(pretty_expr(arg) for arg in stmt.args)
+        call_node = cfg.new_node(
+            NodeKind.CALL,
+            stmt,
+            stmt.line,
+            text=f"call {stmt.name}({args})",
+            call_name=stmt.name,
+        )
+        cfg.map_stmt(stmt, call_node.id)
+        chain_ids.append(call_node.id)
+        for spec in specs:
+            if spec.out_var is None:
+                continue
+            node = cfg.new_node(
+                NodeKind.ACTUAL_OUT,
+                stmt,
+                stmt.line,
+                defs=frozenset({spec.out_var}),
+                text=f"{spec.out_var} <- {stmt.name}.{spec.param}",
+                call_name=stmt.name,
+                param=spec.param,
+                param_index=spec.index,
+            )
+            chain_ids.append(node.id)
+        cfg.call_chains[call_node.id] = chain_ids
 
     # ------------------------------------------------------------------
     # Pass 2: edge wiring (right-to-left through sequences).
@@ -350,9 +487,19 @@ class CFGBuilder:
             return node_id
         if isinstance(stmt, Return):
             node_id = cfg.node_of(stmt)
-            cfg.add_edge(node_id, cfg.exit_id, EdgeLabel.JUMP)
+            cfg.add_edge(node_id, self._return_target, EdgeLabel.JUMP)
             self._lexical_parent[node_id] = nxt
             return node_id
+        if isinstance(stmt, CallStmt):
+            chain_ids = cfg.call_chains[cfg.node_of(stmt)]
+            for src, dst in zip(chain_ids, chain_ids[1:]):
+                cfg.add_edge(src, dst, EdgeLabel.FALL)
+            cfg.add_edge(chain_ids[-1], nxt, EdgeLabel.FALL)
+            # The whole chain is one lexical unit: deleting the call
+            # statement sends control to the statement's successor.
+            for node_id in chain_ids:
+                self._lexical_parent[node_id] = nxt
+            return chain_ids[0]
         if isinstance(stmt, If):
             node_id = cfg.node_of(stmt)
             self._lexical_parent[node_id] = nxt
@@ -485,9 +632,12 @@ class CFGBuilder:
 
 
 def build_cfg(
-    program: Program, fuse_cond_goto: bool = True, chain_io: bool = True
+    program: Program,
+    fuse_cond_goto: bool = True,
+    chain_io: bool = True,
+    unit: Optional[str] = None,
 ) -> ControlFlowGraph:
-    """Build the control-flow graph of *program*.
+    """Build the control-flow graph of one unit of *program*.
 
     Parameters
     ----------
@@ -499,7 +649,10 @@ def build_cfg(
     chain_io:
         Chain ``read`` statements through the ``$in`` pseudo-variable
         (default on; see module docstring).
+    unit:
+        ``None`` for the main unit; a procedure name for that
+        procedure's body wrapped in its parameter nodes.
     """
     return CFGBuilder(fuse_cond_goto=fuse_cond_goto, chain_io=chain_io).build(
-        program
+        program, unit=unit
     )

@@ -36,6 +36,12 @@ class NodeKind(enum.Enum):
     BREAK = "break"
     CONTINUE = "continue"
     RETURN = "return"
+    # Interprocedural node kinds (the SDG parameter model).
+    CALL = "call"  # `call f(...)` transfer-of-control point
+    ACTUAL_IN = "actual-in"  # caller-side copy-in of one argument
+    ACTUAL_OUT = "actual-out"  # caller-side copy-out into a variable arg
+    FORMAL_IN = "formal-in"  # callee-side definition of one formal
+    FORMAL_OUT = "formal-out"  # callee-side final use of one formal
 
 
 #: Node kinds that are unconditional jump statements — the paper's "jump
@@ -48,6 +54,18 @@ JUMP_KINDS = frozenset(
 #: Node kinds that branch (more than one successor is possible).
 BRANCH_KINDS = frozenset(
     {NodeKind.PREDICATE, NodeKind.SWITCH, NodeKind.CONDGOTO, NodeKind.ENTRY}
+)
+
+#: Synthetic parameter-transfer kinds (SDG vertices that are CFG nodes
+#: but not statements of their own — they share their statement with a
+#: call site, or belong to the enclosing procedure's interface).
+PARAM_KINDS = frozenset(
+    {
+        NodeKind.ACTUAL_IN,
+        NodeKind.ACTUAL_OUT,
+        NodeKind.FORMAL_IN,
+        NodeKind.FORMAL_OUT,
+    }
 )
 
 
@@ -88,6 +106,13 @@ class CFGNode:
         A short human-readable rendering for graph dumps.
     goto_target:
         For GOTO and CONDGOTO nodes, the textual target label.
+    call_name:
+        For CALL / ACTUAL_IN / ACTUAL_OUT nodes, the callee's name.
+    param:
+        For parameter-transfer nodes, the parameter's name.
+    param_index:
+        For parameter-transfer nodes, the parameter's position in the
+        callee's interface (implicit ``$in`` comes last).
     """
 
     id: int
@@ -98,6 +123,9 @@ class CFGNode:
     uses: FrozenSet[str] = frozenset()
     text: str = ""
     goto_target: Optional[str] = None
+    call_name: Optional[str] = None
+    param: Optional[str] = None
+    param_index: Optional[int] = None
 
     @property
     def is_jump(self) -> bool:
@@ -138,6 +166,15 @@ class ControlFlowGraph:
         #: control reaches if the statement is deleted); recorded by the
         #: builder, wrapped by repro.analysis.lexical.
         self.lexical_parent: Dict[int, int] = {}
+        #: call node id -> the full call-site chain, in control order:
+        #: actual-in nodes, the call node itself, actual-out nodes.
+        self.call_chains: Dict[int, List[int]] = {}
+        #: formal-in node ids (procedure units only), in parameter order.
+        self.formal_ins: List[int] = []
+        #: formal-out node ids (procedure units only), in parameter order.
+        self.formal_outs: List[int] = []
+        #: the unit this CFG analyzes (main, or a proc's name).
+        self.unit_name: str = "main"
         self._next_id = 0
         #: start node id -> reachable set; criterion resolution asks for
         #: reachability from ENTRY on every query, so memoize per start
@@ -157,6 +194,9 @@ class ControlFlowGraph:
         uses: FrozenSet[str] = frozenset(),
         text: str = "",
         goto_target: Optional[str] = None,
+        call_name: Optional[str] = None,
+        param: Optional[str] = None,
+        param_index: Optional[int] = None,
     ) -> CFGNode:
         node = CFGNode(
             id=self._next_id,
@@ -167,6 +207,9 @@ class ControlFlowGraph:
             uses=uses,
             text=text,
             goto_target=goto_target,
+            call_name=call_name,
+            param=param,
+            param_index=param_index,
         )
         self._next_id += 1
         self.nodes[node.id] = node

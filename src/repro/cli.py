@@ -209,7 +209,11 @@ def _do_slice(args: argparse.Namespace) -> int:
     with trace_span("read-source"):
         source = _read_source(args.file)
     analysis = analyze_program(source)
-    criterion = SlicingCriterion(line=args.line, var=args.var)
+    proc = getattr(args, "proc", None)
+    criterion = SlicingCriterion(line=args.line, var=args.var, proc=proc)
+    from repro.service.engine import check_algorithm_capability
+
+    check_algorithm_capability(analysis, args.algorithm)
     if args.json:
         from repro.service.engine import perform_slice
         from repro.service.protocol import dump_json, ok_envelope
@@ -219,7 +223,7 @@ def _do_slice(args: argparse.Namespace) -> int:
             return 2
         with trace_span("slice-algorithm", algorithm=args.algorithm):
             payload = perform_slice(
-                analysis, args.line, args.var, args.algorithm
+                analysis, args.line, args.var, args.algorithm, proc=proc
             )
         with trace_span("emit"):
             print(dump_json(ok_envelope("slice", payload)))
@@ -250,8 +254,16 @@ def _do_slice(args: argparse.Namespace) -> int:
         with trace_span("slice-algorithm", algorithm=args.algorithm):
             result = slicer(analysis, criterion)
     with trace_span("emit"):
+        sdg_result = getattr(result, "sdg_result", None)
         if args.nodes:
-            print(result.describe())
+            if sdg_result is not None and sdg_result.sdg.program.procs:
+                print(sdg_result.describe())
+            else:
+                print(result.describe())
+        elif sdg_result is not None and sdg_result.sdg.program.procs:
+            from repro.slicing.extract import extract_interprocedural_source
+
+            sys.stdout.write(extract_interprocedural_source(sdg_result))
         else:
             sys.stdout.write(extract_source(result))
     return 0
@@ -592,6 +604,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_slice.add_argument("--var", required=True)
     p_slice.add_argument(
         "--algorithm", default="agrawal", choices=algorithm_names()
+    )
+    p_slice.add_argument(
+        "--proc",
+        default=None,
+        help=(
+            "procedure the criterion line lives in ('main' for the "
+            "top level); needed only when statements of several "
+            "procedures share the line"
+        ),
     )
     p_slice.add_argument(
         "--nodes", action="store_true", help="print node set, not source"

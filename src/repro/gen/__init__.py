@@ -2,6 +2,7 @@
 
 from repro.gen.generator import (
     GeneratorConfig,
+    generate_interprocedural,
     generate_structured,
     generate_unstructured,
     random_criterion,
@@ -10,6 +11,7 @@ from repro.gen.generator import (
 
 __all__ = [
     "GeneratorConfig",
+    "generate_interprocedural",
     "generate_structured",
     "generate_unstructured",
     "random_criterion",

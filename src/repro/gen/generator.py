@@ -17,17 +17,27 @@ Two generators:
   (postdominators exist) — but termination is *not* guaranteed, and
   consumers run them under the interpreter's step limit.
 
-Both finish with a ``write`` per variable, giving every program obvious
-slicing criteria; :func:`random_criterion` picks one.  :func:`realize`
-pretty-prints and re-parses a generated AST so statement line numbers are
-meaningful (criteria are line-addressed).
+* :func:`generate_interprocedural` — multi-procedure programs: a
+  structured main unit plus ``proc`` declarations that call each other.
+  Procedure ``p<i>`` may only call ``p<j>`` with ``j > i``, so the call
+  graph is a DAG and the call depth is bounded by the procedure count;
+  with :attr:`GeneratorConfig.allow_recursion` a procedure may also
+  call *itself* (always under a conditional), which voids the
+  termination guarantee — consumers then rely on the interpreter's
+  step limit, as with the unstructured generator.  Every declared
+  procedure is called from at least one site.
+
+All generators finish main with a ``write`` per variable, giving every
+program obvious slicing criteria; :func:`random_criterion` picks one.
+:func:`realize` pretty-prints and re-parses a generated AST so statement
+line numbers are meaningful (criteria are line-addressed).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
 
 from repro.lang.ast_nodes import (
     Assign,
@@ -35,6 +45,7 @@ from repro.lang.ast_nodes import (
     Block,
     Break,
     Call,
+    CallStmt,
     Continue,
     DoWhile,
     Expr,
@@ -42,6 +53,7 @@ from repro.lang.ast_nodes import (
     Goto,
     If,
     Num,
+    ProcDecl,
     Program,
     Read,
     Return,
@@ -78,9 +90,21 @@ class GeneratorConfig:
     #: Unstructured generator: program length and backward-jump rate.
     flat_length: int = 14
     backward_probability: float = 0.3
+    #: Interprocedural generator: procedure count, formals per
+    #: procedure, call emission rate, and whether a procedure may call
+    #: itself (termination is then no longer guaranteed).
+    num_procs: int = 3
+    params_per_proc: int = 2
+    call_probability: float = 0.3
+    allow_recursion: bool = False
+    #: When set, overrides the ``v0..vN`` pool — used to generate
+    #: procedure bodies over their formals and locals.
+    var_pool: Optional[List[str]] = field(default=None)
 
 
 def _variables(config: GeneratorConfig) -> List[str]:
+    if config.var_pool is not None:
+        return config.var_pool
     return [f"v{index}" for index in range(config.num_vars)]
 
 
@@ -129,10 +153,22 @@ def _condition(rng: random.Random, config: GeneratorConfig) -> Expr:
 
 
 class _StructuredGenerator:
-    def __init__(self, rng: random.Random, config: GeneratorConfig) -> None:
+    def __init__(
+        self,
+        rng: random.Random,
+        config: GeneratorConfig,
+        callables: Sequence[Tuple[str, int]] = (),
+        self_name: Optional[str] = None,
+    ) -> None:
         self.rng = rng
         self.config = config
         self._loop_counter = 0
+        #: ``(name, arity)`` procedures this unit may ``call``.
+        self.callables = list(callables)
+        #: When generating a procedure body, its own name — a call to
+        #: it (recursion) is always wrapped in a conditional so the
+        #: base case is at least syntactically present.
+        self.self_name = self_name
 
     def program(self) -> Program:
         body = self._sequence(
@@ -166,7 +202,9 @@ class _StructuredGenerator:
         rng = self.rng
         config = self.config
         choices = ["assign", "assign", "read", "write"]
-        if depth > 0:
+        if self.callables and rng.random() < config.call_probability:
+            choices = ["call"]
+        elif depth > 0:
             choices += ["if", "if"]
             if config.allow_loops:
                 choices += ["while", "for", "dowhile"]
@@ -184,6 +222,20 @@ class _StructuredGenerator:
                 choices = [rng.choice(jump_choices)]
         kind = rng.choice(choices)
 
+        if kind == "call":
+            name, arity = rng.choice(self.callables)
+            args: List[Expr] = []
+            for _ in range(arity):
+                # Mostly plain variables, so copy-out (and hence an
+                # actual-out vertex) exists for most arguments.
+                if rng.random() < 0.8:
+                    args.append(Var(rng.choice(_variables(config))))
+                else:
+                    args.append(_expr(rng, config, 1))
+            call = CallStmt(name=name, args=args)
+            if name == self.self_name:
+                return If(cond=_condition(rng, config), then_branch=call)
+            return call
         if kind == "assign":
             return Assign(
                 target=rng.choice(_variables(config)),
@@ -271,6 +323,100 @@ def generate_structured(
 ) -> Program:
     """A random structured program (terminating by construction)."""
     return _StructuredGenerator(rng, config or GeneratorConfig()).program()
+
+
+# ----------------------------------------------------------------------
+# Interprocedural programs.
+# ----------------------------------------------------------------------
+
+
+def _called_names(program: Program) -> set:
+    return {
+        stmt.name
+        for stmt in program.all_statements()
+        if isinstance(stmt, CallStmt)
+    }
+
+
+def generate_interprocedural(
+    rng: random.Random, config: Optional[GeneratorConfig] = None
+) -> Program:
+    """A random multi-procedure program (see module docstring).
+
+    The call graph is acyclic by construction — ``p<i>`` may only call
+    ``p<j>`` with ``j > i`` — so call depth is bounded by
+    ``config.num_procs``.  With ``config.allow_recursion`` a procedure
+    may additionally call itself under a conditional; termination is
+    then *not* guaranteed and consumers must run under a step limit.
+    Every declared procedure ends up with at least one call site, so
+    no generated program trips the never-called-procedure rejection.
+    """
+    config = config or GeneratorConfig()
+    num_procs = max(1, config.num_procs)
+    names = [f"p{index}" for index in range(num_procs)]
+    arities = [
+        rng.randint(1, max(1, config.params_per_proc)) for _ in names
+    ]
+
+    procs: List[ProcDecl] = []
+    for index, name in enumerate(names):
+        params = [f"a{offset}" for offset in range(arities[index])]
+        pool = params + ["t0", "t1"]
+        callables = [
+            (names[callee], arities[callee])
+            for callee in range(index + 1, num_procs)
+        ]
+        if config.allow_recursion:
+            callables.append((name, arities[index]))
+        proc_config = replace(
+            config,
+            var_pool=pool,
+            max_depth=min(config.max_depth, 2),
+            max_stmts=min(config.max_stmts, 4),
+        )
+        generator = _StructuredGenerator(
+            rng, proc_config, callables=callables, self_name=name
+        )
+        body = generator._sequence(
+            depth=proc_config.max_depth, in_loop=False, in_switch=False
+        )
+        # A trailing top-level return would make the closing formal
+        # write below dead code; drop it (mid-body returns stay).
+        while body and isinstance(body[-1], Return):
+            body.pop()
+        # End by writing a formal, so copy-out carries an effect and
+        # the procedure has a summary edge worth computing.
+        body.append(
+            Assign(
+                target=rng.choice(params),
+                value=_expr(rng, proc_config, 1),
+            )
+        )
+        procs.append(ProcDecl(name=name, params=params, body=body))
+
+    main_generator = _StructuredGenerator(
+        rng,
+        replace(config, var_pool=None),
+        callables=list(zip(names, arities)),
+    )
+    main = main_generator.program()
+    program = Program(body=main.body, procs=procs)
+
+    # Guarantee every procedure is reachable from some call site: any
+    # procedure no unit calls gets a direct call from main, inserted
+    # just before the criterion writes.
+    missing = [name for name in names if name not in _called_names(program)]
+    variables = _variables(replace(config, var_pool=None))
+    insert_at = len(main.body) - config.num_vars
+    for name in missing:
+        arity = arities[names.index(name)]
+        call = CallStmt(
+            name=name,
+            args=[Var(rng.choice(variables)) for _ in range(arity)],
+        )
+        main.body.insert(insert_at, call)
+        insert_at += 1
+    return Program(body=main.body, procs=procs)
 
 
 # ----------------------------------------------------------------------

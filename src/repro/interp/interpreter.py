@@ -26,6 +26,7 @@ from repro.lang.ast_nodes import (
     Assign,
     Binary,
     Call,
+    CallStmt,
     Expr,
     If,
     Num,
@@ -73,24 +74,65 @@ def _trunc_mod(a: int, b: int) -> int:
 
 
 class Interpreter:
-    """Executes one CFG repeatedly over different inputs."""
+    """Executes one CFG repeatedly over different inputs.
+
+    ``program`` enables procedure calls: each callee's CFG is built
+    lazily on first call and executed on its own frame, with
+    value-result copy-in/copy-out (the SL parameter semantics).  A CFG
+    containing ``call`` nodes but no program to resolve them against
+    raises a clean :class:`InterpreterError` at the call.
+    """
 
     def __init__(
         self,
         cfg: ControlFlowGraph,
         intrinsics: IntrinsicRegistry = DEFAULT_INTRINSICS,
         step_limit: int = DEFAULT_STEP_LIMIT,
+        program: Optional[Program] = None,
     ) -> None:
         self.cfg = cfg
         self.intrinsics = intrinsics
         self.step_limit = step_limit
-        # Precompute labelled successor lookup per node.
-        self._by_label: Dict[int, Dict[str, int]] = {}
+        self.program = program
+        self._by_label = self._label_table(cfg)
+        self._unit_cfgs: Dict[str, ControlFlowGraph] = {}
+        self._unit_tables: Dict[str, Dict[int, Dict[str, int]]] = {}
+        self._signatures = None
+
+    @staticmethod
+    def _label_table(cfg: ControlFlowGraph) -> Dict[int, Dict[str, int]]:
+        """Labelled successor lookup per node."""
+        tables: Dict[int, Dict[str, int]] = {}
         for node_id in cfg.nodes:
             table: Dict[str, int] = {}
             for dst, label in cfg.successors(node_id):
                 table.setdefault(label, dst)
-            self._by_label[node_id] = table
+            tables[node_id] = table
+        return tables
+
+    def _callee(self, name: str):
+        """The (cfg, label table, signature) of one procedure."""
+        if self.program is None or self.program.proc_named(name) is None:
+            raise InterpreterError(
+                f"cannot execute call to {name!r}: no such procedure "
+                "is available to this interpreter"
+            )
+        if self._signatures is None:
+            from repro.sdg.callgraph import build_call_graph
+            from repro.sdg.params import signatures
+
+            self._signatures = signatures(
+                self.program, build_call_graph(self.program)
+            )
+        if name not in self._unit_cfgs:
+            cfg = build_cfg(self.program, unit=name)
+            self._unit_cfgs[name] = cfg
+            self._unit_tables[name] = self._label_table(cfg)
+        return (
+            self._unit_cfgs[name],
+            self._unit_tables[name],
+            self._signatures[name],
+        )
 
     # ------------------------------------------------------------------
 
@@ -127,9 +169,21 @@ class Interpreter:
         }
         watch = watch or {}
         cfg = self.cfg
+        table = self._by_label
         current = cfg.entry_id
         steps = 0
         returned: Optional[int] = None
+        # Suspended caller frames: (cfg, label table, env, resume node,
+        # value-result copy-out bindings of the active callee).
+        frames: List[tuple] = []
+
+        def follow(node_id: int, label: str) -> int:
+            entry = table[node_id]
+            if label in entry:
+                return entry[label]
+            raise InterpreterError(
+                f"node {node_id} has no outgoing {label!r} edge"
+            )
 
         def evaluate(expr: Expr) -> int:
             if isinstance(expr, Num):
@@ -150,7 +204,16 @@ class Interpreter:
                 return self.intrinsics.call(expr.name, args)
             raise InterpreterError(f"cannot evaluate {expr!r}")
 
-        while current != cfg.exit_id:
+        while True:
+            if current == cfg.exit_id:
+                if not frames:
+                    break
+                # Callee finished: value-result copy-out, resume caller.
+                callee_env = env
+                cfg, table, env, current, out_bindings = frames.pop()
+                for param, out_var in out_bindings:
+                    env[out_var] = callee_env.get(param, 0)
+                continue
             steps += 1
             if steps > self.step_limit:
                 raise InterpreterError(
@@ -158,10 +221,13 @@ class Interpreter:
                     f"{current} ({cfg.nodes[current].text!r})"
                 )
             node = cfg.nodes[current]
-            if current in watch:
-                trajectories[current].append(env.get(watch[current], 0))
-            if tracer is not None:
-                tracer(current)
+            # Watch and trace speak main-unit node ids only (the dynamic
+            # slicer and trajectory oracle are intraprocedural).
+            if not frames:
+                if current in watch:
+                    trajectories[current].append(env.get(watch[current], 0))
+                if tracer is not None:
+                    tracer(current)
             kind = node.kind
             if kind is NodeKind.ENTRY:
                 current = cfg.succ_ids(current)[0]
@@ -169,7 +235,7 @@ class Interpreter:
                 stmt = node.stmt
                 assert isinstance(stmt, Assign)
                 env[stmt.target] = evaluate(stmt.value)
-                current = self._follow(current, EdgeLabel.FALL)
+                current = follow(current, EdgeLabel.FALL)
             elif kind is NodeKind.READ:
                 stmt = node.stmt
                 assert isinstance(stmt, Read)
@@ -178,36 +244,64 @@ class Interpreter:
                     cursor += 1
                 else:
                     env[stmt.target] = 0
-                current = self._follow(current, EdgeLabel.FALL)
+                current = follow(current, EdgeLabel.FALL)
             elif kind is NodeKind.WRITE:
                 stmt = node.stmt
                 assert isinstance(stmt, Write)
                 outputs.append(evaluate(stmt.value))
-                current = self._follow(current, EdgeLabel.FALL)
+                current = follow(current, EdgeLabel.FALL)
             elif kind is NodeKind.SKIP:
-                current = self._follow(current, EdgeLabel.FALL)
+                current = follow(current, EdgeLabel.FALL)
             elif kind in (NodeKind.PREDICATE, NodeKind.CONDGOTO):
                 cond = self._condition_of(node)
                 branch = EdgeLabel.TRUE if evaluate(cond) else EdgeLabel.FALSE
-                current = self._follow(current, branch)
+                current = follow(current, branch)
             elif kind is NodeKind.SWITCH:
                 stmt = node.stmt
                 assert isinstance(stmt, Switch)
                 value = evaluate(stmt.subject)
-                table = self._by_label[current]
                 label = EdgeLabel.case(value)
-                if label in table:
-                    current = table[label]
+                if label in table[current]:
+                    current = table[current][label]
                 else:
-                    current = self._follow(current, EdgeLabel.DEFAULT)
+                    current = follow(current, EdgeLabel.DEFAULT)
             elif kind in (NodeKind.GOTO, NodeKind.BREAK, NodeKind.CONTINUE):
-                current = self._follow(current, EdgeLabel.JUMP)
+                current = follow(current, EdgeLabel.JUMP)
             elif kind is NodeKind.RETURN:
                 stmt = node.stmt
                 assert isinstance(stmt, Return)
-                if stmt.value is not None:
+                if stmt.value is not None and not frames:
                     returned = evaluate(stmt.value)
-                current = self._follow(current, EdgeLabel.JUMP)
+                current = follow(current, EdgeLabel.JUMP)
+            elif kind in (
+                NodeKind.ACTUAL_IN,
+                NodeKind.ACTUAL_OUT,
+                NodeKind.FORMAL_IN,
+                NodeKind.FORMAL_OUT,
+            ):
+                # Copy-in happens at the CALL node, copy-out at frame
+                # pop; the parameter nodes exist for dependence
+                # analysis and are execution no-ops.
+                current = follow(current, EdgeLabel.FALL)
+            elif kind is NodeKind.CALL:
+                stmt = node.stmt
+                assert isinstance(stmt, CallStmt)
+                callee_cfg, callee_table, signature = self._callee(stmt.name)
+                from repro.sdg.params import actuals_for
+
+                callee_env: Dict[str, int] = {}
+                out_bindings: List[tuple] = []
+                for spec in actuals_for(stmt, signature):
+                    if spec.expr is not None:
+                        callee_env[spec.param] = evaluate(spec.expr)
+                    if spec.out_var is not None:
+                        out_bindings.append((spec.param, spec.out_var))
+                frames.append(
+                    (cfg, table, env,
+                     follow(current, EdgeLabel.FALL), out_bindings)
+                )
+                cfg, table, env = callee_cfg, callee_table, callee_env
+                current = cfg.entry_id
             else:
                 raise InterpreterError(f"cannot execute node {node!r}")
 
@@ -282,8 +376,13 @@ def run_program(
     watch: Optional[Dict[int, str]] = None,
 ) -> ExecutionResult:
     """Execute a program (AST or prebuilt CFG) over *inputs*."""
-    cfg = program if isinstance(program, ControlFlowGraph) else build_cfg(program)
-    interpreter = Interpreter(cfg, intrinsics=intrinsics, step_limit=step_limit)
+    if isinstance(program, ControlFlowGraph):
+        cfg, ast = program, None
+    else:
+        cfg, ast = build_cfg(program), program
+    interpreter = Interpreter(
+        cfg, intrinsics=intrinsics, step_limit=step_limit, program=ast
+    )
     return interpreter.run(inputs, initial_env=initial_env, watch=watch)
 
 

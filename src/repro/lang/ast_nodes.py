@@ -249,6 +249,25 @@ class Goto(Stmt):
 
 
 @dataclass
+class CallStmt(Stmt):
+    """``call name(arg, ...);`` — invoke a declared procedure.
+
+    SL procedures communicate exclusively through their parameters,
+    which are passed by *value-result* (copy-in / copy-out): on entry
+    each formal receives the value of its actual argument; on return
+    each actual that is a plain variable receives the final value of
+    its formal.  Arguments that are not plain variables are copy-in
+    only.  This is the classic parameter model of the
+    Horwitz–Reps–Binkley system-dependence-graph construction, where it
+    yields one actual-in vertex per argument and one actual-out vertex
+    per variable argument.
+    """
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
 class Block(Stmt):
     """``{ stmts }``"""
 
@@ -256,16 +275,62 @@ class Block(Stmt):
 
 
 @dataclass
+class ProcDecl:
+    """``proc name(p1, ..., pk) { body }`` — a procedure declaration.
+
+    Procedures appear only at the top level of a program; their bodies
+    are ordinary statement sequences.  ``line`` is the declaration
+    line.  A ``return`` inside a procedure jumps to the procedure's
+    exit (through its formal-out prelude), not to the program's.
+    """
+
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+#: The synthetic unit name for a program's top-level statement sequence.
+MAIN_UNIT = "main"
+
+
+@dataclass
 class Program:
-    """A whole SL program: a top-level statement sequence."""
+    """A whole SL program: a top-level statement sequence (the *main*
+    unit) plus any ``proc`` declarations."""
 
     body: List[Stmt] = field(default_factory=list)
     source: Optional[str] = None
+    procs: List[ProcDecl] = field(default_factory=list)
 
     def statements(self) -> Iterator[Stmt]:
-        """Pre-order lexical walk over all statements in the program."""
+        """Pre-order lexical walk over the main unit's statements.
+
+        Procedure bodies are *not* included — label scoping, criterion
+        lines, and the single-procedure pipeline all operate on one
+        unit at a time.  Use :meth:`all_statements` to span every unit.
+        """
         for stmt in self.body:
             yield from walk_statements(stmt)
+
+    def all_statements(self) -> Iterator[Stmt]:
+        """Pre-order lexical walk over every unit (main, then procs)."""
+        yield from self.statements()
+        for proc in self.procs:
+            for stmt in proc.body:
+                yield from walk_statements(stmt)
+
+    def units(self) -> Iterator[Tuple[str, List[Stmt]]]:
+        """Yield ``(unit name, statement list)`` for main and each proc."""
+        yield (MAIN_UNIT, self.body)
+        for proc in self.procs:
+            yield (proc.name, proc.body)
+
+    def proc_named(self, name: str) -> Optional[ProcDecl]:
+        for proc in self.procs:
+            if proc.name == name:
+                return proc
+        return None
 
 
 def walk_statements(stmt: Stmt) -> Iterator[Stmt]:

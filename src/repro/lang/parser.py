@@ -2,7 +2,8 @@
 
 The grammar (EBNF; ``//`` comments elided by the lexer)::
 
-    program    := stmt* EOF
+    program    := (proc | stmt)* EOF
+    proc       := 'proc' IDENT '(' (IDENT (',' IDENT)*)? ')' '{' stmt* '}'
     stmt       := IDENT ':' stmt            // statement label
                 | 'if' '(' expr ')' stmt ('else' stmt)?
                 | 'while' '(' expr ')' stmt
@@ -10,6 +11,7 @@ The grammar (EBNF; ``//`` comments elided by the lexer)::
                 | 'for' '(' simple? ';' expr? ';' simple? ')' stmt
                 | 'switch' '(' expr ')' '{' arm* '}'
                 | '{' stmt* '}'
+                | 'call' IDENT '(' (expr (',' expr)*)? ')' ';'
                 | 'break' ';' | 'continue' ';' | 'goto' IDENT ';'
                 | 'return' expr? ';'
                 | 'read' '(' IDENT ')' ';'
@@ -43,6 +45,7 @@ from repro.lang.ast_nodes import (
     Block,
     Break,
     Call,
+    CallStmt,
     Continue,
     DoWhile,
     Expr,
@@ -50,6 +53,7 @@ from repro.lang.ast_nodes import (
     Goto,
     If,
     Num,
+    ProcDecl,
     Program,
     Read,
     Return,
@@ -128,11 +132,59 @@ class Parser:
     # ------------------------------------------------------------------
 
     def parse_program(self) -> Program:
-        """Parse the whole token stream into a :class:`Program`."""
+        """Parse the whole token stream into a :class:`Program`.
+
+        ``proc`` declarations may appear anywhere at the top level;
+        they are collected into :attr:`Program.procs` while the
+        remaining top-level statements form the main unit.
+        """
         body: List[Stmt] = []
+        procs: List[ProcDecl] = []
         while not self._check(TokenKind.EOF):
+            if self._check(TokenKind.PROC):
+                procs.append(self._parse_proc())
+            else:
+                body.append(self.parse_statement())
+        return Program(body=body, source=self._source, procs=procs)
+
+    def _parse_proc(self) -> ProcDecl:
+        token = self._expect(TokenKind.PROC, "at start of procedure")
+        name = self._expect(TokenKind.IDENT, "after 'proc'")
+        self._expect(TokenKind.LPAREN, "after procedure name")
+        params: List[str] = []
+        if not self._check(TokenKind.RPAREN):
+            params.append(
+                self._expect(TokenKind.IDENT, "in parameter list").text
+            )
+            while self._match(TokenKind.COMMA):
+                params.append(
+                    self._expect(TokenKind.IDENT, "in parameter list").text
+                )
+        self._expect(TokenKind.RPAREN, "after parameter list")
+        brace = self._expect(TokenKind.LBRACE, "to open procedure body")
+        body: List[Stmt] = []
+        while not self._check(TokenKind.RBRACE):
+            if self._check(TokenKind.EOF):
+                raise ParseError(
+                    f"unterminated body of proc {name.text!r}",
+                    brace.location,
+                    self._source,
+                )
+            if self._check(TokenKind.PROC):
+                raise ParseError(
+                    "procedures cannot nest; close "
+                    f"proc {name.text!r} before declaring another",
+                    self._peek().location,
+                    self._source,
+                )
             body.append(self.parse_statement())
-        return Program(body=body, source=self._source)
+        self._expect(TokenKind.RBRACE, "to close procedure body")
+        return ProcDecl(
+            name=name.text,
+            params=params,
+            body=body,
+            line=token.location.line,
+        )
 
     def parse_statement(self) -> Stmt:
         """Parse one (possibly labelled) statement."""
@@ -179,6 +231,20 @@ class Parser:
             self._advance()
             self._expect(TokenKind.SEMI, "after 'continue'")
             return Continue(line=token.location.line)
+        if kind is TokenKind.CALL:
+            self._advance()
+            name = self._expect(TokenKind.IDENT, "after 'call'")
+            self._expect(TokenKind.LPAREN, "after callee name")
+            args: List[Expr] = []
+            if not self._check(TokenKind.RPAREN):
+                args.append(self.parse_expr())
+                while self._match(TokenKind.COMMA):
+                    args.append(self.parse_expr())
+            self._expect(TokenKind.RPAREN, "to close call arguments")
+            self._expect(TokenKind.SEMI, "after 'call ...()'")
+            return CallStmt(
+                line=token.location.line, name=name.text, args=args
+            )
         if kind is TokenKind.GOTO:
             self._advance()
             target = self._expect(TokenKind.IDENT, "after 'goto'")

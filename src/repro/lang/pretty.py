@@ -16,6 +16,7 @@ from repro.lang.ast_nodes import (
     Block,
     Break,
     Call,
+    CallStmt,
     Continue,
     DoWhile,
     Expr,
@@ -23,6 +24,7 @@ from repro.lang.ast_nodes import (
     Goto,
     If,
     Num,
+    ProcDecl,
     Program,
     Read,
     Return,
@@ -124,6 +126,9 @@ class _Printer:
                 self._emit(depth, f"{prefix}return {pretty_expr(stmt.value)};")
         elif isinstance(stmt, Goto):
             self._emit(depth, f"{prefix}goto {stmt.target};")
+        elif isinstance(stmt, CallStmt):
+            args = ", ".join(pretty_expr(arg) for arg in stmt.args)
+            self._emit(depth, f"{prefix}call {stmt.name}({args});")
         elif isinstance(stmt, Block):
             self._emit(depth, f"{prefix}{{")
             for inner in stmt.stmts:
@@ -175,6 +180,13 @@ class _Printer:
         else:
             raise TypeError(f"unknown statement node: {stmt!r}")
 
+    def proc(self, proc: ProcDecl, depth: int = 0) -> None:
+        params = ", ".join(proc.params)
+        self._emit(depth, f"proc {proc.name}({params}) {{")
+        for inner in proc.body:
+            self.statement(inner, depth + 1)
+        self._emit(depth, "}")
+
     def _branch(self, stmt: Optional[Stmt], depth: int) -> None:
         """Render an if/loop body; non-blocks get one extra indent level."""
         if stmt is None:
@@ -197,11 +209,24 @@ class _Printer:
 
 
 def pretty(node) -> str:
-    """Render a :class:`Program`, :class:`Stmt`, or :class:`Expr`."""
+    """Render a :class:`Program`, :class:`Stmt`, or :class:`Expr`.
+
+    Programs print in canonical unit order: the main body first, then
+    each ``proc`` declaration (parsing accepts either order, so the
+    round-trip property still holds for mixed sources).
+    """
     if isinstance(node, Program):
         printer = _Printer()
         for stmt in node.body:
             printer.statement(stmt, 0)
+        for index, proc in enumerate(node.procs):
+            if node.body or index:
+                printer._lines.append("")
+            printer.proc(proc)
+        return printer.render()
+    if isinstance(node, ProcDecl):
+        printer = _Printer()
+        printer.proc(node)
         return printer.render()
     if isinstance(node, Stmt):
         printer = _Printer()

@@ -31,6 +31,8 @@ class TokenKind(enum.Enum):
     GOTO = "goto"
     READ = "read"
     WRITE = "write"
+    PROC = "proc"
+    CALL = "call"
 
     # Punctuation.
     LPAREN = "("
@@ -79,6 +81,8 @@ KEYWORDS: Dict[str, TokenKind] = {
     "goto": TokenKind.GOTO,
     "read": TokenKind.READ,
     "write": TokenKind.WRITE,
+    "proc": TokenKind.PROC,
+    "call": TokenKind.CALL,
 }
 
 

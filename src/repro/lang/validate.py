@@ -2,11 +2,17 @@
 
 Checks performed before any analysis runs:
 
-* every ``goto`` target names a label that exists;
-* labels are unique;
+* every ``goto`` target names a label that exists *in the same unit*
+  (labels are scoped to the unit — main or one ``proc`` — that defines
+  them; jumping into another procedure is meaningless);
+* labels are unique within their unit;
 * ``break`` only appears inside a loop or a switch;
 * ``continue`` only appears inside a loop;
-* no switch arm repeats a ``case`` value or has two ``default`` labels.
+* no switch arm repeats a ``case`` value or has two ``default`` labels;
+* procedure declarations are unique (and never named ``main``, the
+  reserved name of the top-level unit);
+* every ``call`` names a declared procedure and passes exactly as many
+  arguments as the procedure has parameters.
 
 The core, :func:`check_program_diagnostics`, emits structured
 :class:`~repro.lint.diagnostics.Diagnostic` objects (stable ``SL0xx``
@@ -21,20 +27,24 @@ them, so existing callers are unaffected.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from repro.lang.ast_nodes import (
     Block,
     Break,
+    CallStmt,
     Continue,
     DoWhile,
     For,
     Goto,
     If,
+    MAIN_UNIT,
+    ProcDecl,
     Program,
     Stmt,
     Switch,
     While,
+    walk_statements,
 )
 from repro.lang.errors import ValidationError
 from repro.lint.diagnostics import Diagnostic, Severity
@@ -48,10 +58,21 @@ CODE_UNDEFINED_GOTO = "SL003"
 CODE_MISPLACED_BREAK = "SL004"
 CODE_MISPLACED_CONTINUE = "SL005"
 CODE_DUPLICATE_CASE = "SL006"
+CODE_UNDEFINED_PROC = "SL007"
+CODE_DUPLICATE_PROC = "SL008"
+CODE_CALL_ARITY = "SL009"
+
+
+def _unit_statements(stmts: Iterable[Stmt]):
+    for top in stmts:
+        yield from walk_statements(top)
 
 
 def collect_labels(program: Program) -> Dict[str, Stmt]:
-    """Map each statement label to its statement.
+    """Map each main-unit statement label to its statement.
+
+    Labels are unit-scoped; this helper covers the main unit only (the
+    CFG builder collects per-procedure labels itself while wiring).
 
     Raises
     ------
@@ -76,12 +97,55 @@ def check_program_diagnostics(program: Program) -> List[Diagnostic]:
 
     All front-end findings are errors: a program carrying any of them
     cannot be given a CFG.  Emission order matches the historical string
-    API (labels, gotos, jump placement, switch arms) so the shims below
-    reproduce the old output byte for byte.
+    API (labels, gotos, jump placement, switch arms, per unit in source
+    order) so the shims below reproduce the old output byte for byte on
+    procedure-free programs.
     """
     diagnostics: List[Diagnostic] = []
+
+    proc_table: Dict[str, ProcDecl] = {}
+    for proc in program.procs:
+        if proc.name == MAIN_UNIT:
+            diagnostics.append(
+                _error(
+                    CODE_DUPLICATE_PROC,
+                    "reserved-proc-name",
+                    proc.line,
+                    f"procedure name {MAIN_UNIT!r} is reserved for the "
+                    "top-level unit",
+                    hint="rename the procedure",
+                )
+            )
+        elif proc.name in proc_table:
+            diagnostics.append(
+                _error(
+                    CODE_DUPLICATE_PROC,
+                    "duplicate-proc",
+                    proc.line,
+                    f"duplicate procedure {proc.name!r} (first declared "
+                    f"on line {proc_table[proc.name].line})",
+                    hint="rename one of the procedures",
+                )
+            )
+        else:
+            proc_table[proc.name] = proc
+
+    for unit_name, body in program.units():
+        _check_unit(unit_name, body, proc_table, diagnostics)
+
+    return diagnostics
+
+
+def _check_unit(
+    unit_name: str,
+    body: List[Stmt],
+    proc_table: Dict[str, ProcDecl],
+    diagnostics: List[Diagnostic],
+) -> None:
+    in_proc = f" in proc {unit_name!r}" if unit_name != MAIN_UNIT else ""
+
     labels: Dict[str, Stmt] = {}
-    for stmt in program.statements():
+    for stmt in _unit_statements(body):
         if stmt.label is not None:
             if stmt.label in labels:
                 diagnostics.append(
@@ -90,33 +154,67 @@ def check_program_diagnostics(program: Program) -> List[Diagnostic]:
                         "duplicate-label",
                         stmt.line,
                         f"duplicate label {stmt.label!r} "
-                        f"(first defined on line {labels[stmt.label].line})",
+                        f"(first defined on line {labels[stmt.label].line})"
+                        + in_proc,
                         hint="rename one of the labels",
                     )
                 )
             else:
                 labels[stmt.label] = stmt
 
-    for stmt in program.statements():
+    for stmt in _unit_statements(body):
         if isinstance(stmt, Goto) and stmt.target not in labels:
             diagnostics.append(
                 _error(
                     CODE_UNDEFINED_GOTO,
                     "undefined-goto-target",
                     stmt.line,
-                    f"goto to undefined label {stmt.target!r}",
-                    hint="add the label or fix the goto target",
+                    f"goto to undefined label {stmt.target!r}" + in_proc,
+                    hint=(
+                        "add the label or fix the goto target (labels are "
+                        "scoped to their unit; a goto cannot cross a "
+                        "procedure boundary)"
+                        if in_proc
+                        else "add the label or fix the goto target"
+                    ),
                 )
             )
 
-    for top in program.body:
+    for top in body:
         _check_jump_placement(top, diagnostics, in_loop=False, in_switch=False)
 
-    for stmt in program.statements():
+    for stmt in _unit_statements(body):
         if isinstance(stmt, Switch):
             _check_switch_arms(stmt, diagnostics)
 
-    return diagnostics
+    for stmt in _unit_statements(body):
+        if not isinstance(stmt, CallStmt):
+            continue
+        callee = proc_table.get(stmt.name)
+        if callee is None:
+            diagnostics.append(
+                _error(
+                    CODE_UNDEFINED_PROC,
+                    "undefined-proc-call",
+                    stmt.line,
+                    f"call to undefined procedure {stmt.name!r}" + in_proc,
+                    hint="declare the procedure or fix the callee name",
+                )
+            )
+        elif len(stmt.args) != len(callee.params):
+            diagnostics.append(
+                _error(
+                    CODE_CALL_ARITY,
+                    "call-arity-mismatch",
+                    stmt.line,
+                    f"call to {stmt.name!r} passes {len(stmt.args)} "
+                    f"argument(s); the procedure declares "
+                    f"{len(callee.params)} parameter(s) "
+                    f"(line {callee.line})" + in_proc,
+                    hint="match the call's argument count to the "
+                    "procedure's parameter list",
+                )
+            )
 
 
 def check_program(program: Program) -> List[str]:

@@ -33,6 +33,7 @@ _LAZY = {
     "run_lint": ("repro.lint.rules", "run_lint"),
     "SliceChecker": ("repro.lint.slice_check", "SliceChecker"),
     "conditions_for": ("repro.lint.slice_check", "conditions_for"),
+    "verify_interprocedural": ("repro.lint.slice_check", "verify_interprocedural"),
     "verify_result": ("repro.lint.slice_check", "verify_result"),
     "verify_slice": ("repro.lint.slice_check", "verify_slice"),
 }
@@ -51,6 +52,7 @@ __all__ = [
     "run_lint",
     "severity_counts",
     "sort_diagnostics",
+    "verify_interprocedural",
     "verify_result",
     "verify_slice",
 ]

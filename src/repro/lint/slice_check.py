@@ -64,6 +64,11 @@ _CODES = {
     "jump": ("SL204", "jump-condition-violation"),
 }
 
+#: Interprocedural call-site consistency (DESIGN.md §12): parameter
+#: nodes, their call, and the matching formal nodes must be retained
+#: together across units.
+SL205 = ("SL205", "call-site-inconsistency")
+
 
 #: Algorithms whose correctness argument *is* Agrawal's fixed point —
 #: the Fig. 7 iteration terminates exactly when no out-of-slice jump
@@ -72,7 +77,8 @@ _CODES = {
 #: on structured programs, where every jump's target is a lexical
 #: successor and the conventional closure already satisfies the test.
 _FULL_AUDIT = frozenset(
-    {"agrawal", "agrawal-lst", "structured", "conservative"}
+    {"agrawal", "agrawal-lst", "structured", "conservative",
+     "interprocedural"}
 )
 
 
@@ -324,6 +330,114 @@ def verify_slice(
         )
         span.set(diagnostics=len(diagnostics))
     return diagnostics
+
+
+def _sl205(node_line: int, message: str) -> Diagnostic:
+    code, rule = SL205
+    return Diagnostic(
+        code=code, severity=Severity.ERROR, line=node_line,
+        message=message, rule=rule,
+    )
+
+
+def verify_interprocedural(sdg_result) -> List[Diagnostic]:
+    """Audit an interprocedural slice (an :class:`SDGSliceResult`).
+
+    Two layers, both independent of the slicer's own machinery:
+
+    * every unit's retained set is audited with the full per-unit
+      SL201–SL204 profile against that unit's own CFG and rebuilt
+      trees (the criterion condition applies only in the unit the
+      criterion resolved into);
+    * SL205 cross-unit call-site consistency — an actual-in or
+      actual-out without its call node, an actual-out whose matching
+      callee formal-out is missing, a retained call whose callee
+      retains nothing, or a retained procedure no retained call ever
+      invokes, all make the slice unextractable or change its meaning.
+    """
+    with trace_span("sl20x-verify-sdg") as span:
+        sdg = sdg_result.sdg
+        resolved = sdg_result.resolved
+        out: List[Diagnostic] = []
+
+        for unit, info in sdg.procs.items():
+            members = sdg_result.per_proc.get(unit)
+            if not members:
+                continue
+            checker = SliceChecker(info.analysis)
+            criterion_node = (
+                resolved.node_id if unit == resolved.unit else None
+            )
+            out.extend(
+                checker.verify(
+                    members,
+                    criterion_node=criterion_node,
+                    conditions=ALL_CONDITIONS,
+                )
+            )
+
+        per_proc = sdg_result.per_proc
+        for unit, info in sdg.procs.items():
+            members = per_proc.get(unit, frozenset())
+            cfg = info.analysis.cfg
+            for site in info.sites:
+                callee_members = per_proc.get(site.callee, frozenset())
+                callee_info = sdg.procs[site.callee]
+                call_line = cfg.nodes[site.call_id].line
+                for index, ai in site.actual_in.items():
+                    if ai in members and site.call_id not in members:
+                        out.append(_sl205(
+                            call_line,
+                            f"actual-in {index} of the call to "
+                            f"{site.callee!r} at line {call_line} is in "
+                            "the slice but the call itself is not",
+                        ))
+                for index, ao in site.actual_out.items():
+                    if ao not in members:
+                        continue
+                    if site.call_id not in members:
+                        out.append(_sl205(
+                            call_line,
+                            f"actual-out {index} of the call to "
+                            f"{site.callee!r} at line {call_line} is in "
+                            "the slice but the call itself is not",
+                        ))
+                    f_out = callee_info.formal_out.get(index)
+                    if f_out is None or f_out not in callee_members:
+                        out.append(_sl205(
+                            call_line,
+                            f"actual-out {index} of the call to "
+                            f"{site.callee!r} at line {call_line} is in "
+                            "the slice but the callee's matching "
+                            "formal-out is not — the copied-out value "
+                            "would never be computed",
+                        ))
+                if site.call_id in members and not callee_members:
+                    out.append(_sl205(
+                        call_line,
+                        f"the call to {site.callee!r} at line "
+                        f"{call_line} is in the slice but the callee "
+                        "retains no vertex at all",
+                    ))
+
+        from repro.lang.ast_nodes import MAIN_UNIT
+
+        for unit in sdg.procs:
+            if unit == MAIN_UNIT or not per_proc.get(unit):
+                continue
+            invoked = any(
+                site.call_id in per_proc.get(site.caller, frozenset())
+                for site in sdg.sites_of.get(unit, [])
+            )
+            if not invoked:
+                out.append(_sl205(
+                    0,
+                    f"procedure {unit!r} retains vertices but no "
+                    "retained call site ever invokes it",
+                ))
+
+        span.set(diagnostics=len(out))
+        return list(sort_diagnostics(out))
 
 
 def verify_result(

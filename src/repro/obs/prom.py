@@ -133,6 +133,25 @@ def render_prometheus(payload: Dict[str, Any]) -> str:
     for name, count in payload["events"].items():
         writer.sample("slang_events_total", {"event": name}, count)
 
+    sdg_events = {
+        name: count
+        for name, count in payload["events"].items()
+        if name.startswith("sdg:")
+    }
+    for event, metric, help_text in (
+        ("sdg:procedures", "slang_sdg_procedures_total",
+         "Procedures analysed into system dependence graphs."),
+        ("sdg:summary-edges", "slang_sdg_summary_edges_total",
+         "Summary edges computed across all SDG builds."),
+        ("sdg:pass1-visits", "slang_sdg_pass1_visits_total",
+         "Vertices marked by interprocedural slicing pass 1."),
+        ("sdg:pass2-visits", "slang_sdg_pass2_visits_total",
+         "Vertices marked by interprocedural slicing pass 2."),
+    ):
+        if event in sdg_events:
+            writer.head(metric, "counter", help_text)
+            writer.sample(metric, {}, sdg_events[event])
+
     writer.head(
         "slang_diagnostics_total",
         "counter",

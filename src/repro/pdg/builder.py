@@ -224,8 +224,13 @@ def analyze_program(
     fuse_cond_goto: bool = True,
     chain_io: bool = True,
     dominator_algorithm: str = "iterative",
+    unit: Optional[str] = None,
 ) -> ProgramAnalysis:
     """Run the full analysis pipeline on SL source text or a parsed AST.
+
+    ``unit`` selects which unit of a multi-procedure program to analyse
+    (``None`` = main); the SDG builder runs this pipeline once per
+    procedure and stitches the results together.
 
     Each phase runs under an observability span (no-ops unless a
     :class:`repro.obs.Tracer` is installed), so a traced request or a
@@ -238,9 +243,20 @@ def analyze_program(
                 program = parse_program(source_or_program)
         else:
             program = source_or_program
-        with trace_span("cfg-build"):
+        with trace_span("cfg-build", unit=unit or "main"):
             cfg = build_cfg(
-                program, fuse_cond_goto=fuse_cond_goto, chain_io=chain_io
+                program,
+                fuse_cond_goto=fuse_cond_goto,
+                chain_io=chain_io,
+                unit=unit,
+            )
+        if unit is not None:
+            # Downstream consumers (syntactic LST rebuild, extraction)
+            # read ``analysis.program.body`` as *this unit's* body, so a
+            # procedure analysis carries a unit view of the program.
+            proc = program.proc_named(unit)
+            program = Program(
+                body=proc.body, source=program.source, procs=program.procs
             )
         span.set(nodes=len(cfg.nodes))
         with trace_span("postdominance", algorithm=dominator_algorithm):

@@ -1,0 +1,234 @@
+"""System dependence graph construction (DESIGN.md §12).
+
+The SDG is built as one :class:`ProgramAnalysis` per unit — the entire
+intraprocedural pipeline (CFG, postdominator tree, lexical successor
+tree, control/data dependence, PDG, closure index) is reused per
+procedure, exactly as Horwitz–Reps–Binkley stitch per-procedure PDGs —
+plus the interprocedural glue:
+
+* a *local graph* per unit: the unit's PDG, plus control edges from each
+  CALL node to its actual-in/actual-out chain (an actual parameter is
+  meaningless without its call), plus the summary edges
+  :mod:`repro.sdg.summary` computes;
+* *parameter bindings* per call site: actual-in *i* ↔ formal-in *i* of
+  the callee, formal-out *j* ↔ actual-out *j*;
+* the *call binding*: CALL node ↔ callee ENTRY.
+
+Node ids stay unit-local everywhere (the per-unit trees and the Fig. 7
+jump tests only make sense per procedure); each unit gets a dense global
+id ``offset`` so results can also be reported as one flat vertex space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.cfg.graph import NodeKind
+from repro.lang.ast_nodes import MAIN_UNIT, Program
+from repro.lang.parser import parse_program
+from repro.obs.tracer import trace_span
+from repro.pdg.builder import ProgramAnalysis, analyze_program
+from repro.pdg.graph import CONTROL, ProgramDependenceGraph
+from repro.sdg.callgraph import CallGraph, build_call_graph
+from repro.sdg.params import ParamSignature, signatures
+
+#: Edge kind of the Horwitz–Reps–Binkley summary edges (actual-in →
+#: actual-out; transitive dependence through the callee).
+SUMMARY = "summary"
+
+
+@dataclass
+class CallSiteNodes:
+    """The node chain of one call site, by role (unit-local ids)."""
+
+    caller: str
+    callee: str
+    call_id: int
+    #: parameter index → actual-in node id (every position has one).
+    actual_in: Dict[int, int] = field(default_factory=dict)
+    #: parameter index → actual-out node id (only copy-out positions).
+    actual_out: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class ProcedureInfo:
+    """One unit's share of the SDG."""
+
+    name: str
+    analysis: ProgramAnalysis
+    #: The unit-local slicing graph: PDG ∪ call-control ∪ summary edges.
+    local: ProgramDependenceGraph
+    #: Global vertex id of this unit's local node 0.
+    offset: int
+    #: parameter index → formal-in / formal-out node id (procs only).
+    formal_in: Dict[int, int] = field(default_factory=dict)
+    formal_out: Dict[int, int] = field(default_factory=dict)
+    #: Call sites *inside* this unit, in lexical order.
+    sites: List[CallSiteNodes] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.analysis.cfg.nodes)
+
+
+@dataclass
+class SDGAnalysis:
+    """The stitched system dependence graph of one program."""
+
+    program: Program
+    graph: CallGraph
+    signatures: Dict[str, ParamSignature]
+    #: Unit name → per-unit share, main first, declaration order after.
+    procs: Dict[str, ProcedureInfo]
+    #: Callee name → the call sites that invoke it (across all units).
+    sites_of: Dict[str, List[CallSiteNodes]]
+    summary_edges: int = 0
+    summary_iterations: int = 0
+
+    def proc_of_global(self, global_id: int) -> str:
+        """The unit owning a flat vertex id."""
+        for name, info in self.procs.items():
+            if info.offset <= global_id < info.offset + info.size:
+                return name
+        raise KeyError(f"global vertex {global_id} out of range")
+
+    def global_id(self, unit: str, local_id: int) -> int:
+        return self.procs[unit].offset + local_id
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True for a single-unit program (no procedures): the SDG is
+        exactly the main unit's PDG and interprocedural slicing must
+        coincide node-for-node with the intraprocedural algorithms."""
+        return not self.program.procs
+
+
+def _local_graph(analysis: ProgramAnalysis) -> ProgramDependenceGraph:
+    """The unit's slicing graph: a copy of its PDG (the shared analysis
+    object must not grow summary or call edges other algorithms would
+    see) plus a control edge from every CALL node to each parameter node
+    of its chain."""
+    local = ProgramDependenceGraph()
+    for node_id in analysis.pdg.nodes:
+        local.add_node(node_id)
+    for src, dst, kind, detail in analysis.pdg.edges():
+        local.add_edge(src, dst, kind, detail)
+    for call_id, chain in analysis.cfg.call_chains.items():
+        for member in chain:
+            if member != call_id:
+                local.add_edge(call_id, member, CONTROL, "call")
+    return local
+
+
+def _site_nodes(analysis: ProgramAnalysis, unit: str) -> List[CallSiteNodes]:
+    cfg = analysis.cfg
+    sites: List[CallSiteNodes] = []
+    for call_id in sorted(cfg.call_chains):
+        call_node = cfg.nodes[call_id]
+        site = CallSiteNodes(
+            caller=unit, callee=call_node.call_name, call_id=call_id
+        )
+        for member in cfg.call_chains[call_id]:
+            node = cfg.nodes[member]
+            if node.kind is NodeKind.ACTUAL_IN:
+                site.actual_in[node.param_index] = member
+            elif node.kind is NodeKind.ACTUAL_OUT:
+                site.actual_out[node.param_index] = member
+        sites.append(site)
+    return sites
+
+
+def build_sdg(
+    source_or_program: Union[str, Program],
+    main_analysis: Optional[ProgramAnalysis] = None,
+    fuse_cond_goto: bool = True,
+    chain_io: bool = True,
+    dominator_algorithm: str = "iterative",
+) -> SDGAnalysis:
+    """Build the SDG: one analysis per unit, stitched, summary edges
+    computed to a fixed point.
+
+    ``main_analysis`` lets the service reuse its cached main-unit
+    analysis instead of rebuilding it; the remaining units are analysed
+    with the same front-end options.
+    """
+    with trace_span("sdg-build") as span:
+        if isinstance(source_or_program, str):
+            with trace_span("parse", bytes=len(source_or_program)):
+                program = parse_program(source_or_program)
+        else:
+            program = source_or_program
+        if main_analysis is not None:
+            program = main_analysis.program
+        with trace_span("sdg-callgraph"):
+            graph = build_call_graph(program)
+            sigs = signatures(program, graph)
+
+        procs: Dict[str, ProcedureInfo] = {}
+        sites_of: Dict[str, List[CallSiteNodes]] = {
+            unit: [] for unit in graph.units
+        }
+        offset = 0
+        for unit in graph.units:
+            with trace_span("sdg-unit", unit=unit):
+                if unit == MAIN_UNIT and main_analysis is not None:
+                    analysis = main_analysis
+                else:
+                    analysis = analyze_program(
+                        program,
+                        fuse_cond_goto=fuse_cond_goto,
+                        chain_io=chain_io,
+                        dominator_algorithm=dominator_algorithm,
+                        unit=None if unit == MAIN_UNIT else unit,
+                    )
+                cfg = analysis.cfg
+                info = ProcedureInfo(
+                    name=unit,
+                    analysis=analysis,
+                    local=_local_graph(analysis),
+                    offset=offset,
+                )
+                for node_id in cfg.formal_ins:
+                    info.formal_in[cfg.nodes[node_id].param_index] = node_id
+                for node_id in cfg.formal_outs:
+                    info.formal_out[cfg.nodes[node_id].param_index] = node_id
+                info.sites = _site_nodes(analysis, unit)
+                for site in info.sites:
+                    sites_of[site.callee].append(site)
+                procs[unit] = info
+                offset += info.size
+
+        sdg = SDGAnalysis(
+            program=program,
+            graph=graph,
+            signatures=sigs,
+            procs=procs,
+            sites_of=sites_of,
+        )
+        if program.procs:
+            from repro.sdg.summary import compute_summary_edges
+
+            with trace_span("sdg-summary") as summary_span:
+                compute_summary_edges(sdg)
+                summary_span.set(
+                    edges=sdg.summary_edges,
+                    iterations=sdg.summary_iterations,
+                )
+        span.set(
+            units=len(procs),
+            vertices=offset,
+            summary_edges=sdg.summary_edges,
+        )
+        return sdg
+
+
+def sdg_for_analysis(analysis: ProgramAnalysis) -> SDGAnalysis:
+    """The SDG of an already-analysed program, memoized on the analysis
+    object (same lifetime argument as the slice memo: an evicted
+    analysis takes its SDG with it)."""
+    sdg = getattr(analysis, "_sdg", None)
+    if sdg is None:
+        sdg = build_sdg(analysis.program, main_analysis=analysis)
+        analysis._sdg = sdg
+    return sdg

@@ -1,0 +1,137 @@
+"""Call-graph construction for multi-procedure SL programs.
+
+Pure AST level: this module imports nothing beyond
+:mod:`repro.lang.ast_nodes`, so the CFG builder can consult it while
+shaping call-site node chains without creating an import cycle (the
+rest of the ``sdg`` package sits *above* the PDG layer).
+
+The graph records, per unit (main or ``proc``), its call sites and
+callees; derived facts — which units are reachable from main, which
+transitively touch the input stream (and therefore carry the implicit
+``$in`` parameter), whether any recursion exists — are computed once at
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lang.ast_nodes import (
+    CallStmt,
+    MAIN_UNIT,
+    Program,
+    Read,
+    Stmt,
+    walk_statements,
+)
+
+
+@dataclass
+class CallGraph:
+    """Who calls whom, plus the derived interprocedural facts."""
+
+    #: Unit names in declaration order, main first.
+    units: List[str] = field(default_factory=list)
+    #: unit -> list of (call statement, callee name), in lexical order.
+    sites: Dict[str, List[Tuple[CallStmt, str]]] = field(default_factory=dict)
+    #: unit -> set of callee names.
+    callees: Dict[str, Set[str]] = field(default_factory=dict)
+    #: unit -> set of caller unit names.
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Units reachable from main through call edges (main included).
+    reachable: Set[str] = field(default_factory=set)
+    #: Units that read input directly or through a transitive callee —
+    #: exactly the units that carry the implicit ``$in`` parameter.
+    io_units: Set[str] = field(default_factory=set)
+    #: Units on a call-graph cycle (self-calls included).
+    recursive: Set[str] = field(default_factory=set)
+
+    def calls_between(self, caller: str, callee: str) -> List[CallStmt]:
+        return [
+            stmt
+            for stmt, name in self.sites.get(caller, [])
+            if name == callee
+        ]
+
+
+def _unit_statements(body: List[Stmt]):
+    for top in body:
+        yield from walk_statements(top)
+
+
+def _touches_input(body: List[Stmt]) -> bool:
+    """Does the unit itself read input or test ``eof()``?"""
+    for stmt in _unit_statements(body):
+        if isinstance(stmt, Read):
+            return True
+        for attr in ("value", "cond", "subject"):
+            expr = getattr(stmt, attr, None)
+            if expr is not None and hasattr(expr, "calls"):
+                if "eof" in expr.calls():
+                    return True
+        if isinstance(stmt, CallStmt):
+            for arg in stmt.args:
+                if "eof" in arg.calls():
+                    return True
+    return False
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """Build the call graph of *program* (valid call targets only;
+    validation reports dangling ``call`` statements separately)."""
+    graph = CallGraph()
+    declared = {proc.name for proc in program.procs}
+    direct_io: Set[str] = set()
+
+    for unit_name, body in program.units():
+        graph.units.append(unit_name)
+        graph.sites[unit_name] = []
+        graph.callees[unit_name] = set()
+        graph.callers.setdefault(unit_name, set())
+        for stmt in _unit_statements(body):
+            if isinstance(stmt, CallStmt) and stmt.name in declared:
+                graph.sites[unit_name].append((stmt, stmt.name))
+                graph.callees[unit_name].add(stmt.name)
+        if _touches_input(body):
+            direct_io.add(unit_name)
+
+    for caller, callees in graph.callees.items():
+        for callee in callees:
+            graph.callers.setdefault(callee, set()).add(caller)
+
+    # Reachability from main.
+    worklist = [MAIN_UNIT]
+    while worklist:
+        unit = worklist.pop()
+        if unit in graph.reachable:
+            continue
+        graph.reachable.add(unit)
+        worklist.extend(graph.callees.get(unit, ()))
+
+    # Transitive input use: propagate backwards over call edges to a
+    # fixed point (a caller of an io unit is an io unit).
+    graph.io_units = set(direct_io)
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in graph.callees.items():
+            if caller not in graph.io_units and callees & graph.io_units:
+                graph.io_units.add(caller)
+                changed = True
+
+    # Recursion: units that can reach themselves.
+    for unit in graph.units:
+        seen: Set[str] = set()
+        stack = list(graph.callees.get(unit, ()))
+        while stack:
+            current = stack.pop()
+            if current == unit:
+                graph.recursive.add(unit)
+                break
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(graph.callees.get(current, ()))
+
+    return graph

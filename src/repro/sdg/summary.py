@@ -1,0 +1,88 @@
+"""Horwitz–Reps–Binkley summary edges.
+
+A summary edge ``actual-in i → actual-out j`` at a call site records
+that the callee's formal-out *j* transitively depends on its formal-in
+*i* — the caller-local shortcut that lets the two-pass slicer cross a
+call's effect without descending into the callee on the first pass.
+
+The dependence "formal-out *j* on formal-in *i*" is itself computed from
+the callee's local graph, which contains summary edges for the calls
+*inside* the callee — so the computation iterates over the call graph to
+a fixed point.  Each procedure's dependence set only grows (adding
+summary edges adds dependence paths, never removes them), so the
+worklist terminates; recursion needs no special casing — a recursive
+procedure simply re-enters the worklist until its set stabilises.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.lang.ast_nodes import MAIN_UNIT
+from repro.obs.tracer import trace_span
+from repro.service.resilience import budget_tick
+
+
+def formal_dependences(sdg, unit: str) -> FrozenSet[Tuple[int, int]]:
+    """Pairs ``(i, j)``: formal-out *j* of *unit* depends on formal-in
+    *i*, under the *current* summary-edge approximation of the calls
+    inside *unit*."""
+    info = sdg.procs[unit]
+    pairs: Set[Tuple[int, int]] = set()
+    for j, f_out in info.formal_out.items():
+        closure = info.local.backward_closure([f_out])
+        for i, f_in in info.formal_in.items():
+            if f_in in closure:
+                pairs.add((i, j))
+    return frozenset(pairs)
+
+
+def compute_summary_edges(sdg) -> None:
+    """Add every summary edge to the callers' local graphs (fixed point
+    over the call graph); records edge and iteration counts on *sdg*."""
+    dep: Dict[str, FrozenSet[Tuple[int, int]]] = {}
+    added: Set[Tuple[str, int, int]] = set()
+    worklist = deque(unit for unit in sdg.procs if unit != MAIN_UNIT)
+    queued = set(worklist)
+    iterations = 0
+    while worklist:
+        unit = worklist.popleft()
+        queued.discard(unit)
+        iterations += 1
+        budget_tick("sdg-summary")
+        pairs = formal_dependences(sdg, unit)
+        if pairs == dep.get(unit):
+            continue
+        dep[unit] = pairs
+        dirty_callers: Set[str] = set()
+        for site in sdg.sites_of[unit]:
+            caller = sdg.procs[site.caller]
+            for i, j in pairs:
+                ai = site.actual_in.get(i)
+                ao = site.actual_out.get(j)
+                if ai is None or ao is None:
+                    continue
+                key = (site.caller, ai, ao)
+                if key in added:
+                    continue
+                added.add(key)
+                caller.local.add_edge(ai, ao, "summary", unit)
+                dirty_callers.add(site.caller)
+        for caller_name in dirty_callers:
+            if caller_name != MAIN_UNIT and caller_name not in queued:
+                worklist.append(caller_name)
+                queued.add(caller_name)
+    sdg.summary_edges = len(added)
+    sdg.summary_iterations = iterations
+
+
+def summary_edge_list(sdg):
+    """Every summary edge as ``(caller, ai_local, ao_local, callee)``,
+    sorted — for DOT rendering, benches, and tests."""
+    out = []
+    for unit, info in sdg.procs.items():
+        for src, dst, kind, detail in info.local.edges():
+            if kind == "summary":
+                out.append((unit, src, dst, detail))
+    return sorted(out)

@@ -95,6 +95,12 @@ def check_algorithm_capability(
     ``GET /algorithms`` first.
     """
     get_algorithm(algorithm)  # raises ValueError for unknown names
+    if analysis.program.procs and algorithm != "interprocedural":
+        raise SliceError(
+            f"algorithm {algorithm!r} sees one procedure at a time and "
+            "this program declares procedures; only 'interprocedural' "
+            "slices across calls (see /algorithms for capabilities)"
+        )
     if algorithm in CORRECT_STRUCTURED and not is_structured_program(
         analysis.cfg, analysis.lst
     ):
@@ -106,12 +112,16 @@ def check_algorithm_capability(
 
 
 def perform_slice(
-    analysis: ProgramAnalysis, line: int, var: str, algorithm: str
+    analysis: ProgramAnalysis,
+    line: int,
+    var: str,
+    algorithm: str,
+    proc: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One slice as a protocol result payload (shared by CLI and server)."""
     check_algorithm_capability(analysis, algorithm)
     slicer = get_algorithm(algorithm)
-    result = slicer(analysis, SlicingCriterion(line=line, var=var))
+    result = slicer(analysis, SlicingCriterion(line=line, var=var, proc=proc))
     return slice_result_payload(result)
 
 
@@ -301,6 +311,7 @@ class SlicingEngine:
         line: int,
         var: str,
         algorithm: str,
+        proc: Optional[str] = None,
     ):
         """One slice through the per-analysis memo.
 
@@ -310,17 +321,32 @@ class SlicingEngine:
         budget-shaped answer must not be replayed to a request with a
         different budget.
         """
-        key = (algorithm, line, var)
+        key = (algorithm, line, var, proc)
         memo = self._memo_for(analysis)
         with trace_span("slice-cache-lookup") as span:
             result = memo.get(key)
             span.set(hit=result is not None)
         if result is None:
             result = get_algorithm(algorithm)(
-                analysis, SlicingCriterion(line=line, var=var)
+                analysis, SlicingCriterion(line=line, var=var, proc=proc)
             )
             memo.put(key, result)
+            self._record_sdg_stats(result)
         return result
+
+    def _record_sdg_stats(self, result) -> None:
+        """Accumulate the ``sdg:*`` work counters from one freshly
+        computed interprocedural slice (memo hits repeat no work, so
+        they count nothing)."""
+        sdg_result = getattr(result, "sdg_result", None)
+        if sdg_result is None:
+            return
+        self.stats.record_event("sdg:procedures", len(sdg_result.sdg.procs))
+        self.stats.record_event(
+            "sdg:summary-edges", sdg_result.sdg.summary_edges
+        )
+        self.stats.record_event("sdg:pass1-visits", sdg_result.pass1_visits)
+        self.stats.record_event("sdg:pass2-visits", sdg_result.pass2_visits)
 
     def handle(self, request: ServiceRequest) -> Dict[str, Any]:
         """Execute one parsed request, returning a response envelope.
@@ -438,7 +464,11 @@ class SlicingEngine:
             analysis = self.analysis_for(request.source)
             check_algorithm_capability(analysis, request.algorithm)
             result = self.slice_cached(
-                analysis, request.line, request.var, request.algorithm
+                analysis,
+                request.line,
+                request.var,
+                request.algorithm,
+                proc=request.proc,
             )
             return slice_result_payload(result)
         if isinstance(request, CompareRequest):
@@ -490,6 +520,14 @@ class SlicingEngine:
 
         try:
             analysis = self.analysis_for(request.source)
+        except SlangError:
+            raise error from None
+        if analysis.program.procs:
+            # Fig. 13 sees the main unit alone; a degraded answer for a
+            # multi-procedure program would silently drop every callee
+            # effect — unsound, so the budget error stands.
+            raise error
+        try:
             result = conservative_slice(
                 analysis,
                 SlicingCriterion(line=request.line, var=request.var),

@@ -46,8 +46,15 @@ from repro.service.resilience import (
 from repro.slicing.common import SliceResult
 from repro.slicing.registry import algorithm_metadata
 
-#: Bumped when the wire schema changes incompatibly.
-PROTOCOL_VERSION = 1
+#: Bumped when the wire schema changes.  Version 2 adds the optional
+#: ``proc`` criterion qualifier on slice requests and the
+#: ``procedures`` section of multi-procedure slice results; version-1
+#: requests remain valid (they simply cannot name a procedure), so
+#: both are accepted.
+PROTOCOL_VERSION = 2
+
+#: Request versions this service still speaks.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Stable error codes, most specific class first.
 _ERROR_CODES = (
@@ -122,10 +129,11 @@ def _optional_trace(payload: Dict[str, Any]) -> bool:
 
 def _check_version(payload: Dict[str, Any]) -> None:
     version = payload.get("version", PROTOCOL_VERSION)
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version {version!r}; "
-            f"this service speaks version {PROTOCOL_VERSION}"
+            f"this service speaks versions "
+            f"{sorted(SUPPORTED_VERSIONS)}"
         )
 
 
@@ -137,6 +145,7 @@ class SliceRequest:
     line: int
     var: str
     algorithm: str = "agrawal"
+    proc: Optional[str] = None
     budget: Optional[BudgetSpec] = None
     id: Optional[str] = None
     trace: bool = False
@@ -145,11 +154,18 @@ class SliceRequest:
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SliceRequest":
         _check_version(payload)
+        proc = payload.get("proc")
+        if proc is not None and not isinstance(proc, str):
+            raise ProtocolError(
+                f'field "proc" must be a string procedure name, '
+                f"got {type(proc).__name__}"
+            )
         return cls(
             source=_require(payload, "source", str),
             line=_require(payload, "line", int),
             var=_require(payload, "var", str),
             algorithm=payload.get("algorithm", "agrawal"),
+            proc=proc,
             budget=_optional_budget(payload),
             id=payload.get("id"),
             trace=_optional_trace(payload),
@@ -309,7 +325,7 @@ def request_from_json(text: str) -> ServiceRequest:
 def request_to_dict(request: ServiceRequest) -> Dict[str, Any]:
     """Serialise a request for the wire (round-trip of ``from_dict``)."""
     payload: Dict[str, Any] = {"op": request.op, "version": PROTOCOL_VERSION}
-    for key in ("source", "line", "var", "algorithm", "kind", "select", "ignore", "id"):
+    for key in ("source", "line", "var", "algorithm", "proc", "kind", "select", "ignore", "id"):
         value = getattr(request, key, None)
         if value is not None:
             payload[key] = list(value) if isinstance(value, tuple) else value
@@ -332,12 +348,15 @@ def slice_result_payload(result: SliceResult) -> Dict[str, Any]:
     and each row of a ``/compare`` response.
     """
     statements = result.statement_nodes()
-    return {
+    criterion: Dict[str, Any] = {
+        "line": result.criterion.line,
+        "var": result.criterion.var,
+    }
+    if getattr(result.criterion, "proc", None) is not None:
+        criterion["proc"] = result.criterion.proc
+    payload: Dict[str, Any] = {
         "algorithm": result.algorithm,
-        "criterion": {
-            "line": result.criterion.line,
-            "var": result.criterion.var,
-        },
+        "criterion": criterion,
         "nodes": statements,
         "lines": result.lines(),
         "size": len(statements),
@@ -347,6 +366,25 @@ def slice_result_payload(result: SliceResult) -> Dict[str, Any]:
         },
         "notes": list(result.notes),
     }
+    # Multi-procedure slices carry the per-unit breakdown; single-unit
+    # payloads are unchanged from protocol version 1 byte for byte.
+    sdg_result = getattr(result, "sdg_result", None)
+    if sdg_result is not None and sdg_result.sdg.program.procs:
+        payload["procedures"] = {
+            unit: {
+                "nodes": sdg_result.statement_nodes(unit),
+                "label_map": {
+                    label: node
+                    for label, node in sorted(
+                        sdg_result.label_maps.get(unit, {}).items()
+                    )
+                },
+            }
+            for unit in sdg_result.units()
+        }
+        payload["lines"] = sdg_result.lines()
+        payload["summary_edges"] = sdg_result.sdg.summary_edges
+    return payload
 
 
 def error_payload(error: BaseException) -> Dict[str, Any]:

@@ -31,7 +31,13 @@ from repro.slicing.criterion import (
     SlicingCriterion,
     resolve_criterion,
 )
-from repro.slicing.extract import ExtractedSlice, extract_slice, extract_source
+from repro.slicing.extract import (
+    ExtractedSlice,
+    extract_interprocedural,
+    extract_interprocedural_source,
+    extract_slice,
+    extract_source,
+)
 from repro.slicing.forward import chop, forward_slice
 from repro.slicing.gallagher import gallagher_slice
 from repro.slicing.jiang import jiang_slice
@@ -81,6 +87,8 @@ __all__ = [
     "chop",
     "conservative_slice",
     "conventional_slice",
+    "extract_interprocedural",
+    "extract_interprocedural_source",
     "extract_slice",
     "forward_slice",
     "extract_source",

@@ -24,12 +24,20 @@ from repro.pdg.builder import ProgramAnalysis
 
 @dataclass(frozen=True)
 class SlicingCriterion:
-    """Slice with respect to *var* at source line *line*."""
+    """Slice with respect to *var* at source line *line*.
+
+    ``proc`` optionally names the procedure the line lives in; it is
+    only needed to disambiguate when statements of more than one unit
+    share the line (interprocedural slicing, DESIGN.md §12).
+    """
 
     line: int
     var: str
+    proc: Optional[str] = None
 
     def __str__(self) -> str:
+        if self.proc is not None:
+            return f"<{self.var}, line {self.line} in proc '{self.proc}'>"
         return f"<{self.var}, line {self.line}>"
 
 

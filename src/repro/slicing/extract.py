@@ -39,14 +39,17 @@ from typing import Dict, List, Optional, Set
 
 from repro.cfg.graph import ControlFlowGraph, NodeKind
 from repro.lang.ast_nodes import (
+    MAIN_UNIT,
     Assign,
     Block,
     Break,
+    CallStmt,
     Continue,
     DoWhile,
     For,
     Goto,
     If,
+    ProcDecl,
     Program,
     Read,
     Return,
@@ -155,6 +158,13 @@ class _Extractor:
             return [Block(line=stmt.line, label=self._kept_label(stmt), stmts=inner)]
 
         node_id = self.cfg.node_of(stmt)
+        if isinstance(stmt, CallStmt) and not self._retained(node_id):
+            # Normalise: a call whose parameter chain intersects the
+            # slice is retained (the SDG's call-control edges guarantee
+            # this for slicer output; arbitrary node sets may not).
+            chain = getattr(self.cfg, "call_chains", {}).get(node_id, ())
+            if any(member in self.slice_nodes for member in chain):
+                self.slice_nodes.add(node_id)
         if not self._retained(node_id):
             if isinstance(stmt, Switch):
                 return self._hoist_dropped_switch(stmt, node_id)
@@ -188,6 +198,11 @@ class _Extractor:
             return Return(line=stmt.line, label=label, value=stmt.value)
         if isinstance(stmt, Goto):
             return Goto(line=stmt.line, label=label, target=stmt.target)
+        if isinstance(stmt, CallStmt):
+            return CallStmt(
+                line=stmt.line, label=label, name=stmt.name,
+                args=list(stmt.args),
+            )
         if isinstance(stmt, If):
             return self._copy_if(stmt, node_id, label)
         if isinstance(stmt, While):
@@ -410,3 +425,72 @@ def extract_source(result: SliceResult) -> str:
     from repro.lang.pretty import pretty
 
     return pretty(extract_slice(result).program)
+
+
+def _normalise_unit_labels(analysis, label_map: Dict[str, int]) -> Dict[str, int]:
+    """Re-home re-associated labels that landed on synthetic SDG nodes:
+    a label on a parameter-chain node belongs before the call statement;
+    one on the formal-out prelude belongs at procedure exit."""
+    cfg = analysis.cfg
+    chain_owner: Dict[int, int] = {}
+    for call_id, chain in getattr(cfg, "call_chains", {}).items():
+        for member in chain:
+            chain_owner[member] = call_id
+    prelude = set(getattr(cfg, "formal_outs", ()))
+    out: Dict[str, int] = {}
+    for label, target in label_map.items():
+        if target in chain_owner:
+            out[label] = chain_owner[target]
+        elif target in prelude:
+            out[label] = cfg.exit_id
+        else:
+            out[label] = target
+    return out
+
+
+def extract_interprocedural(sdg_result) -> ExtractedSlice:
+    """Materialise an interprocedural slice (DESIGN.md §12) as one
+    runnable SL program.
+
+    Each unit with retained vertices is extracted against its own
+    unit-view analysis; procedures with no vertex in the slice are
+    dropped entirely (their calls are necessarily outside the slice
+    too, so the program stays closed).  Parameter lists are kept whole:
+    the slice narrows bodies, not interfaces.
+    """
+    sdg = sdg_result.sdg
+    stmt_map: Dict[int, Stmt] = {}
+    main_body: List[Stmt] = []
+    procs: List[ProcDecl] = []
+    with trace_span("extract-sdg", units=len(sdg_result.per_proc)):
+        for unit, info in sdg.procs.items():
+            nodes = sdg_result.per_proc.get(unit)
+            if not nodes:
+                continue
+            label_map = _normalise_unit_labels(
+                info.analysis, dict(sdg_result.label_maps.get(unit, {}))
+            )
+            extracted = extract_nodes(info.analysis, nodes, label_map=label_map)
+            stmt_map.update(extracted.stmt_map)
+            if unit == MAIN_UNIT:
+                main_body = extracted.program.body
+            else:
+                decl = sdg.program.proc_named(unit)
+                procs.append(
+                    ProcDecl(
+                        name=unit,
+                        params=list(decl.params),
+                        body=extracted.program.body,
+                        line=decl.line,
+                    )
+                )
+    return ExtractedSlice(
+        program=Program(body=main_body, procs=procs), stmt_map=stmt_map
+    )
+
+
+def extract_interprocedural_source(sdg_result) -> str:
+    """An interprocedural slice as pretty-printed SL source."""
+    from repro.lang.pretty import pretty
+
+    return pretty(extract_interprocedural(sdg_result).program)

@@ -22,6 +22,7 @@ from repro.slicing.jiang import jiang_slice
 from repro.slicing.lyle import lyle_slice
 from repro.slicing.structured import structured_slice
 from repro.slicing.weiser import weiser_slice
+from repro.sdg.slicer import interprocedural_slice
 
 Slicer = Callable[[ProgramAnalysis, SlicingCriterion], SliceResult]
 
@@ -43,10 +44,20 @@ ALGORITHMS: Dict[str, Slicer] = {
     "gallagher": gallagher_slice,
     "jiang": jiang_slice,
     "weiser": weiser_slice,
+    "interprocedural": interprocedural_slice,
 }
 
 #: Algorithms that produce *correct* slices on arbitrary programs.
-CORRECT_GENERAL = ("agrawal", "agrawal-lst", "ball-horwitz", "lyle")
+#: ``interprocedural`` is additionally the only one correct on
+#: multi-procedure programs (every other algorithm sees the main unit
+#: alone and would treat a call's results as free inputs).
+CORRECT_GENERAL = (
+    "agrawal",
+    "agrawal-lst",
+    "ball-horwitz",
+    "lyle",
+    "interprocedural",
+)
 
 #: Algorithms correct on structured programs only.
 CORRECT_STRUCTURED = ("structured", "conservative")

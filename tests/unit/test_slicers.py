@@ -211,7 +211,7 @@ class TestRegistry:
         expected = {
             "conventional", "agrawal", "agrawal-lst", "structured",
             "conservative", "ball-horwitz", "lyle", "gallagher", "jiang",
-            "weiser",
+            "weiser", "interprocedural",
         }
         assert set(ALGORITHMS) == expected
         assert algorithm_names() == sorted(expected)
