@@ -1,0 +1,238 @@
+"""Experiment C1 — cluster serving: multi-worker RPS scaling and the
+warm-restart win of the durable store (our addition; motivates the
+supervised worker pool of DESIGN.md §13).
+
+Two questions, answered with real forked workers over real sockets:
+
+* **Scaling** — requests/second through the supervisor at 1 worker vs
+  4.  Slicing is CPU-bound, so the honest expectation is ~linear in
+  *available cores*: on a single-core box the ratio is ~1x and the
+  report says so (the ``cpus`` field records the machine; the claim
+  "≥2.5x at 4 workers" is a ≥4-core claim).
+* **Warm restart** — a restarted cluster over the same store root
+  answers its warm set from disk without re-running any analysis; the
+  batch should complete several times faster than the cold lifetime
+  that populated the store.  This one does *not* need cores: skipping
+  the front-end pipeline is a single-thread win.
+
+Standalone reporter::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py          # full, writes BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke  # small, CI gate, no file
+
+The pytest hook runs the smoke scale and asserts correctness (every
+response ok, the warm run served from the store) rather than wall-clock
+ratios — timing assertions belong to the standalone report, where the
+machine context is recorded next to the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.gen.generator import (
+    GeneratorConfig,
+    generate_unstructured,
+    random_criterion,
+    realize,
+)
+from repro.lang.pretty import pretty
+from repro.service.client import ServiceClient
+from repro.service.cluster import ClusterConfig, ClusterSupervisor
+from repro.service.resilience import RetryPolicy
+
+ALGORITHM = "agrawal"
+SEED = 2026
+
+
+def _programs(count: int, size: int) -> List[Tuple[str, int, str]]:
+    """Deterministic generated programs big enough that analysis (not
+    HTTP framing) dominates a cold request."""
+    out = []
+    for index in range(count):
+        rng = random.Random(SEED + index)
+        program = realize(
+            generate_unstructured(
+                rng, GeneratorConfig(flat_length=size, num_vars=6)
+            )
+        )
+        line, var = random_criterion(random.Random(SEED + index), program)
+        out.append((pretty(program), line, var))
+    return out
+
+
+def _payloads(
+    programs: List[Tuple[str, int, str]], repeat: int
+) -> List[Dict[str, Any]]:
+    return [
+        {
+            "op": "slice",
+            "source": source,
+            "line": line,
+            "var": var,
+            "algorithm": ALGORITHM,
+        }
+        for _ in range(repeat)
+        for source, line, var in programs
+    ]
+
+
+def run_batch_through_cluster(
+    workers: int,
+    store_root: str,
+    payloads: List[Dict[str, Any]],
+    concurrency: int = 8,
+) -> Tuple[float, Dict[str, Any]]:
+    """Boot a cluster, time one client batch through the front door
+    (boot and drain excluded from the timer), return (seconds, stats).
+    """
+    config = ClusterConfig(
+        workers=workers,
+        port=0,
+        store_root=store_root,
+        heartbeat_interval=0.25,
+        verbose=False,
+        seed=SEED,
+    )
+    supervisor = ClusterSupervisor(config)
+    supervisor.start()
+    try:
+        client = ServiceClient(
+            f"http://127.0.0.1:{supervisor.port}",
+            retry=RetryPolicy(
+                max_retries=4, backoff_seconds=0.1, seed=SEED
+            ),
+        )
+        start = time.perf_counter()
+        responses = client.run_batch(payloads, concurrency=concurrency)
+        elapsed = time.perf_counter() - start
+        failed = [r for r in responses if not r.get("ok")]
+        assert not failed, failed[:1]
+        stats = supervisor.stats_payload()
+    finally:
+        supervisor.stop(drain=True)
+    return elapsed, stats
+
+
+def measure_scaling(
+    root: str, programs, repeat: int, worker_counts=(1, 4), trials=3
+) -> Dict[str, Any]:
+    """RPS through the supervisor per worker count.  Every trial gets a
+    fresh store root so each is equally cold, and each point reports
+    its best trial — on a contended (or single-core) box the scheduler
+    noise between forked CPU-bound workers dwarfs the effect under
+    measurement, and min-of-N is the standard estimator for it."""
+    payloads = _payloads(programs, repeat)
+    points = {}
+    for workers in worker_counts:
+        runs = []
+        for trial in range(trials):
+            seconds, _ = run_batch_through_cluster(
+                workers,
+                os.path.join(root, f"scale-{workers}-{trial}"),
+                payloads,
+            )
+            runs.append(seconds)
+        best = min(runs)
+        points[str(workers)] = {
+            "seconds": round(best, 4),
+            "rps": round(len(payloads) / best, 1),
+            "trials": [round(s, 4) for s in runs],
+        }
+    first, last = str(worker_counts[0]), str(worker_counts[-1])
+    return {
+        "batch_size": len(payloads),
+        "workers": points,
+        "speedup": round(
+            points[last]["rps"] / points[first]["rps"], 2
+        ),
+    }
+
+
+def measure_warm_restart(
+    root: str, programs, repeat: int, workers: int = 2
+) -> Dict[str, Any]:
+    """Cold lifetime populates the store; a restarted cluster over the
+    same root answers the same batch from disk."""
+    payloads = _payloads(programs, repeat)
+    store_root = os.path.join(root, "warm-restart")
+    cold_seconds, cold_stats = run_batch_through_cluster(
+        workers, store_root, payloads
+    )
+    warm_seconds, warm_stats = run_batch_through_cluster(
+        workers, store_root, payloads
+    )
+    assert warm_stats["store"]["hits"] >= len(programs), warm_stats[
+        "store"
+    ]
+    assert warm_stats["store"]["quarantined"] == 0
+    return {
+        "batch_size": len(payloads),
+        "workers": workers,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "cold_store": cold_stats["store"],
+        "warm_store": warm_stats["store"],
+    }
+
+
+def _scratch_root(tag: str) -> str:
+    import tempfile
+
+    return tempfile.mkdtemp(prefix=f"slang-bench-{tag}-")
+
+
+def test_bench_cluster_smoke(tmp_path):
+    """Correctness gate at smoke scale: the batch completes through the
+    forked pool and the restarted cluster answers from the store."""
+    programs = _programs(count=2, size=120)
+    report = measure_warm_restart(
+        str(tmp_path), programs, repeat=2, workers=2
+    )
+    assert report["warm_store"]["hits"] >= len(programs)
+
+
+def main(argv=None) -> int:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    if smoke:
+        programs = _programs(count=2, size=120)
+        repeat, worker_counts, trials = 2, (1, 2), 1
+    else:
+        programs = _programs(count=6, size=300)
+        repeat, worker_counts, trials = 3, (1, 4), 3
+    root = _scratch_root("cluster")
+    scaling = measure_scaling(
+        root, programs, repeat, worker_counts, trials
+    )
+    warm = measure_warm_restart(root, programs, repeat)
+    report = {
+        "bench": "cluster-serving",
+        "mode": "smoke" if smoke else "full",
+        "algorithm": ALGORITHM,
+        "cpus": os.cpu_count(),
+        "program_count": len(programs),
+        "program_size": 120 if smoke else 300,
+        "scaling": scaling,
+        "warm_restart": warm,
+        "note": (
+            "slicing is CPU-bound: worker-count RPS scaling is bounded "
+            "by available cores (see cpus); the warm-restart speedup "
+            "is core-independent"
+        ),
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not smoke:
+        with open("BENCH_cluster.json", "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,13 @@ Subcommands::
     slang pyslice FILE.py --line N --var V              slice Python
     slang serve   [--host H] [--port P] [--deadline-ms N]
                   [--max-inflight N] [--degrade off|conservative]
-                  [--fault-plan FILE]     HTTP slicing service
-    slang batch   FILE.jsonl [--stats] [--strict]
+                  [--fault-plan FILE] [--workers N] [--store-dir DIR]
+                  HTTP slicing service; --workers N>1 runs the
+                  supervised multi-process cluster (crash restarts,
+                  content-hash sharding, SIGTERM drain)
+    slang batch   FILE.jsonl [--stats] [--strict] [--url URL]
                   [--max-retries N] [--backoff S]   run a request batch
+                  (in-process, or against a live server with --url)
 
 ``slang slice``, ``compare``, ``check``, and ``batch`` accept
 ``--trace FILE`` (write a Chrome trace-event JSON profile of the run —
@@ -402,17 +406,36 @@ def _faults_from_args(args: argparse.Namespace):
     return FaultPlan.from_json_file(args.fault_plan)
 
 
+def _store_from_args(args: argparse.Namespace):
+    store_dir = getattr(args, "store_dir", None)
+    if store_dir is None:
+        return None
+    from repro.service.store import DurableStore
+
+    kwargs = {}
+    max_bytes = getattr(args, "store_max_bytes", None)
+    if max_bytes is not None:
+        kwargs["max_bytes"] = max_bytes
+    return DurableStore(store_dir, **kwargs)
+
+
 def _make_engine(args: argparse.Namespace):
     from repro.service.cache import AnalysisCache
     from repro.service.engine import SlicingEngine
 
     slow_ms = getattr(args, "slow_trace_ms", None)
+    # serve: --threads is the pool width (--workers means processes);
+    # batch keeps --workers as its thread-pool width.
+    threads = getattr(args, "threads", None)
+    if threads is None:
+        threads = getattr(args, "workers", None)
     cache = AnalysisCache(capacity=args.cache_size, prewarm=True)
     return SlicingEngine(
         cache=cache,
-        workers=args.workers,
+        workers=threads,
         limits=_limits_from_args(args),
         faults=_faults_from_args(args),
+        store=_store_from_args(args),
         slow_trace_seconds=slow_ms / 1000.0 if slow_ms is not None else None,
     )
 
@@ -461,6 +484,53 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.workers > 1:
+        return _serve_cluster(args)
+    return _serve_single(args)
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """``slang serve --workers N`` (N > 1): the supervised process pool."""
+    import dataclasses
+    import json
+
+    from repro.service.cluster import ClusterConfig, ClusterSupervisor
+
+    faults = None
+    if args.fault_plan:
+        with open(args.fault_plan, "r", encoding="utf-8") as handle:
+            faults = json.load(handle)
+    config = ClusterConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        threads=args.threads,
+        store_root=args.store_dir,
+        store_max_bytes=args.store_max_bytes,
+        faults=faults,
+        limits=dataclasses.asdict(_limits_from_args(args)),
+        heartbeat_timeout=args.heartbeat_timeout,
+        drain_seconds=args.drain_seconds,
+        verbose=True,
+    )
+    supervisor = ClusterSupervisor(config)
+    print(
+        f"slang cluster supervisor on http://{args.host}:{args.port} "
+        f"({args.workers} workers, sharded by program content hash)",
+        file=sys.stderr,
+    )
+    try:
+        supervisor.serve_forever()
+    except KeyboardInterrupt:
+        supervisor.stop(drain=True)
+    return 0
+
+
+def _serve_single(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+    import time
+
     from repro.service.server import make_server
 
     engine = _make_engine(args)
@@ -478,6 +548,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "GET /stats /metrics.prom /algorithms /healthz /readyz",
         file=sys.stderr,
     )
+
+    def _drain() -> None:
+        engine.begin_drain()
+        deadline = time.monotonic() + args.drain_seconds
+        while engine.gate.inflight > 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        server.shutdown()
+
+    def _on_term(signum: int, frame) -> None:
+        print("draining (SIGTERM)", file=sys.stderr)
+        threading.Thread(target=_drain, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _on_term)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -506,7 +589,6 @@ def _do_batch(args: argparse.Namespace) -> int:
 
     from repro.obs.tracer import trace_span
 
-    engine = _make_engine(args)
     payloads = []
     with trace_span("read-requests"):
         text = _read_source(args.file)
@@ -529,6 +611,9 @@ def _do_batch(args: argparse.Namespace) -> int:
             backoff_seconds=args.backoff,
             seed=args.retry_seed,
         )
+    if args.url:
+        return _batch_remote(args, payloads, retry)
+    engine = _make_engine(args)
     try:
         # Per-request pipeline spans live in the workers' own tracers
         # (request payloads may ask with "trace": true); this span is
@@ -555,6 +640,48 @@ def _do_batch(args: argparse.Namespace) -> int:
         )
     if args.stats:
         print(dump_json(engine.stats_payload()), file=sys.stderr)
+    if args.strict:
+        if permanent:
+            return 1
+        if transient:
+            return EXIT_TEMPFAIL
+    return 0
+
+
+def _batch_remote(args: argparse.Namespace, payloads, retry) -> int:
+    """``slang batch --url``: the batch over HTTP via the retrying
+    client (each request posts to its own endpoint, so a cluster
+    supervisor shards them across workers)."""
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import dump_json
+
+    client = ServiceClient(
+        args.url,
+        retry=retry if retry is not None else None,
+    )
+    responses = client.run_batch(
+        payloads, concurrency=args.workers or 8
+    )
+    permanent = transient = 0
+    for response in responses:
+        if not response.get("ok"):
+            if response.get("error", {}).get("retryable"):
+                transient += 1
+            else:
+                permanent += 1
+        print(dump_json(response))
+    if permanent or transient:
+        print(
+            f"batch: {len(responses)} responses, "
+            f"{permanent} permanent failure(s), "
+            f"{transient} transient failure(s)",
+            file=sys.stderr,
+        )
+    if args.stats:
+        print(dump_json(client.stats()), file=sys.stderr)
+        status, stats = client.get("/stats")
+        if status == 200:
+            print(dump_json(stats), file=sys.stderr)
     if args.strict:
         if permanent:
             return 1
@@ -706,7 +833,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8377, help="0 picks a free port"
     )
     p_serve.add_argument(
-        "--workers", type=int, default=None, help="worker-pool threads"
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes; > 1 runs the supervised cluster "
+            "(sharded by program content hash, crash-restarted, "
+            "drained on SIGTERM — see README 'Running a cluster')"
+        ),
+    )
+    p_serve.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="thread-pool width per process (default: executor default)",
+    )
+    p_serve.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "durable on-disk analysis store shared by every worker and "
+            "surviving restarts (checksummed, LRU-bounded)"
+        ),
+    )
+    p_serve.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-used store entries beyond this size",
+    )
+    p_serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=5.0,
+        help="kill a worker that stops answering /healthz this long",
+    )
+    p_serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="graceful-drain deadline on SIGTERM",
     )
     p_serve.add_argument(
         "--cache-size", type=int, default=128, help="analysis cache capacity"
@@ -758,6 +925,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_batch.add_argument("--workers", type=int, default=None)
+    p_batch.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "run the batch against a live server (e.g. "
+            "http://127.0.0.1:8377) instead of in-process; transport "
+            "failures and 503s retry per the retry flags, honoring "
+            "server-sent Retry-After as the backoff floor"
+        ),
+    )
     p_batch.add_argument(
         "--cache-size", type=int, default=128, help="analysis cache capacity"
     )

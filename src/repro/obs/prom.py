@@ -211,6 +211,72 @@ def render_prometheus(payload: Dict[str, Any]) -> str:
             writer.head(name, "counter", help_text)
             writer.sample(name, {}, slice_cache[field])
 
+    store = payload.get("store")
+    if store is not None:
+        for field, kind, help_text in (
+            ("hits", "counter", "Durable store reads that hit."),
+            ("misses", "counter", "Durable store reads that missed."),
+            ("puts", "counter", "Durable store entries written."),
+            ("evictions", "counter", "Durable store LRU evictions."),
+            ("quarantined", "counter",
+             "Corrupt durable-store entries quarantined (never served)."),
+            ("errors", "counter", "Durable store filesystem errors."),
+            ("bytes", "gauge", "Approximate durable store footprint."),
+        ):
+            name = f"slang_store_{field}"
+            if kind == "counter":
+                name += "_total"
+            writer.head(name, kind, help_text)
+            writer.sample(name, {}, store[field])
+
+    cluster = payload.get("cluster")
+    if cluster is not None:
+        writer.head(
+            "slang_cluster_workers", "gauge", "Configured worker count."
+        )
+        writer.sample("slang_cluster_workers", {}, cluster["workers"])
+        writer.head(
+            "slang_cluster_workers_alive",
+            "gauge",
+            "Workers currently alive.",
+        )
+        writer.sample(
+            "slang_cluster_workers_alive", {}, cluster["alive"]
+        )
+        writer.head(
+            "slang_cluster_restarts_total",
+            "counter",
+            "Worker restarts, by shard.",
+        )
+        for shard, worker in enumerate(cluster.get("worker_stats", [])):
+            writer.sample(
+                "slang_cluster_restarts_total",
+                {"shard": str(shard)},
+                worker.get("restarts", 0),
+            )
+        writer.head(
+            "slang_cluster_requests_total",
+            "counter",
+            "Requests routed, by shard.",
+        )
+        for shard, worker in enumerate(cluster.get("worker_stats", [])):
+            writer.sample(
+                "slang_cluster_requests_total",
+                {"shard": str(shard)},
+                worker.get("requests", 0),
+            )
+        writer.head(
+            "slang_cluster_proxy_errors_total",
+            "counter",
+            "Requests that failed at the supervisor proxy "
+            "(dead worker, connection reset).",
+        )
+        writer.sample(
+            "slang_cluster_proxy_errors_total",
+            {},
+            cluster.get("proxy_errors", 0),
+        )
+
     admission = payload.get("admission")
     if admission is not None:
         writer.head(

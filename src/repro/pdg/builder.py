@@ -116,6 +116,12 @@ class ProgramAnalysis:
     _slice_memo: Optional[object] = field(
         default=None, repr=False, compare=False
     )
+    #: Content address of this analysis (repro.service.cache.analysis_key),
+    #: stashed by the AnalysisCache so the engine can derive durable-store
+    #: keys without re-hashing the source on every slice.
+    _content_key: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
     #: line -> statement node ids at that line (criterion resolution
     #: runs once per request; the scan of every statement node per
     #: lookup dominated multi-criterion batches).

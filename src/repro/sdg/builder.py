@@ -32,6 +32,7 @@ from repro.pdg.builder import ProgramAnalysis, analyze_program
 from repro.pdg.graph import CONTROL, ProgramDependenceGraph
 from repro.sdg.callgraph import CallGraph, build_call_graph
 from repro.sdg.params import ParamSignature, signatures
+from repro.service.resilience import budget_check_nodes
 
 #: Edge kind of the Horwitz–Reps–Binkley summary edges (actual-in →
 #: actual-out; transitive dependence through the callee).
@@ -198,6 +199,11 @@ def build_sdg(
                     sites_of[site.callee].append(site)
                 procs[unit] = info
                 offset += info.size
+                # Per-unit budget stop: the cumulative SDG vertex count
+                # honors the request's node cap (the analysis cache only
+                # guards the main unit), and the deadline is polled
+                # between unit analyses.
+                budget_check_nodes(offset, "sdg-build")
 
         sdg = SDGAnalysis(
             program=program,

@@ -306,6 +306,10 @@ class _TwoPassState:
         """
         sdg = self.sdg
         while True:
+            # One joint pass-1/pass-2 sweep is one fixed-point round:
+            # the traversal cap bounds how long a pathological call
+            # graph may churn, with a structured sdg-* phase name.
+            budget_round("sdg-two-pass")
             changed = False
             # Pass-1 expansion + ascent.
             for unit, info in sdg.procs.items():

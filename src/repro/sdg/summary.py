@@ -21,7 +21,7 @@ from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.lang.ast_nodes import MAIN_UNIT
 from repro.obs.tracer import trace_span
-from repro.service.resilience import budget_tick
+from repro.service.resilience import budget_round, budget_tick
 
 
 def formal_dependences(sdg, unit: str) -> FrozenSet[Tuple[int, int]]:
@@ -50,6 +50,10 @@ def compute_summary_edges(sdg) -> None:
         unit = worklist.popleft()
         queued.discard(unit)
         iterations += 1
+        # Each worklist pop is one fixed-point round: the traversal cap
+        # (and its exhaust-budget fault) stops a runaway call graph with
+        # a structured sdg-* phase, and the deadline is polled too.
+        budget_round("sdg-summary")
         budget_tick("sdg-summary")
         pairs = formal_dependences(sdg, unit)
         if pairs == dep.get(unit):

@@ -21,6 +21,15 @@ Turns the library into a long-running, concurrent slicing service:
   control, degradation policy, and retry backoff.
 * :mod:`repro.service.faults` — deterministic fault injection for the
   resilience test suite.
+* :mod:`repro.service.store` — the durable on-disk analysis store: a
+  checksummed, atomically-written, LRU-bounded blob cache shared across
+  worker processes and restarts.
+* :mod:`repro.service.cluster` — supervised multi-process serving:
+  content-hash sharding, crash detection and backoff restarts, a
+  crash-loop circuit breaker, and graceful SIGTERM drain.
+* :mod:`repro.service.client` — the retrying HTTP client
+  (``slang batch --url``), honoring server-sent ``Retry-After`` as the
+  backoff floor.
 
 Exports are resolved lazily (PEP 562): the low-level analysis and
 slicing layers import :mod:`repro.service.resilience` for cooperative
@@ -58,6 +67,13 @@ _EXPORTS = {
     "RetryPolicy": "repro.service.resilience",
     "FaultPlan": "repro.service.faults",
     "InjectedFaultError": "repro.service.faults",
+    "DurableStore": "repro.service.store",
+    "payload_store_key": "repro.service.store",
+    "ClusterConfig": "repro.service.cluster",
+    "ClusterSupervisor": "repro.service.cluster",
+    "shard_for": "repro.service.cluster",
+    "ServiceClient": "repro.service.client",
+    "merge_stats_payloads": "repro.service.stats",
 }
 
 __all__ = list(_EXPORTS)
@@ -102,5 +118,16 @@ if TYPE_CHECKING:  # pragma: no cover — static analysers only
         PayloadTooLargeError,
         RetryPolicy,
     )
+    from repro.service.client import ServiceClient
+    from repro.service.cluster import (
+        ClusterConfig,
+        ClusterSupervisor,
+        shard_for,
+    )
     from repro.service.server import SlicingHTTPServer, make_server
-    from repro.service.stats import LatencyHistogram, ServiceStats
+    from repro.service.stats import (
+        LatencyHistogram,
+        ServiceStats,
+        merge_stats_payloads,
+    )
+    from repro.service.store import DurableStore, payload_store_key

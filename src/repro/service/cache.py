@@ -84,6 +84,16 @@ class AnalysisCache:
             self.hits += 1
             return analysis
 
+    def peek(self, key: str) -> Optional[ProgramAnalysis]:
+        """Like :meth:`get` but silent: no recency bump, no counters.
+
+        The engine's two-tier read path uses this to decide whether the
+        memory tier *would* hit before paying for a disk probe, without
+        double-counting the lookup that follows.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: str, analysis: ProgramAnalysis) -> ProgramAnalysis:
         """Insert (or adopt the existing winner of a build race)."""
         with self._lock:
@@ -136,6 +146,7 @@ class AnalysisCache:
                 analysis.augmented_cfg  # noqa: B018
                 analysis.augmented_pdg  # noqa: B018
                 analysis.pdg.ensure_closure_index()
+            analysis._content_key = key
             analysis = self.put(key, analysis)
         if max_nodes is not None and len(analysis.cfg.nodes) > max_nodes:
             from repro.service.resilience import BudgetExceededError

@@ -37,7 +37,13 @@ from repro.obs.tracer import (
     use_tracer,
 )
 from repro.pdg.builder import ProgramAnalysis
-from repro.service.cache import AnalysisCache, SliceCacheStats, SliceMemo
+from repro.service.cache import (
+    AnalysisCache,
+    SliceCacheStats,
+    SliceMemo,
+    analysis_key,
+)
+from repro.service.store import DurableStore, payload_store_key
 from repro.lint.rules import run_lint
 from repro.service.faults import FaultPlan, InjectedFaultError
 from repro.service.protocol import (
@@ -220,6 +226,13 @@ class SlicingEngine:
     faults:
         An optional :class:`FaultPlan`, consulted once per admitted
         request (deterministic fault injection for the test suite).
+    store:
+        An optional :class:`~repro.service.store.DurableStore` — the
+        disk tier behind the in-memory caches.  Slice requests whose
+        program is *not* in the analysis cache consult it before paying
+        for an analysis build; every freshly computed exact slice is
+        written back, so a restarted engine (or a sibling worker
+        sharing the root) answers its warm set without re-analysing.
     slow_trace_seconds:
         When set, *every* request runs under a tracer and requests whose
         wall time reaches the threshold leave an exemplar span tree
@@ -244,6 +257,7 @@ class SlicingEngine:
         stats: Optional[ServiceStats] = None,
         limits: Optional[EngineLimits] = None,
         faults: Optional[FaultPlan] = None,
+        store: Optional[DurableStore] = None,
         slow_trace_seconds: Optional[float] = None,
     ) -> None:
         self.cache = cache if cache is not None else AnalysisCache(
@@ -252,6 +266,8 @@ class SlicingEngine:
         self.stats = stats if stats is not None else ServiceStats()
         self.limits = limits if limits is not None else EngineLimits()
         self.faults = faults
+        self.store = store
+        self._draining = threading.Event()
         self.gate = AdmissionGate(
             max_inflight=self.limits.max_inflight,
             retry_after=self.limits.retry_after_seconds,
@@ -269,6 +285,20 @@ class SlicingEngine:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+
+    def begin_drain(self) -> None:
+        """Enter graceful drain: ``/readyz`` flips to 503 and the HTTP
+        surface refuses new work, while requests already admitted run to
+        completion.  Idempotent; there is no way back — a draining
+        process exits."""
+        if not self._draining.is_set():
+            self._draining.set()
+            self.stats.record_event("drain-begin")
+            trace_event("drain-begin")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
 
     def __enter__(self) -> "SlicingEngine":
         return self
@@ -332,7 +362,75 @@ class SlicingEngine:
             )
             memo.put(key, result)
             self._record_sdg_stats(result)
+            self._store_result(analysis, line, var, algorithm, proc, result)
         return result
+
+    def _store_result(
+        self,
+        analysis: ProgramAnalysis,
+        line: int,
+        var: str,
+        algorithm: str,
+        proc: Optional[str],
+        result: Any,
+    ) -> None:
+        """Write one freshly computed exact slice to the disk tier.
+
+        Only this path stores: memo hits would be redundant, refusals
+        and budget errors raise before reaching it, and degraded results
+        never come through :meth:`slice_cached` at all — so the store
+        holds exact answers only.  The wrapper records the program's CFG
+        size so a later disk hit can honor a ``max_nodes`` cap without
+        rebuilding the analysis it exists to skip.
+        """
+        if self.store is None or analysis._content_key is None:
+            return
+        skey = payload_store_key(
+            analysis._content_key, algorithm, line, var, proc
+        )
+        self.store.put_json(
+            skey,
+            {
+                "cfg_nodes": len(analysis.cfg.nodes),
+                "payload": slice_result_payload(result),
+            },
+        )
+
+    def _slice_from_store(
+        self, request: SliceRequest
+    ) -> Optional[Dict[str, Any]]:
+        """The disk tier of the two-tier read path, or ``None``.
+
+        Consulted only when the memory tier would miss (so a warm
+        in-process memo stays the fast path) and only when the stored
+        wrapper proves the program fits the current budget's node cap —
+        otherwise the caller falls through to the analysis path, which
+        enforces the cap the usual way.
+        """
+        if self.store is None:
+            return None
+        akey = analysis_key(request.source)
+        if self.cache.peek(akey) is not None:
+            return None
+        skey = payload_store_key(
+            akey, request.algorithm, request.line, request.var, request.proc
+        )
+        wrapper = self.store.get_json(skey)
+        if not isinstance(wrapper, dict):
+            return None
+        payload = wrapper.get("payload")
+        nodes = wrapper.get("cfg_nodes")
+        if not isinstance(payload, dict) or not isinstance(nodes, int):
+            return None
+        budget = current_budget()
+        if (
+            budget is not None
+            and budget.max_nodes is not None
+            and nodes > budget.max_nodes
+        ):
+            return None
+        self.stats.record_event("store-hit")
+        return payload
 
     def _record_sdg_stats(self, result) -> None:
         """Accumulate the ``sdg:*`` work counters from one freshly
@@ -434,7 +532,7 @@ class SlicingEngine:
                     try:
                         if self.faults is not None:
                             self.faults.apply(
-                                request.op, algorithm, budget
+                                request.op, algorithm, budget, engine=self
                             )
                         with trace_span("dispatch"):
                             result = self._dispatch(request)
@@ -461,6 +559,9 @@ class SlicingEngine:
 
     def _dispatch(self, request: ServiceRequest) -> Dict[str, Any]:
         if isinstance(request, SliceRequest):
+            stored = self._slice_from_store(request)
+            if stored is not None:
+                return stored
             analysis = self.analysis_for(request.source)
             check_algorithm_capability(analysis, request.algorithm)
             result = self.slice_cached(
@@ -592,8 +693,13 @@ class SlicingEngine:
             response = self.handle_payload(payload)
             attempts = 0
             while _retryable(response) and attempts < retry.max_retries:
+                floor = response.get("error", {}).get("retry_after")
+                if not isinstance(floor, (int, float)) or isinstance(
+                    floor, bool
+                ):
+                    floor = None
                 with rng_lock:
-                    delay = retry.delay(attempts, rng)
+                    delay = retry.delay(attempts, rng, floor=floor)
                 self.stats.record_event("retry")
                 time.sleep(delay)
                 attempts += 1
@@ -691,6 +797,8 @@ class SlicingEngine:
         payload["cache"] = self.cache.stats()
         payload["slice_cache"] = self.slice_cache_stats.stats()
         payload["admission"] = self.gate.snapshot()
+        if self.store is not None:
+            payload["store"] = self.store.stats()
         if self.faults is not None:
             payload["faults"] = self.faults.snapshot()
         if self.slow_trace_seconds is not None:
@@ -699,10 +807,14 @@ class SlicingEngine:
 
     def readiness(self) -> Dict[str, Any]:
         """``GET /readyz``: ready while the gate still has headroom —
-        a request arriving now would be admitted, not shed."""
+        a request arriving now would be admitted, not shed — and the
+        engine is not draining.  A draining process is alive (healthz
+        stays 200) but must receive no new work: load balancers and the
+        cluster supervisor route around it while in-flight requests
+        finish."""
         snapshot = self.gate.snapshot()
-        ready = (
+        ready = not self.draining and (
             snapshot["max_inflight"] is None
             or snapshot["inflight"] < snapshot["max_inflight"]
         )
-        return {"ok": ready, **snapshot}
+        return {"ok": ready, "draining": self.draining, **snapshot}

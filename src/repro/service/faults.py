@@ -23,6 +23,22 @@ three failure modes:
     their own Fig. 7 traversal loop — the organic trigger for the
     engine's sound degradation to the Fig. 13 conservative slicer,
     which performs zero rounds and therefore still completes.
+``worker-crash``
+    Kill the *process*: in a cluster worker (the plan's
+    ``allow_process_exit`` flag is set by
+    :mod:`repro.service.cluster`), the worker ``os._exit``\\ s with
+    :data:`WORKER_CRASH_EXIT` mid-request — no cleanup, no response,
+    exactly what a segfault or an OOM kill looks like to the
+    supervisor and the client.  Outside a cluster worker the rule
+    degrades to :class:`InjectedFaultError` (still transient), so an
+    in-process engine test of a ``worker-crash`` plan exercises the
+    retry path rather than killing the test runner.
+``store-corruption``
+    Arm the engine's durable store so its next write flips one payload
+    bit after the checksum is computed
+    (:meth:`~repro.service.store.DurableStore.arm_corruption`) — the
+    corrupt entry must then be *quarantined*, never served, on the
+    next read.  A no-op when the engine has no store.
 
 Determinism is the point: integration tests pin a seed and a schedule
 and then *prove* that every failure path produces a structured error or
@@ -32,6 +48,7 @@ a sound degraded slice, never a hang or a malformed payload.
 from __future__ import annotations
 
 import json
+import os
 import random
 import threading
 import time
@@ -42,7 +59,17 @@ from repro.lang.errors import SlangError
 from repro.service.resilience import Budget
 
 #: Failure modes a rule may inject.
-FAULT_KINDS = ("latency", "error", "exhaust-budget")
+FAULT_KINDS = (
+    "latency",
+    "error",
+    "exhaust-budget",
+    "worker-crash",
+    "store-corruption",
+)
+
+#: Exit status of a ``worker-crash``-killed cluster worker; chosen to
+#: be distinguishable from clean exits and Python tracebacks (1).
+WORKER_CRASH_EXIT = 70
 
 
 class InjectedFaultError(SlangError):
@@ -115,6 +142,10 @@ class FaultPlan:
     def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
         self.rules: List[FaultRule] = list(rules)
         self.seed = seed
+        #: Set by the cluster worker entrypoint: a ``worker-crash`` rule
+        #: may actually kill this process.  Everywhere else it degrades
+        #: to an :class:`InjectedFaultError` so tests survive themselves.
+        self.allow_process_exit = False
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._seen = [0] * len(self.rules)
@@ -144,17 +175,24 @@ class FaultPlan:
     # -- the injection point -------------------------------------------
 
     def apply(
-        self, op: str, algorithm: Optional[str], budget: Budget
+        self,
+        op: str,
+        algorithm: Optional[str],
+        budget: Budget,
+        engine: Any = None,
     ) -> None:
         """Consult every rule for one request; inject what fires.
 
         Called by the engine after admission, with the request budget
         already installed.  Latency is applied first (and capped at the
-        budget's remaining deadline), then budget exhaustion, then the
-        injected error — so one plan can compose "slow *and* failing".
+        budget's remaining deadline), then store corruption is armed,
+        then budget exhaustion, then worker crash, then the injected
+        error — so one plan can compose "slow *and* failing".
         """
         sleep_for = 0.0
         exhaust = False
+        crash = False
+        corrupt = 0
         error: Optional[str] = None
         with self._lock:
             for index, rule in enumerate(self.rules):
@@ -168,6 +206,12 @@ class FaultPlan:
                     sleep_for = max(sleep_for, rule.seconds)
                 elif rule.kind == "exhaust-budget":
                     exhaust = True
+                elif rule.kind == "worker-crash":
+                    crash = True
+                    if error is None:
+                        error = rule.message
+                elif rule.kind == "store-corruption":
+                    corrupt += 1
                 elif error is None:
                     error = rule.message
         if sleep_for > 0.0:
@@ -176,8 +220,17 @@ class FaultPlan:
                 sleep_for = min(sleep_for, remaining)
             time.sleep(sleep_for)
             budget.tick("fault-latency")
+        if corrupt:
+            store = getattr(engine, "store", None)
+            if store is not None:
+                store.arm_corruption(corrupt)
         if exhaust:
             budget.exhaust_traversals()
+        if crash and self.allow_process_exit:
+            # A real crash: no cleanup, no response, no flush.  The
+            # supervisor sees the exit status; the client sees a dropped
+            # connection and retries against a restarted worker.
+            os._exit(WORKER_CRASH_EXIT)
         if error is not None:
             raise InjectedFaultError(error)
 

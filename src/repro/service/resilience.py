@@ -428,6 +428,13 @@ class RetryPolicy:
     jitter factor drawn uniformly from ``[1 - jitter, 1]`` — seeding
     *rng* makes a whole retry schedule reproducible, which the fault
     injection tests rely on.
+
+    A server that sheds load names its own pacing: the ``Retry-After``
+    header (HTTP) / ``retry_after`` error field (envelope).  Passing it
+    as *floor* makes the server's ask a **lower bound** on the client's
+    delay — jitter may stretch the wait beyond the floor but can never
+    dip under it, so a fleet of backing-off clients still spreads out
+    instead of thundering back at exactly the named second.
     """
 
     max_retries: int = 0
@@ -440,11 +447,20 @@ class RetryPolicy:
     def rng(self) -> random.Random:
         return random.Random(self.seed)
 
-    def delay(self, attempt: int, rng: random.Random) -> float:
+    def delay(
+        self,
+        attempt: int,
+        rng: random.Random,
+        floor: Optional[float] = None,
+    ) -> float:
         base = min(
             self.max_backoff_seconds,
             self.backoff_seconds * (self.multiplier ** attempt),
         )
-        if self.jitter <= 0:
-            return base
-        return base * (1.0 - self.jitter * rng.random())
+        if self.jitter > 0:
+            base *= 1.0 - self.jitter * rng.random()
+        if floor is not None:
+            # The server-sent Retry-After is a floor, not a target: the
+            # jittered exponential curve still applies above it.
+            base = max(base, floor)
+        return base

@@ -16,7 +16,14 @@ Routes (all JSON, all protocol version :data:`PROTOCOL_VERSION`)::
                      structured-only vs baseline)
     GET  /healthz    liveness: {"ok": true} while the process serves
     GET  /readyz     readiness: 200 while the admission gate has
-                     headroom, 503 (with queue gauges) while shedding
+                     headroom, 503 (with queue gauges and Retry-After)
+                     while shedding or draining
+
+Graceful drain: once ``engine.begin_drain()`` runs (SIGTERM in a
+cluster worker), ``/readyz`` turns 503 and every new POST is refused
+with a retryable 503 ``overloaded`` envelope — but ``/healthz`` stays
+200 and in-flight requests finish, so a load balancer stops routing
+here without killing work already accepted.
 
 Every response echoes an ``X-Request-Id`` header — the client's, when
 one was sent, or a freshly generated hex id — so a traced request
@@ -55,7 +62,7 @@ from repro.service.protocol import (
     dump_json,
     error_envelope,
 )
-from repro.service.resilience import PayloadTooLargeError
+from repro.service.resilience import OverloadedError, PayloadTooLargeError
 
 MAX_BODY_BYTES = 8 * 1024 * 1024  # refuse absurd uploads
 
@@ -208,7 +215,17 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
             self._send_json({"ok": True})
         elif path == "/readyz":
             payload = self.engine.readiness()
-            self._send_json(payload, status=200 if payload["ok"] else 503)
+            if payload["ok"]:
+                self._send_json(payload)
+            else:
+                retry_after = self.engine.gate.retry_after
+                self._send_json(
+                    payload,
+                    status=503,
+                    headers={
+                        "Retry-After": str(max(1, math.ceil(retry_after)))
+                    },
+                )
         else:
             self._send_json(
                 error_envelope(
@@ -237,6 +254,21 @@ class SlicingRequestHandler(BaseHTTPRequestHandler):
             return
         except ProtocolError as error:
             self._send_json(error_envelope(op, error), status=400)
+            return
+        if self.engine.draining:
+            # The body is read (keep-alive framing stays intact) but a
+            # draining worker takes no new work: the retryable envelope
+            # sends the client (or the supervisor) elsewhere after
+            # Retry-After seconds.
+            self._send_envelope(
+                error_envelope(
+                    op,
+                    OverloadedError(
+                        "server is draining; retry elsewhere",
+                        retry_after=self.engine.gate.retry_after,
+                    ),
+                )
+            )
             return
         if op == "batch":
             self._handle_batch(payload)

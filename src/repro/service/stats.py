@@ -184,6 +184,134 @@ class ServiceStats:
             }
 
 
+def _merge_histogram_snapshots(
+    into: Dict[str, Any], snapshot: Dict[str, Any]
+) -> None:
+    """Fold one :meth:`LatencyHistogram.snapshot` dict into *into*.
+
+    Counts, sums, and per-bucket counts add; ``max_seconds`` maxes; the
+    mean is recomputed — so the merged histogram is exactly what one
+    histogram observing every sample would have produced (bucket
+    boundaries are identical across workers by construction).
+    """
+    into["count"] = into.get("count", 0) + snapshot.get("count", 0)
+    into["sum_seconds"] = round(
+        into.get("sum_seconds", 0.0) + snapshot.get("sum_seconds", 0.0), 6
+    )
+    into["max_seconds"] = round(
+        max(into.get("max_seconds", 0.0), snapshot.get("max_seconds", 0.0)),
+        6,
+    )
+    buckets = into.setdefault("buckets", {})
+    for bound, count in (snapshot.get("buckets") or {}).items():
+        buckets[bound] = buckets.get(bound, 0) + count
+    count = into["count"]
+    into["mean_seconds"] = (
+        round(into["sum_seconds"] / count, 6) if count else 0.0
+    )
+
+
+def _sum_numeric(
+    snapshots: Sequence[Dict[str, Any]], skip: Sequence[str] = ()
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if key in skip or isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                out[key] = out.get(key, 0) + value
+    return out
+
+
+def _with_hit_rate(stats: Dict[str, Any]) -> Dict[str, Any]:
+    total = stats.get("hits", 0) + stats.get("misses", 0)
+    stats["hit_rate"] = (
+        round(stats.get("hits", 0) / total, 4) if total else 0.0
+    )
+    return stats
+
+
+def merge_stats_payloads(
+    payloads: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Aggregate per-worker ``/stats`` payloads into one cluster view.
+
+    Counter maps (``requests``/``errors``/``events``/``diagnostics``)
+    and histogram snapshots add across workers; cache/slice-cache/
+    admission counters add with hit rates recomputed from the merged
+    totals.  ``uptime_seconds`` is the *max* (the oldest worker).  The
+    durable store is shared by every worker, so its per-process byte
+    gauges take the max while its per-process activity counters
+    (hits/misses/puts/…) add.
+    """
+    merged: Dict[str, Any] = {
+        "uptime_seconds": 0.0,
+        "requests": {},
+        "errors": {},
+        "events": {},
+        "diagnostics": {},
+        "latency": {},
+        "phases": {},
+    }
+    caches: list = []
+    slice_caches: list = []
+    admissions: list = []
+    stores: list = []
+    for payload in payloads:
+        if not isinstance(payload, dict):
+            continue
+        merged["uptime_seconds"] = max(
+            merged["uptime_seconds"], payload.get("uptime_seconds", 0.0)
+        )
+        for key in ("requests", "errors", "events", "diagnostics"):
+            counters = merged[key]
+            for name, count in (payload.get(key) or {}).items():
+                counters[name] = counters.get(name, 0) + count
+        for key in ("latency", "phases"):
+            histograms = merged[key]
+            for name, snapshot in (payload.get(key) or {}).items():
+                _merge_histogram_snapshots(
+                    histograms.setdefault(name, {}), snapshot
+                )
+        for collected, name in (
+            (caches, "cache"),
+            (slice_caches, "slice_cache"),
+            (admissions, "admission"),
+            (stores, "store"),
+        ):
+            tier = payload.get(name)
+            if isinstance(tier, dict):
+                collected.append(tier)
+    for key in ("requests", "errors", "events", "diagnostics",
+                "latency", "phases"):
+        merged[key] = dict(sorted(merged[key].items()))
+    if caches:
+        merged["cache"] = _with_hit_rate(
+            _sum_numeric(caches, skip=("hit_rate",))
+        )
+    if slice_caches:
+        merged["slice_cache"] = _with_hit_rate(
+            _sum_numeric(slice_caches, skip=("hit_rate",))
+        )
+    if admissions:
+        admission = _sum_numeric(admissions, skip=("max_inflight",))
+        limits = [tier.get("max_inflight") for tier in admissions]
+        admission["max_inflight"] = (
+            None if any(limit is None for limit in limits) else sum(limits)
+        )
+        merged["admission"] = admission
+    if stores:
+        store = _sum_numeric(
+            stores, skip=("hit_rate", "bytes", "max_bytes")
+        )
+        store["root"] = stores[0].get("root")
+        store["bytes"] = max(tier.get("bytes", 0) for tier in stores)
+        store["max_bytes"] = stores[0].get("max_bytes")
+        merged["store"] = _with_hit_rate(store)
+    return merged
+
+
 class _Timer:
     def __init__(
         self, stats: ServiceStats, op: str, algorithm: Optional[str]

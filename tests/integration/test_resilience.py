@@ -190,7 +190,7 @@ class TestAdmissionAndOverload:
         entered = threading.Event()
 
         class Blocking(FaultPlan):
-            def apply(self, op, algorithm, budget):
+            def apply(self, op, algorithm, budget, engine=None):
                 entered.set()
                 release.wait(timeout=10)
 
@@ -310,7 +310,7 @@ class TestHTTPEdge:
         entered = threading.Event()
 
         class Blocking(FaultPlan):
-            def apply(self, op, algorithm, budget):
+            def apply(self, op, algorithm, budget, engine=None):
                 entered.set()
                 release.wait(timeout=10)
 

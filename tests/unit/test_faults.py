@@ -127,3 +127,32 @@ class TestFaultPlan:
         with pytest.raises(InjectedFaultError, match="crash"):
             plan.apply("slice", None, Budget())
         assert time.monotonic() - start >= 0.01
+
+    def test_worker_crash_degrades_to_error_outside_a_cluster(self):
+        """``worker-crash`` only ``os._exit``\\ s when the host opted in
+        (``allow_process_exit``, set by cluster workers); everywhere
+        else — unit tests, the single-process server — it degrades to a
+        structured injected error instead of killing the interpreter."""
+        plan = FaultPlan([FaultRule(kind="worker-crash", first_n=1)])
+        assert plan.allow_process_exit is False
+        with pytest.raises(InjectedFaultError):
+            plan.apply("slice", None, Budget())
+        plan.apply("slice", None, Budget())  # schedule spent
+
+    def test_store_corruption_arms_the_engines_store(self):
+        class FakeStore:
+            armed = 0
+
+            def arm_corruption(self, count=1):
+                self.armed += count
+
+        class FakeEngine:
+            store = FakeStore()
+
+        engine = FakeEngine()
+        plan = FaultPlan([FaultRule(kind="store-corruption", first_n=1)])
+        plan.apply("slice", None, Budget(), engine=engine)
+        assert engine.store.armed == 1
+        # Without a store (or an engine) the rule is inert, not fatal.
+        plan = FaultPlan([FaultRule(kind="store-corruption", first_n=1)])
+        plan.apply("slice", None, Budget())

@@ -221,3 +221,36 @@ class TestRetryPolicy:
         assert delays_a == delays_b  # same seed, same schedule
         for delay in delays_a:
             assert 0.5 <= delay <= 1.0
+
+    def test_retry_after_is_a_floor_not_a_target(self):
+        """The server-sent Retry-After clamps the delay from below,
+        after jitter: a backoff already above the floor is untouched
+        (the exponential curve keeps spreading retries), one below it
+        is lifted exactly to the floor (never hammer earlier than the
+        server asked)."""
+        policy = RetryPolicy(
+            backoff_seconds=0.1, multiplier=2.0, jitter=0.0
+        )
+        rng = policy.rng()
+        # Floor above the curve: every early attempt waits the floor.
+        assert policy.delay(0, rng, floor=2.0) == pytest.approx(2.0)
+        assert policy.delay(1, rng, floor=2.0) == pytest.approx(2.0)
+        # Curve above the floor: the floor is inert.
+        assert policy.delay(5, rng, floor=2.0) == pytest.approx(3.2)
+        # No floor given behaves exactly as before.
+        assert policy.delay(0, rng) == pytest.approx(0.1)
+
+    def test_floor_applies_after_jitter(self):
+        """Jitter only ever *shrinks* the backoff, so it must not be
+        able to dip a delay below the server's floor — the floor is
+        applied to the post-jitter value.  Pinned with a full-shrink
+        jitter draw: jitter=1.0 can take the base arbitrarily close to
+        zero, yet the delay never drops under the floor."""
+        policy = RetryPolicy(backoff_seconds=1.0, jitter=1.0, seed=7)
+        rng = policy.rng()
+        delays = [policy.delay(0, rng, floor=0.75) for _ in range(50)]
+        assert all(delay >= 0.75 for delay in delays)
+        # The same draws without the floor do dip below it, proving the
+        # clamp (and not a lucky rng) is what holds the line.
+        bare = [policy.delay(0, policy.rng()) for _ in range(50)]
+        assert any(delay < 0.75 for delay in bare)

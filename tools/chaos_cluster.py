@@ -1,0 +1,194 @@
+"""Chaos drill: SIGKILL a live worker mid-batch, prove nothing breaks.
+
+Boots a supervised cluster, streams a batch of slice requests through
+the front door, and — once the pool is demonstrably mid-flight — kills
+one worker process with SIGKILL (no goodbye, no drain).  The drill
+passes (exit 0) iff:
+
+* every response in the batch is ``ok`` and **correct** (each result is
+  compared against a local single-process engine — a crash may slow a
+  request down, never change its answer);
+* the supervisor detected the death and logged **exactly one** restart;
+* the pool is fully healed afterwards (every worker alive, breaker
+  closed);
+* the durable store served zero corrupted entries (nothing quarantined,
+  nothing wrong).
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_cluster.py --requests 200
+
+This is the CI chaos gate; the integration suite covers the same
+machinery at smaller scale with an injected (exit-70) crash instead of
+an external SIGKILL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.service.client import ServiceClient
+from repro.service.cluster import ClusterConfig, ClusterSupervisor
+from repro.service.engine import SlicingEngine
+from repro.service.resilience import RetryPolicy
+
+
+def build_payloads(count: int):
+    entries = sorted(PAPER_PROGRAMS.items())
+    payloads = []
+    for _, entry in itertools.islice(
+        itertools.cycle(entries), count
+    ):
+        line, var = entry.criterion
+        payloads.append(
+            {
+                "op": "slice",
+                "source": entry.source,
+                "line": line,
+                "var": var,
+                "algorithm": "agrawal",
+            }
+        )
+    return payloads
+
+
+def expected_results(payloads):
+    """Ground truth from a local engine: one compute per distinct
+    program/criterion, shared across repetitions."""
+    expected = []
+    memo = {}
+    with SlicingEngine() as engine:
+        for payload in payloads:
+            key = (payload["source"], payload["line"], payload["var"])
+            if key not in memo:
+                memo[key] = engine.handle_payload(payload)
+            expected.append(memo[key])
+    return expected
+
+
+def kill_one_worker_mid_batch(
+    supervisor: ClusterSupervisor, threshold: int
+) -> int:
+    """Wait until the pool has forwarded *threshold* requests, then
+    SIGKILL the busiest worker; returns its shard."""
+    while True:
+        snapshot = supervisor.cluster_snapshot()
+        stats = snapshot["worker_stats"]
+        if sum(worker["requests"] for worker in stats) >= threshold:
+            victim = max(stats, key=lambda worker: worker["requests"])
+            os.kill(victim["pid"], signal.SIGKILL)
+            return victim["shard"]
+        time.sleep(0.02)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=20,
+        metavar="N",
+        help="SIGKILL once N requests have been forwarded",
+    )
+    args = parser.parse_args(argv)
+
+    payloads = build_payloads(args.requests)
+    expected = expected_results(payloads)
+    config = ClusterConfig(
+        workers=args.workers,
+        port=0,
+        store_root=tempfile.mkdtemp(prefix="slang-chaos-"),
+        heartbeat_interval=0.2,
+        backoff_base=0.05,
+        verbose=True,
+        seed=13,
+    )
+    supervisor = ClusterSupervisor(config)
+    supervisor.start()
+    try:
+        client = ServiceClient(
+            f"http://127.0.0.1:{supervisor.port}",
+            retry=RetryPolicy(
+                max_retries=8, backoff_seconds=0.2, seed=13
+            ),
+        )
+        responses = [None] * len(payloads)
+
+        def run() -> None:
+            responses[:] = client.run_batch(
+                payloads, concurrency=args.concurrency
+            )
+
+        batch = threading.Thread(target=run)
+        start = time.perf_counter()
+        batch.start()
+        victim = kill_one_worker_mid_batch(supervisor, args.kill_after)
+        print(f"[chaos] SIGKILLed worker {victim} mid-batch")
+        batch.join()
+        elapsed = time.perf_counter() - start
+
+        wrong = sum(
+            1
+            for response, want in zip(responses, expected)
+            if not (
+                response
+                and response.get("ok")
+                and response["result"] == want["result"]
+            )
+        )
+        snapshot = supervisor.cluster_snapshot()
+        stats = supervisor.stats_payload()
+        store = stats.get("store", {})
+        print(
+            f"[chaos] batch: {len(responses) - wrong}/{len(responses)} "
+            f"correct in {elapsed:.2f}s; restarts logged: "
+            f"{supervisor.restarts_logged}; "
+            f"client: {json.dumps(client.stats(), sort_keys=True)}"
+        )
+
+        failures = []
+        if wrong:
+            failures.append(f"{wrong} wrong or failed responses")
+        if supervisor.restarts_logged != 1:
+            failures.append(
+                f"expected exactly one logged restart, saw "
+                f"{supervisor.restarts_logged}"
+            )
+        if snapshot["alive"] != args.workers:
+            failures.append(
+                f"pool not healed: {snapshot['alive']}/{args.workers} "
+                "alive"
+            )
+        if any(
+            worker["breaker_open"]
+            for worker in snapshot["worker_stats"]
+        ):
+            failures.append("circuit breaker open after a single crash")
+        if store.get("quarantined", 0) != 0:
+            failures.append(
+                f"store quarantined {store['quarantined']} entries"
+            )
+        if failures:
+            for failure in failures:
+                print(f"[chaos] FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("[chaos] PASS")
+        return 0
+    finally:
+        supervisor.stop(drain=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
