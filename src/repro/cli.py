@@ -126,6 +126,17 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
             "on; off falls back to per-query BFS, the reference path)"
         ),
     )
+    group.add_argument(
+        "--incremental",
+        choices=["on", "off"],
+        default="on",
+        help=(
+            "key analyses by per-procedure content fingerprints so an "
+            "edit to one procedure salvages every untouched unit's "
+            "CFG/PDG/closure-index (default on; off rebuilds the whole "
+            "program on any byte change, the reference path)"
+        ),
+    )
 
 
 def _apply_perf_args(args: argparse.Namespace) -> None:
@@ -134,6 +145,11 @@ def _apply_perf_args(args: argparse.Namespace) -> None:
         from repro.pdg.closure import set_closure_index_enabled
 
         set_closure_index_enabled(choice == "on")
+    choice = getattr(args, "incremental", None)
+    if choice is not None:
+        from repro.service.incremental import set_incremental_enabled
+
+        set_incremental_enabled(choice == "on")
 
 
 def _read_source(path: str) -> str:

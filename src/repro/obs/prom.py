@@ -211,6 +211,55 @@ def render_prometheus(payload: Dict[str, Any]) -> str:
             writer.head(name, "counter", help_text)
             writer.sample(name, {}, slice_cache[field])
 
+    incremental = payload.get("incremental")
+    if incremental is not None:
+        writer.head(
+            "slang_incremental_enabled",
+            "gauge",
+            "Whether per-unit incremental reuse is on (1) or off (0).",
+        )
+        writer.sample(
+            "slang_incremental_enabled",
+            {},
+            1 if incremental.get("enabled") else 0,
+        )
+        for field, kind, help_text in (
+            ("programs", "counter",
+             "Programs fingerprinted by the incremental path."),
+            ("spans_reused", "counter",
+             "Source spans whose parsed AST was reused verbatim."),
+            ("spans_parsed", "counter",
+             "Source spans re-parsed because text or start line "
+             "changed."),
+            ("units_reused", "counter",
+             "Unit analyses salvaged from the unit cache."),
+            ("units_built", "counter",
+             "Unit analyses built because no fingerprint matched."),
+            ("stitched_reused", "counter",
+             "Stitched per-unit SDG graphs reused (summary edges and "
+             "closure index included)."),
+            ("stitched_built", "counter",
+             "Stitched per-unit SDG graphs rebuilt."),
+            ("recursive_rebuilt", "counter",
+             "Units rebuilt because their call-graph SCC is recursive."),
+            ("slices_salvaged", "counter",
+             "Interprocedural slice results replayed across edits."),
+            ("store_unit_hits", "counter",
+             "Durable-store reads answered via the per-unit sub-key."),
+            ("entries", "gauge", "Unit analyses currently cached."),
+            ("stitched_entries", "gauge",
+             "Stitched graphs currently cached."),
+            ("span_entries", "gauge",
+             "Parsed source spans currently cached."),
+            ("slice_entries", "gauge",
+             "Slice results currently held for salvage."),
+        ):
+            name = f"slang_incremental_{field}"
+            if kind == "counter":
+                name += "_total"
+            writer.head(name, kind, help_text)
+            writer.sample(name, {}, incremental[field])
+
     store = payload.get("store")
     if store is not None:
         for field, kind, help_text in (

@@ -232,9 +232,29 @@ def build_sdg(
 def sdg_for_analysis(analysis: ProgramAnalysis) -> SDGAnalysis:
     """The SDG of an already-analysed program, memoized on the analysis
     object (same lifetime argument as the slice memo: an evicted
-    analysis takes its SDG with it)."""
+    analysis takes its SDG with it).
+
+    An analysis that came through the incremental path carries a
+    ``_unit_cache``; its SDG is then assembled by
+    :func:`repro.service.incremental.build_sdg_incremental`, which
+    salvages untouched units' analyses and stitched local graphs and
+    produces the identical graph (same node ids, same summary-edge
+    sets) the monolithic build would.
+    """
     sdg = getattr(analysis, "_sdg", None)
     if sdg is None:
-        sdg = build_sdg(analysis.program, main_analysis=analysis)
+        unit_cache = getattr(analysis, "_unit_cache", None)
+        if unit_cache is not None:
+            from repro.service.incremental import (
+                build_sdg_incremental,
+                incremental_enabled,
+            )
+
+            if incremental_enabled():
+                sdg = build_sdg_incremental(
+                    analysis.program, analysis, unit_cache
+                )
+        if sdg is None:
+            sdg = build_sdg(analysis.program, main_analysis=analysis)
         analysis._sdg = sdg
     return sdg

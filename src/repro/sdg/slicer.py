@@ -486,6 +486,23 @@ def interprocedural_slice(
     """Registry adapter: slice via the SDG, projected onto the main
     unit (the full :class:`SDGSliceResult` rides along as
     ``.sdg_result``).  On a single-unit program the projection is the
-    whole slice and is node-for-node identical to ``agrawal``."""
+    whole slice and is node-for-node identical to ``agrawal``.
+
+    Incremental builds additionally consult the slice-result salvage
+    tier: a slice recorded under an earlier version of the program is
+    replayed when the edit provably cannot have changed it (see
+    :mod:`repro.service.incremental`); only fully-computed results are
+    recorded, so budget-degraded answers never enter the memo.
+    """
+    from repro.service.incremental import (
+        record_sdg_slice,
+        salvage_sdg_slice,
+    )
+
     sdg = sdg_for_analysis(analysis)
-    return sdg_slice(sdg, criterion).as_slice_result()
+    salvaged = salvage_sdg_slice(analysis, sdg, criterion)
+    if salvaged is not None:
+        return salvaged.as_slice_result()
+    result = sdg_slice(sdg, criterion)
+    record_sdg_slice(analysis, sdg, criterion, result)
+    return result.as_slice_result()

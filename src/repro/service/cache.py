@@ -27,6 +27,11 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.tracer import trace_event, trace_span
 from repro.pdg.builder import ProgramAnalysis, analyze_program
+from repro.service.incremental import (
+    UnitCache,
+    incremental_analyze,
+    incremental_enabled,
+)
 
 
 def analysis_key(
@@ -58,11 +63,25 @@ class AnalysisCache:
         When true, force the lazy :class:`ProgramAnalysis` fields (the
         augmented CFG/PDG and reaching definitions) at build time, so
         the shared object is never mutated after it enters the cache.
+    unit_cache:
+        The per-procedure :class:`~repro.service.incremental.UnitCache`
+        behind the whole-program entries; a default-sized one is
+        created when omitted.  On a whole-program miss (the source hash
+        changed), the build path salvages every unit whose content
+        fingerprint still matches — so an edit to one procedure reuses
+        the other units' CFG/PDT/LST/PDG/closure-index wholesale.
+        Consulted only while :func:`incremental_enabled` is true.
     """
 
-    def __init__(self, capacity: int = 128, prewarm: bool = False) -> None:
+    def __init__(
+        self,
+        capacity: int = 128,
+        prewarm: bool = False,
+        unit_cache: Optional[UnitCache] = None,
+    ) -> None:
         self.capacity = capacity
         self.prewarm = prewarm
+        self.unit_cache = unit_cache if unit_cache is not None else UnitCache()
         self._entries: "OrderedDict[str, ProgramAnalysis]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -135,12 +154,21 @@ class AnalysisCache:
             analysis = self.get(key)
             span.set(hit=analysis is not None)
         if analysis is None:
-            analysis = analyze_program(
-                source,
-                fuse_cond_goto=fuse_cond_goto,
-                chain_io=chain_io,
-                dominator_algorithm=dominator_algorithm,
-            )
+            if incremental_enabled():
+                analysis = incremental_analyze(
+                    source,
+                    fuse_cond_goto=fuse_cond_goto,
+                    chain_io=chain_io,
+                    dominator_algorithm=dominator_algorithm,
+                    cache=self.unit_cache,
+                )
+            else:
+                analysis = analyze_program(
+                    source,
+                    fuse_cond_goto=fuse_cond_goto,
+                    chain_io=chain_io,
+                    dominator_algorithm=dominator_algorithm,
+                )
             if self.prewarm:
                 # Force the lazy fields so the shared object is frozen.
                 analysis.augmented_cfg  # noqa: B018

@@ -43,7 +43,16 @@ from repro.service.cache import (
     SliceMemo,
     analysis_key,
 )
-from repro.service.store import DurableStore, payload_store_key
+from repro.service.incremental import (
+    incremental_enabled,
+    unit_fingerprints,
+    units_digest,
+)
+from repro.service.store import (
+    DurableStore,
+    payload_store_key,
+    units_store_key,
+)
 from repro.lint.rules import run_lint
 from repro.service.faults import FaultPlan, InjectedFaultError
 from repro.service.protocol import (
@@ -388,13 +397,27 @@ class SlicingEngine:
         skey = payload_store_key(
             analysis._content_key, algorithm, line, var, proc
         )
-        self.store.put_json(
-            skey,
-            {
-                "cfg_nodes": len(analysis.cfg.nodes),
-                "payload": slice_result_payload(result),
-            },
-        )
+        wrapper = {
+            "cfg_nodes": len(analysis.cfg.nodes),
+            "payload": slice_result_payload(result),
+        }
+        digests = getattr(analysis, "_unit_digests", None)
+        if digests is not None:
+            wrapper["units"] = dict(digests)
+        # The exact-source key is written first: fault injection arms
+        # corruption on the *next* put, and the chaos drill reads the
+        # exact key first — keep that the entry it poisons.
+        self.store.put_json(skey, wrapper)
+        if digests is not None:
+            # Per-unit sub-key: the same wrapper is addressable by the
+            # program's unit-fingerprint vector, so a formatting-only
+            # edit (new source hash, identical units) still hits disk.
+            self.store.put_json(
+                units_store_key(
+                    units_digest(digests), algorithm, line, var, proc
+                ),
+                wrapper,
+            )
 
     def _slice_from_store(
         self, request: SliceRequest
@@ -416,6 +439,31 @@ class SlicingEngine:
             akey, request.algorithm, request.line, request.var, request.proc
         )
         wrapper = self.store.get_json(skey)
+        if wrapper is None and incremental_enabled():
+            # Exact-source miss: retry under the per-unit sub-key — a
+            # formatting-only edit changes the source hash but not the
+            # unit fingerprints.  Parsing here is far cheaper than the
+            # analysis build a hit skips; unparseable sources fall
+            # through to the analysis path, which owns the error.
+            try:
+                from repro.lang.parser import parse_program
+
+                digests = unit_fingerprints(parse_program(request.source))
+            except SlangError:
+                digests = None
+            if digests is not None:
+                wrapper = self.store.get_json(
+                    units_store_key(
+                        units_digest(digests),
+                        request.algorithm,
+                        request.line,
+                        request.var,
+                        request.proc,
+                    )
+                )
+                if isinstance(wrapper, dict):
+                    self.cache.unit_cache.stats.record("store_unit_hits")
+                    self.stats.record_event("store-unit-hit")
         if not isinstance(wrapper, dict):
             return None
         payload = wrapper.get("payload")
@@ -796,6 +844,7 @@ class SlicingEngine:
         payload = self.stats.snapshot()
         payload["cache"] = self.cache.stats()
         payload["slice_cache"] = self.slice_cache_stats.stats()
+        payload["incremental"] = self.cache.unit_cache.snapshot()
         payload["admission"] = self.gate.snapshot()
         if self.store is not None:
             payload["store"] = self.store.stats()

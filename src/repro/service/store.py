@@ -76,6 +76,31 @@ def payload_store_key(
     return digest.hexdigest()
 
 
+def units_store_key(
+    units_digest: str,
+    algorithm: str,
+    line: int,
+    var: str,
+    proc: Optional[str] = None,
+) -> str:
+    """The *per-unit* sub-key of one slice-result payload.
+
+    ``units_digest`` is the digest over the program's per-procedure
+    content fingerprints (:func:`repro.service.incremental.units_digest`)
+    — the program's identity *modulo formatting*.  Payloads are written
+    under both this key and :func:`payload_store_key`, so a client that
+    re-submits a program after a comment or whitespace edit (a new
+    source hash, identical unit fingerprints) still hits the disk tier
+    without any analysis build.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"slice-payload-units|v1|{units_digest}|{algorithm}|{line}|{var}|"
+        f"{proc or ''}".encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
 class DurableStore:
     """A checksummed, size-bounded, multi-process-safe blob store.
 

@@ -118,25 +118,40 @@ def jump_repair_pass(analysis: ProgramAnalysis, slice_set: Set[int]) -> Set[int]
     is a no-op exactly when property 2 holds; otherwise it restores the
     Fig. 7 termination invariant (no out-of-slice jump with
     npd-in-slice ≠ nls-in-slice) and with it slice correctness.
+
+    Jumps are examined in postdominator-tree pre-order — the same
+    schedule Fig. 7 uses — not in node-id order.  **Erratum E6
+    (seed 15182, see EXPERIMENTS.md):** the npd/nls test is
+    order-sensitive while the slice is still growing.  Under node-id
+    order a ``switch``-nested ``break`` B1 can be examined before the
+    sibling ``break`` B2 that lexically follows it; without B2 in the
+    slice B1's nearest postdominator and lexical successor transiently
+    differ, so B1 is added — yet once B2 joins, both queries answer B2
+    and B1 is redundant (npd == nls at the fixed point).  Fig. 7's
+    pre-order visits B2 first and never adds B1, so the node-id
+    schedule broke Fig12 ⊆ Fig7 containment.  Matching Fig. 7's
+    schedule removes the artefact; the fixed point reached still
+    satisfies the invariant above, which is all E4 soundness needs.
     """
     cfg = analysis.cfg
     added: Set[int] = set()
     changed = True
     while changed:
         changed = False
-        for node in cfg.jump_nodes():
-            if node.id in slice_set:
+        for node_id in analysis.pdt.preorder():
+            node = cfg.nodes.get(node_id)
+            if node is None or not node.is_jump or node_id in slice_set:
                 continue
             npd = nearest_in_slice(
-                analysis.pdt, node.id, slice_set, cfg.exit_id
+                analysis.pdt, node_id, slice_set, cfg.exit_id
             )
             nls = nearest_in_slice(
-                analysis.lst, node.id, slice_set, cfg.exit_id
+                analysis.lst, node_id, slice_set, cfg.exit_id
             )
             if npd != nls:
-                added.add(node.id)
-                slice_set.add(node.id)
-                slice_set |= analysis.pdg.backward_closure([node.id])
+                added.add(node_id)
+                slice_set.add(node_id)
+                slice_set |= analysis.pdg.backward_closure([node_id])
                 changed = True
     return added
 

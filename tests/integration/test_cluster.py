@@ -287,9 +287,12 @@ class TestStoreCorruptionFault:
     ):
         """``store-corruption`` end to end through the engine: the
         armed put writes a bad entry; a fresh engine over the same root
-        detects the checksum mismatch, quarantines, recomputes, and
-        serves the correct slice — the corrupt bytes are never
-        returned."""
+        detects the checksum mismatch and quarantines it — the corrupt
+        bytes are never returned.  Since the incremental layer, every
+        slice is stored twice (exact-source key + per-unit sub-key) and
+        the fault arms one put, so the clean replica may answer the
+        read; with it gone too the engine recomputes.  Either way the
+        served result equals the fresh computation."""
         root = str(tmp_path / "store")
         _, entry = corpus[1]
         payload = slice_payload(entry)
@@ -308,7 +311,9 @@ class TestStoreCorruptionFault:
             assert recovered["result"] == poisoned["result"]
             store_stats = engine.stats_payload()["store"]
             assert store_stats["quarantined"] == 1
-            assert store_stats["hits"] == 0
+            # At most the clean per-unit replica hit; the quarantined
+            # exact-key entry never counts as a hit.
+            assert store_stats["hits"] <= 1
 
 
 class TestSingleServerDrain:

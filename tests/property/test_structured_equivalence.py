@@ -18,7 +18,7 @@ import random
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.gen.generator import random_criterion
+from repro.gen.generator import generate_structured, random_criterion, realize
 from repro.interp.oracle import check_slice_correctness
 from repro.lang.errors import InterpreterError, SliceError
 from repro.pdg.builder import analyze_program
@@ -58,6 +58,46 @@ class TestFig12:
         for jump in extra_jumps:
             closure |= analysis.pdg.backward_closure([jump])
         assert extras <= extra_jumps | closure
+
+    def test_seed15182_switch_break_regression(self):
+        """The recorded Fig12 ⊄ Fig7 counterexample (ROADMAP, resolved;
+        EXPERIMENTS.md E6) stays fixed.
+
+        Seed 15182 with criterion ``(30, "v3")`` produces a ``do``-loop
+        holding two nested ``switch`` statements; the inner case's
+        ``break`` (node 10, line 15) and the outer case's ``break``
+        (node 11, line 17) share the same nearest postdominator once
+        both are considered.  The E4 repair pass used to examine jumps
+        in node-id order, seeing node 10 before node 11: at that moment
+        npd (13) ≠ nls (12), so node 10 was added — transiently true
+        only, since after node 11 joins both queries answer 11.  Fig. 7
+        examines node 11 first (postdominator-tree pre-order) and never
+        adds node 10, so Fig12 ⊆ Fig7 was violated by the schedule, not
+        by either paper algorithm.  The repair pass now follows Fig. 7's
+        schedule; this pins all three facts: the trigger geometry still
+        arises (the repair pass does fire and adds node 11), node 10
+        stays out, and containment holds.
+        """
+        program = realize(generate_structured(random.Random(15182), None))
+        line, var = random_criterion(random.Random(0), program)
+        assert (line, var) == (30, "v3")
+        analysis = analyze_program(program)
+        criterion = SlicingCriterion(line, var)
+        simplified = structured_slice(analysis, criterion)
+        general = agrawal_slice(analysis, criterion)
+        simple_set = set(simplified.statement_nodes())
+        general_set = set(general.statement_nodes())
+        # The switch-nested break (node 10) is the historical extra; it
+        # must be redundant by the paper's own §3 omission criterion
+        # and therefore out of both slices.
+        assert analysis.cfg.nodes[10].is_jump
+        assert 10 not in simple_set
+        assert 10 not in general_set
+        # The geometry that triggered the bug is still exercised: the
+        # repair pass fires and brings in the sibling break (node 11).
+        assert 11 in simple_set
+        assert any("E4 repair" in note for note in simplified.notes)
+        assert simple_set <= general_set
 
     @given(structured_programs(), st.integers(0, 2**16))
     @settings(max_examples=120, deadline=None)
