@@ -25,12 +25,37 @@ number of passes for reducible flowgraphs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple, TypeVar
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.cfg.graph import ControlFlowGraph
 from repro.service.resilience import current_budget
 
 T = TypeVar("T")
+
+try:
+    popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - older interpreters
+
+    def popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """The set bit positions of a mask, ascending — the shared decode
+    kernel for every mask-valued fixed point in the repo."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 class BitUniverse:
@@ -75,12 +100,7 @@ class BitUniverse:
     def decode(self, mask: int) -> FrozenSet[T]:
         """The fact set a mask denotes."""
         facts = self._facts
-        out = []
-        while mask:
-            low = mask & -mask
-            out.append(facts[low.bit_length() - 1])
-            mask ^= low
-        return frozenset(out)
+        return frozenset(facts[position] for position in iter_bits(mask))
 
 
 def reverse_postorder(cfg: ControlFlowGraph, forward: bool = True) -> List[int]:

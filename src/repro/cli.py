@@ -121,9 +121,12 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
         choices=["on", "off"],
         default="on",
         help=(
-            "precompute the condensed-PDG closure index so every "
-            "backward closure is answered from bitset masks (default "
-            "on; off falls back to per-query BFS, the reference path)"
+            "precompute the condensed closure indexes — the per-PDG "
+            "index and, for interprocedural slicing, the whole-SDG "
+            "ascend/descend index — so every backward closure and "
+            "two-pass fixpoint is answered from bitset masks (default "
+            "on; off falls back to per-query BFS and the crossing "
+            "worklist, the reference paths)"
         ),
     )
     group.add_argument(

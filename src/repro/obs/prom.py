@@ -152,6 +152,24 @@ def render_prometheus(payload: Dict[str, Any]) -> str:
             writer.head(metric, "counter", help_text)
             writer.sample(metric, {}, sdg_events[event])
 
+    events = payload["events"]
+    for event, metric, help_text in (
+        ("sdg-index:builds", "slang_sdg_index_builds_total",
+         "Whole-SDG closure indexes built (ascend + descend sides)."),
+        ("sdg-index:mask-hits", "slang_sdg_index_mask_hits_total",
+         "Two-pass fixpoints answered from closure-index mask lookups."),
+        ("sdg-index:pressure-skips", "slang_sdg_index_pressure_skips_total",
+         "SDG index builds deferred under deadline pressure "
+         "(worklist fallback served the slice)."),
+        ("sdg-index:incremental-salvages",
+         "slang_sdg_index_incremental_salvages_total",
+         "Whole-SDG closure indexes salvaged from the unit cache "
+         "across edits."),
+    ):
+        if event in events:
+            writer.head(metric, "counter", help_text)
+            writer.sample(metric, {}, events[event])
+
     writer.head(
         "slang_diagnostics_total",
         "counter",
@@ -244,6 +262,8 @@ def render_prometheus(payload: Dict[str, Any]) -> str:
              "Units rebuilt because their call-graph SCC is recursive."),
             ("slices_salvaged", "counter",
              "Interprocedural slice results replayed across edits."),
+            ("indexes_salvaged", "counter",
+             "Whole-SDG closure indexes replayed across edits."),
             ("store_unit_hits", "counter",
              "Durable-store reads answered via the per-unit sub-key."),
             ("entries", "gauge", "Unit analyses currently cached."),
@@ -253,6 +273,8 @@ def render_prometheus(payload: Dict[str, Any]) -> str:
              "Parsed source spans currently cached."),
             ("slice_entries", "gauge",
              "Slice results currently held for salvage."),
+            ("index_entries", "gauge",
+             "Whole-SDG closure indexes currently held for salvage."),
         ):
             name = f"slang_incremental_{field}"
             if kind == "counter":

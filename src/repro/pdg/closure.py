@@ -129,6 +129,76 @@ class ClosureIndex:
         return frozenset(out)
 
 
+def condense(
+    node_ids: Sequence[int],
+    suppliers_of: Callable[[int], Iterable[int]],
+) -> Tuple[Dict[int, int], List[Tuple[int, ...]]]:
+    """SCC-condense a backward dependence adjacency (iterative Tarjan).
+
+    Returns ``(comp_of, comp_nodes)`` where components appear in
+    *suppliers-first* emission order: Tarjan finalizes an SCC only after
+    every SCC it can reach — here, its transitive suppliers — so a single
+    forward sweep over ``comp_nodes`` sees every supplier component
+    before its consumers.  Shared by the per-PDG index below and the
+    whole-SDG ascend/descend indexes in ``sdg/closure.py``.
+    """
+    budget = current_budget()
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    comp_of: Dict[int, int] = {}
+    comp_nodes: List[Tuple[int, ...]] = []
+    tarjan_stack: List[int] = []
+    counter = 0
+
+    for root in sorted(node_ids):
+        if root in index_of:
+            continue
+        # Iterative Tarjan: (node, iterator over its suppliers).
+        work: List[Tuple[int, Iterator[int]]] = []
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        tarjan_stack.append(root)
+        on_stack[root] = True
+        work.append((root, iter(suppliers_of(root))))
+        while work:
+            if budget is not None:
+                budget.tick("closure-index")
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter
+                    counter += 1
+                    tarjan_stack.append(child)
+                    on_stack[child] = True
+                    work.append((child, iter(suppliers_of(child))))
+                    advanced = True
+                    break
+                if on_stack.get(child):
+                    if index_of[child] < lowlink[node]:
+                        lowlink[node] = index_of[child]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                members: List[int] = []
+                while True:
+                    member = tarjan_stack.pop()
+                    on_stack[member] = False
+                    comp_of[member] = len(comp_nodes)
+                    members.append(member)
+                    if member == node:
+                        break
+                comp_nodes.append(tuple(members))
+
+    return comp_of, comp_nodes
+
+
 def build_closure_index(
     node_ids: Sequence[int],
     suppliers_of: Callable[[int], Iterable[int]],
@@ -136,65 +206,13 @@ def build_closure_index(
     """Condense the dependence graph and precompute closure masks.
 
     *suppliers_of(n)* yields the nodes *n* directly depends on (the
-    graph's backward adjacency).  Tarjan's algorithm finalizes an SCC
-    only after every SCC it can reach — here: its transitive suppliers —
-    so components emerge suppliers-first and one forward sweep over the
+    graph's backward adjacency).  Components emerge from
+    :func:`condense` suppliers-first, so one forward sweep over the
     emission order completes every mask.
     """
     budget = current_budget()
     with trace_span("closure-index-build", nodes=len(node_ids)) as span:
-        index_of: Dict[int, int] = {}
-        lowlink: Dict[int, int] = {}
-        on_stack: Dict[int, bool] = {}
-        comp_of: Dict[int, int] = {}
-        comp_nodes: List[Tuple[int, ...]] = []
-        tarjan_stack: List[int] = []
-        counter = 0
-
-        for root in sorted(node_ids):
-            if root in index_of:
-                continue
-            # Iterative Tarjan: (node, iterator over its suppliers).
-            work: List[Tuple[int, Iterator[int]]] = []
-            index_of[root] = lowlink[root] = counter
-            counter += 1
-            tarjan_stack.append(root)
-            on_stack[root] = True
-            work.append((root, iter(suppliers_of(root))))
-            while work:
-                if budget is not None:
-                    budget.tick("closure-index")
-                node, children = work[-1]
-                advanced = False
-                for child in children:
-                    if child not in index_of:
-                        index_of[child] = lowlink[child] = counter
-                        counter += 1
-                        tarjan_stack.append(child)
-                        on_stack[child] = True
-                        work.append((child, iter(suppliers_of(child))))
-                        advanced = True
-                        break
-                    if on_stack.get(child):
-                        if index_of[child] < lowlink[node]:
-                            lowlink[node] = index_of[child]
-                if advanced:
-                    continue
-                work.pop()
-                if work:
-                    parent = work[-1][0]
-                    if lowlink[node] < lowlink[parent]:
-                        lowlink[parent] = lowlink[node]
-                if lowlink[node] == index_of[node]:
-                    members: List[int] = []
-                    while True:
-                        member = tarjan_stack.pop()
-                        on_stack[member] = False
-                        comp_of[member] = len(comp_nodes)
-                        members.append(member)
-                        if member == node:
-                            break
-                    comp_nodes.append(tuple(members))
+        comp_of, comp_nodes = condense(node_ids, suppliers_of)
 
         # Suppliers-first sweep: every supplier component of comp was
         # emitted earlier, so its mask is already complete.

@@ -40,14 +40,15 @@ no new calling context is invented.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.lang.ast_nodes import MAIN_UNIT
 from repro.lang.errors import SliceError, UnreachableCriterionError
 from repro.obs.tracer import trace_span
 from repro.pdg.builder import ProgramAnalysis
 from repro.sdg.builder import SDGAnalysis, sdg_for_analysis
+from repro.sdg.closure import SDGClosureIndex, _popcount, ensure_sdg_index
 from repro.service.resilience import budget_round, budget_tick
 from repro.slicing.agrawal import MAX_TRAVERSALS
 from repro.slicing.common import (
@@ -164,6 +165,15 @@ class SDGSliceResult:
     pass1_procs: FrozenSet[str] = frozenset()
     notes: List[str] = field(default_factory=list)
     algorithm: str = ALGORITHM
+    #: Whether the whole-SDG closure index served this slice's
+    #: fixpoints, and what its lifecycle did during the call.  Protocol
+    #: payloads never include these (index on/off is byte-invisible);
+    #: the service aggregates them into ``slang_sdg_index_*``.
+    index_used: bool = False
+    index_builds: int = 0
+    index_mask_hits: int = 0
+    index_pressure_skips: int = 0
+    index_salvages: int = 0
 
     @property
     def criterion(self) -> SlicingCriterion:
@@ -279,12 +289,16 @@ class _TwoPassState:
     crossings without delta bookkeeping.
     """
 
-    def __init__(self, sdg: SDGAnalysis) -> None:
+    def __init__(
+        self, sdg: SDGAnalysis, index: Optional[SDGClosureIndex] = None
+    ) -> None:
         self.sdg = sdg
+        self.index = index
         self.s1: Dict[str, Set[int]] = {unit: set() for unit in sdg.procs}
         self.s2: Dict[str, Set[int]] = {unit: set() for unit in sdg.procs}
         self.pass1_visits = 0
         self.pass2_visits = 0
+        self.mask_hits = 0
 
     @property
     def pass1_reached(self) -> Set[str]:
@@ -303,7 +317,43 @@ class _TwoPassState:
           formal-out *j* into the callee's ``s2``;
         * binding completion: formal-in *i* ∈ ``s2[q]`` puts actual-in
           *i* into ``s2[p]`` for call sites whose CALL node ∈ ``s2[p]``.
+
+        With the whole-SDG closure index available, the joint fixed
+        point is computed as mask closures (``_fixpoint_masked``); the
+        rule set is identical and monotone, so the fixed point is too —
+        the differential suite holds the two paths node-for-node equal.
+        The worklist below remains the reference and the fallback when
+        the index is disabled or deferred under deadline pressure.
         """
+        if self.index is not None:
+            self._fixpoint_masked()
+        else:
+            self._fixpoint_worklist()
+
+    def _fixpoint_masked(self) -> None:
+        index = self.index
+        budget_round("sdg-two-pass")
+        budget_tick("sdg-pass1")
+        s1_mask = index.encode(self.s1)
+        s2_mask = index.encode(self.s2)
+        before1 = _popcount(s1_mask)
+        before2 = _popcount(s2_mask | s1_mask)
+        s1_closed, s2_closed, hits = index.two_pass_masks(s1_mask, s2_mask)
+        budget_tick("sdg-pass2")
+        self.mask_hits += hits
+        # Honest work accounting: vertices newly marked by this call
+        # (the worklist path counts per-closure growth instead, so the
+        # two paths' visit counters legitimately differ — they measure
+        # work done, and the index does less of it).
+        self.pass1_visits += _popcount(s1_closed) - before1
+        self.pass2_visits += _popcount(s2_closed) - before2
+        decoded1 = index.decode(s1_closed)
+        decoded2 = index.decode(s2_closed)
+        for unit in self.s1:
+            self.s1[unit] = decoded1[unit]
+            self.s2[unit] = decoded2[unit]
+
+    def _fixpoint_worklist(self) -> None:
         sdg = self.sdg
         while True:
             # One joint pass-1/pass-2 sweep is one fixed-point round:
@@ -402,7 +452,13 @@ class _TwoPassState:
             analysis = info.analysis
             cfg = analysis.cfg
             live_s1 = unit in pass1
-            for node_id in analysis.pdt.preorder():
+            # The index pre-filters the Fig. 7 schedule to the unit's
+            # jumps (same pre-order, non-jumps skipped either way).
+            if self.index is not None:
+                schedule = self.index.jump_preorder[unit]
+            else:
+                schedule = analysis.pdt.preorder()
+            for node_id in schedule:
                 node = cfg.nodes.get(node_id)
                 if node is None or not node.is_jump or node_id in current:
                     continue
@@ -426,12 +482,22 @@ class _TwoPassState:
 
 
 def sdg_slice(
-    sdg: SDGAnalysis, criterion: SlicingCriterion
+    sdg: SDGAnalysis,
+    criterion: SlicingCriterion,
+    analysis: Optional[ProgramAnalysis] = None,
 ) -> SDGSliceResult:
-    """Slice *sdg* with respect to *criterion* (see module docstring)."""
+    """Slice *sdg* with respect to *criterion* (see module docstring).
+
+    ``analysis`` (when the caller has it) carries the incremental
+    bookkeeping that lets the whole-SDG closure index be salvaged from
+    the unit cache instead of rebuilt.
+    """
     resolved = resolve_sdg_criterion(sdg, criterion)
-    with trace_span("sdg-slice", unit=resolved.unit) as span:
-        state = _TwoPassState(sdg)
+    index, index_events = ensure_sdg_index(sdg, analysis)
+    with trace_span(
+        "sdg-slice", unit=resolved.unit, indexed=index is not None
+    ) as span:
+        state = _TwoPassState(sdg, index=index)
         state.s1[resolved.unit].update(resolved.seeds)
         traversals = 0
         rounds = 0
@@ -467,6 +533,7 @@ def sdg_slice(
             pass1_visits=state.pass1_visits,
             pass2_visits=state.pass2_visits,
             traversals=traversals,
+            mask_hits=state.mask_hits,
         )
         return SDGSliceResult(
             sdg=sdg,
@@ -477,6 +544,11 @@ def sdg_slice(
             pass1_visits=state.pass1_visits,
             pass2_visits=state.pass2_visits,
             pass1_procs=frozenset(state.pass1_reached),
+            index_used=index is not None,
+            index_builds=index_events.get("builds", 0),
+            index_mask_hits=state.mask_hits,
+            index_pressure_skips=index_events.get("pressure_skips", 0),
+            index_salvages=index_events.get("salvages", 0),
         )
 
 
@@ -503,6 +575,19 @@ def interprocedural_slice(
     salvaged = salvage_sdg_slice(analysis, sdg, criterion)
     if salvaged is not None:
         return salvaged.as_slice_result()
-    result = sdg_slice(sdg, criterion)
-    record_sdg_slice(analysis, sdg, criterion, result)
+    result = sdg_slice(sdg, criterion, analysis=analysis)
+    # Record with the index lifecycle counters zeroed: a future replay
+    # of this result did no index work, and must not re-report it.
+    record_sdg_slice(
+        analysis,
+        sdg,
+        criterion,
+        replace(
+            result,
+            index_builds=0,
+            index_mask_hits=0,
+            index_pressure_skips=0,
+            index_salvages=0,
+        ),
+    )
     return result.as_slice_result()

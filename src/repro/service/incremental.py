@@ -372,6 +372,7 @@ class IncrementalStats:
         "stitched_built",
         "recursive_rebuilt",
         "slices_salvaged",
+        "indexes_salvaged",
         "store_unit_hits",
     )
 
@@ -454,11 +455,13 @@ class UnitCache:
         stitched_per_unit: int = 4,
         span_capacity: int = 2048,
         slice_capacity: int = 256,
+        index_capacity: int = 8,
     ) -> None:
         self.capacity = capacity
         self.stitched_per_unit = stitched_per_unit
         self.span_capacity = span_capacity
         self.slice_capacity = slice_capacity
+        self.index_capacity = index_capacity
         self._records: "OrderedDict[str, UnitRecord]" = OrderedDict()
         self._spans: "OrderedDict[Tuple[str, str, int], object]" = (
             OrderedDict()
@@ -466,6 +469,8 @@ class UnitCache:
         self._slices: "OrderedDict[Tuple, SliceSalvageRecord]" = (
             OrderedDict()
         )
+        #: sdg-index assumption key → SDGClosureIndex (bounded LRU).
+        self._indexes: "OrderedDict[str, object]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = IncrementalStats()
 
@@ -554,11 +559,30 @@ class UnitCache:
             while len(self._slices) > max(self.slice_capacity, 1):
                 self._slices.popitem(last=False)
 
+    def get_index(self, key: str) -> Optional[object]:
+        """A salvaged whole-SDG closure index (repro.sdg.closure), keyed
+        by the unit-digest vector plus per-unit formal pairs — the same
+        assumptions the summary edges were computed under.  Counted as
+        ``indexes_salvaged`` by the caller on a validated hit."""
+        with self._lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                self._indexes.move_to_end(key)
+            return index
+
+    def put_index(self, key: str, index: object) -> None:
+        with self._lock:
+            self._indexes[key] = index
+            self._indexes.move_to_end(key)
+            while len(self._indexes) > max(self.index_capacity, 1):
+                self._indexes.popitem(last=False)
+
     def clear(self) -> None:
         with self._lock:
             self._records.clear()
             self._spans.clear()
             self._slices.clear()
+            self._indexes.clear()
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -568,6 +592,7 @@ class UnitCache:
             )
             spans = len(self._spans)
             slices = len(self._slices)
+            indexes = len(self._indexes)
         payload: Dict[str, object] = {
             "enabled": incremental_enabled(),
             "capacity": self.capacity,
@@ -575,6 +600,7 @@ class UnitCache:
             "stitched_entries": stitched,
             "span_entries": spans,
             "slice_entries": slices,
+            "index_entries": indexes,
         }
         payload.update(self.stats.snapshot())
         return payload

@@ -226,3 +226,40 @@ class TestSDGObservability:
             ("slang_sdg_pass2_visits_total", "sdg:pass2-visits"),
         ):
             assert metrics[name][()] == events[event], name
+
+    def test_sdg_index_counters_reconcile(self, http_server):
+        """The ``slang_sdg_index_*`` family reconciles with ``/stats``
+        exactly like the rest of the ``slang_sdg_*`` counters: one build
+        for the program, mask hits per criterion, and a repeat slice
+        reusing the memoized index without a second build."""
+        for _ in range(2):
+            status, _ = _post(
+                http_server,
+                "/slice",
+                {
+                    "source": COMBINE,
+                    "algorithm": "interprocedural",
+                    **CRITERION,
+                },
+            )
+            assert status == 200
+
+        status, body = _get(http_server, "/stats")
+        assert status == 200
+        events = json.loads(body)["events"]
+        assert events.get("sdg-index:builds", 0) == 1
+        assert events.get("sdg-index:mask-hits", 0) > 0
+
+        status, text = _get(http_server, "/metrics.prom")
+        assert status == 200
+        metrics = parse_prometheus(text)
+        for name, event in (
+            ("slang_sdg_index_builds_total", "sdg-index:builds"),
+            ("slang_sdg_index_mask_hits_total", "sdg-index:mask-hits"),
+            ("slang_sdg_index_pressure_skips_total", "sdg-index:pressure-skips"),
+            ("slang_sdg_index_incremental_salvages_total", "sdg-index:incremental-salvages"),
+        ):
+            if event in events:
+                assert metrics[name][()] == events[event], name
+            else:
+                assert name not in metrics, name

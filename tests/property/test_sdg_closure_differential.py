@@ -1,0 +1,191 @@
+"""Differential properties of the whole-SDG closure index.
+
+The index-backed interprocedural slicer (``repro.sdg.closure``) must be
+**observationally identical** to the two-pass reference worklist — the
+index is a pure evaluation-strategy change, never an algorithm change:
+
+* **node-for-node identity** — same per-unit slice sets, same jump-round
+  traversal counters, same re-associated label maps, byte-identical
+  protocol payloads, across the paper corpus, pinned structured /
+  unstructured / multi-procedure fleets (recursion included), and the
+  two recorded trigger geometries (seed 98, seed 15182) whose jump
+  interactions broke earlier passes;
+* **degeneracy** — on a single-procedure program the indexed slicer must
+  still reduce to exactly Agrawal's Fig. 7 algorithm: same statement
+  nodes, same traversal count, same ``label_map``.
+
+Both configurations run over the *same* analysis: the knob is consulted
+per slice, so the reference run never touches the index and the indexed
+run builds it lazily on the shared SDG.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus import PAPER_PROGRAMS
+from repro.gen.generator import (
+    GeneratorConfig,
+    generate_interprocedural,
+    generate_structured,
+    generate_unstructured,
+    random_criterion,
+    realize,
+)
+from repro.lang.errors import SlangError
+from repro.pdg.builder import analyze_program
+from repro.sdg.closure import sdg_closure_index
+from repro.sdg.slicer import interprocedural_slice
+from repro.service.protocol import slice_result_payload
+from repro.slicing.agrawal import agrawal_slice
+from repro.slicing.criterion import SlicingCriterion
+
+#: Same pinned fleets as test_sdg_differential.py, so a divergence here
+#: reproduces against the exact programs the two-pass suite covers.
+STRUCTURED_SEEDS = range(3100, 3113)
+UNSTRUCTURED_SEEDS = range(7100, 7113)
+MULTIPROC_SEEDS = range(9100, 9130)
+
+
+def _assert_indexed_identical(analysis, criterion):
+    """Reference (index off) and indexed runs must agree on everything
+    the protocol can observe; errors must be the same error."""
+    with sdg_closure_index(False):
+        try:
+            reference = interprocedural_slice(analysis, criterion)
+        except SlangError as error:
+            with sdg_closure_index(True), pytest.raises(type(error)):
+                interprocedural_slice(analysis, criterion)
+            return
+    with sdg_closure_index(True):
+        indexed = interprocedural_slice(analysis, criterion)
+
+    ref = reference.sdg_result
+    new = indexed.sdg_result
+    assert not ref.index_used
+    assert new.index_used
+    assert ref.per_proc == new.per_proc
+    assert ref.traversals == new.traversals
+    assert ref.label_maps == new.label_maps
+    assert slice_result_payload(
+        ref.as_slice_result()
+    ) == slice_result_payload(new.as_slice_result())
+
+
+def _assert_degenerate_identity(analysis, criterion):
+    try:
+        reference = agrawal_slice(analysis, criterion)
+    except SlangError as error:
+        with sdg_closure_index(True), pytest.raises(type(error)):
+            interprocedural_slice(analysis, criterion)
+        return
+    with sdg_closure_index(True):
+        via_index = interprocedural_slice(analysis, criterion)
+    assert via_index.statement_nodes() == reference.statement_nodes()
+    assert via_index.traversals == reference.traversals
+    assert via_index.label_map == reference.label_map
+
+
+class TestCorpusIdentity:
+    def test_paper_corpus(self):
+        for entry in PAPER_PROGRAMS.values():
+            analysis = analyze_program(entry.source)
+            criterion = SlicingCriterion(*entry.criterion)
+            _assert_indexed_identical(analysis, criterion)
+            _assert_degenerate_identity(analysis, criterion)
+
+
+class TestFleetIdentity:
+    @pytest.mark.parametrize("seed", STRUCTURED_SEEDS)
+    def test_structured_fleet(self, seed):
+        rng = random.Random(seed)
+        program = realize(generate_structured(rng))
+        line, var = random_criterion(rng, program)
+        analysis = analyze_program(program)
+        criterion = SlicingCriterion(line=line, var=var)
+        _assert_indexed_identical(analysis, criterion)
+        _assert_degenerate_identity(analysis, criterion)
+
+    @pytest.mark.parametrize("seed", UNSTRUCTURED_SEEDS)
+    def test_unstructured_fleet(self, seed):
+        rng = random.Random(seed)
+        program = realize(generate_unstructured(rng))
+        line, var = random_criterion(rng, program)
+        analysis = analyze_program(program)
+        criterion = SlicingCriterion(line=line, var=var)
+        _assert_indexed_identical(analysis, criterion)
+        _assert_degenerate_identity(analysis, criterion)
+
+    @pytest.mark.parametrize("seed", MULTIPROC_SEEDS)
+    def test_multiproc_fleet(self, seed):
+        """Multi-procedure programs, recursion on every fifth seed —
+        the geometries where ascent/descent/binding completion and the
+        summary edges actually carry weight."""
+        rng = random.Random(seed)
+        config = GeneratorConfig(allow_recursion=(seed % 5 == 0))
+        program = realize(generate_interprocedural(rng, config))
+        assert program.procs, "generator must emit procedures"
+        line, var = random_criterion(rng, program)
+        _assert_indexed_identical(
+            analyze_program(program), SlicingCriterion(line=line, var=var)
+        )
+
+
+class TestTriggerGeometries:
+    """The two recorded jump-interaction counterexamples (ROADMAP,
+    EXPERIMENTS.md E4/E6).  Both are order-sensitivity traps for the
+    jump rounds; the index precomputes the jump *schedule*, so these pin
+    that the schedule — and with it every npd-vs-nls verdict — is
+    unchanged."""
+
+    def test_seed98_redundant_break_geometry(self):
+        program = realize(generate_structured(random.Random(98), None))
+        line, var = random_criterion(random.Random(0), program)
+        assert (line, var) == (63, "v3")
+        analysis = analyze_program(program)
+        criterion = SlicingCriterion(line=line, var=var)
+        _assert_indexed_identical(analysis, criterion)
+        _assert_degenerate_identity(analysis, criterion)
+
+    def test_seed15182_switch_break_geometry(self):
+        program = realize(generate_structured(random.Random(15182), None))
+        line, var = random_criterion(random.Random(0), program)
+        assert (line, var) == (30, "v3")
+        analysis = analyze_program(program)
+        criterion = SlicingCriterion(line=line, var=var)
+        _assert_indexed_identical(analysis, criterion)
+        _assert_degenerate_identity(analysis, criterion)
+        # The historical extra (the switch-nested break, node 10) must
+        # stay out of the indexed slice exactly as it does in Fig. 7.
+        with sdg_closure_index(True):
+            indexed = interprocedural_slice(analysis, criterion)
+        assert 10 not in set(indexed.statement_nodes())
+
+
+class TestAllCriteriaSweep:
+    """Exhaustive identity on one multi-procedure program: every
+    ``(line, var, proc)`` the program admits, not just sampled ones."""
+
+    def test_every_criterion_matches(self):
+        from repro.lang.ast_nodes import MAIN_UNIT
+        from repro.sdg.builder import sdg_for_analysis
+
+        rng = random.Random(4207)
+        config = GeneratorConfig(
+            num_procs=4, max_stmts=6, allow_recursion=True
+        )
+        program = realize(generate_interprocedural(rng, config))
+        analysis = analyze_program(program)
+        with sdg_closure_index(False):
+            sdg = sdg_for_analysis(analysis)
+        checked = 0
+        for unit, info in sdg.procs.items():
+            proc = None if unit == MAIN_UNIT else unit
+            for node in info.analysis.cfg.statement_nodes():
+                for var in sorted(node.defs | node.uses):
+                    _assert_indexed_identical(
+                        analysis,
+                        SlicingCriterion(line=node.line, var=var, proc=proc),
+                    )
+                    checked += 1
+        assert checked > 20

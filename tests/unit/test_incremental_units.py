@@ -253,9 +253,38 @@ class TestUnitCache:
         assert snapshot["capacity"] == 8
         assert snapshot["entries"] == 0
         assert snapshot["stitched_entries"] == 0
+        assert snapshot["index_entries"] == 0
         assert snapshot["units_reused"] == 3
         for field in IncrementalStats.FIELDS:
             assert field in snapshot
+        assert "indexes_salvaged" in IncrementalStats.FIELDS
+
+    def test_index_store_is_lru_bounded(self):
+        cache = UnitCache(capacity=4, index_capacity=2)
+        first, second, third = object(), object(), object()
+        cache.put_index("i1", first)
+        cache.put_index("i2", second)
+        cache.put_index("i3", third)
+        assert cache.get_index("i1") is None
+        assert cache.get_index("i3") is third
+        assert cache.snapshot()["index_entries"] == 2
+
+    def test_get_index_refreshes_recency(self):
+        cache = UnitCache(capacity=4, index_capacity=2)
+        first, second = object(), object()
+        cache.put_index("i1", first)
+        cache.put_index("i2", second)
+        cache.get_index("i1")  # i2 is now the eviction candidate
+        cache.put_index("i3", object())
+        assert cache.get_index("i1") is first
+        assert cache.get_index("i2") is None
+
+    def test_clear_drops_indexes(self):
+        cache = UnitCache(capacity=4)
+        cache.put_index("i1", object())
+        cache.clear()
+        assert cache.get_index("i1") is None
+        assert cache.snapshot()["index_entries"] == 0
 
 
 class TestKnob:
